@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (plus a paper-vs-measured panel
+where the paper published numbers) and asserts the *shape* — who wins and
+by roughly what factor.  ``REPRO_SCALE`` (default 0.1) scales table sizes
+and packet counts; set it to 1.0 for paper-sized runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import get_scale, scaled
+from repro.tablegen import paper_router_tables
+
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def packets(scale) -> int:
+    """The paper used 10 000 packets per pair."""
+    return scaled(10000, minimum=200, scale=scale)
+
+
+@pytest.fixture(scope="session")
+def router_tables(scale):
+    """Synthetic stand-ins for the paper's seven router snapshots."""
+    return paper_router_tables(scale=scale, seed=SEED)

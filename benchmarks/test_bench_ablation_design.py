@@ -1,0 +1,110 @@
+"""Ablation — design choices inside the clue machinery.
+
+Two knobs DESIGN.md calls out:
+
+* the cache-line inline capacity for potential sets (binary/6-way
+  continuations): how often the resumed search is literally free;
+* one shared clue table for several neighbours (§3.4): union vs bit-map
+  vs sub-tables, trading memory for per-packet references.
+"""
+
+import random
+
+from repro.addressing import Address
+from repro.core import (
+    AdvanceMethod,
+    BitmapClueTable,
+    ReceiverState,
+    SubTablesClueTable,
+    UnionClueTable,
+)
+from repro.experiments import format_table
+from repro.lookup import MemoryCounter
+from repro.trie import BinaryTrie
+
+
+def test_ablation_potential_set_sizes(router_tables, benchmark):
+    """Distribution of |P(s, R1)| over problematic clues."""
+    sender_trie = BinaryTrie.from_prefixes(router_tables["AT&T-1"])
+    receiver = ReceiverState(router_tables["AT&T-2"])
+    method = AdvanceMethod(sender_trie, receiver, "binary")
+
+    def collect():
+        sizes = {}
+        for clue in method.overlay.problematic_clues():
+            size = len(method.overlay.potential_set(clue))
+            sizes[size] = sizes.get(size, 0) + 1
+        return sizes
+
+    sizes = benchmark.pedantic(collect, rounds=1, iterations=1)
+    total = sum(sizes.values())
+    inline = sum(count for size, count in sizes.items() if size <= 4)
+    rows = [[size, count] for size, count in sorted(sizes.items())][:12]
+    print()
+    print(format_table(["|P(s)|", "clues"], rows,
+                       title="Potential-set size distribution (problematic clues)"))
+    print("inline (<=4, free in the entry's cache line): %d/%d" % (inline, total))
+    # The vast majority of potential sets fit in the entry's cache line,
+    # which is why the binary/6-way Advance rows sit at exactly 1.0.
+    assert total == 0 or inline / total > 0.7
+
+
+def test_ablation_multi_neighbor_sharing(router_tables, packets, benchmark):
+    """Union vs bit-map vs sub-tables for one shared clue table."""
+    receiver = ReceiverState(router_tables["MAE-West"])
+    senders = {
+        name: BinaryTrie.from_prefixes(router_tables[name])
+        for name in ("MAE-East", "Paix")
+    }
+    union = benchmark.pedantic(
+        UnionClueTable, args=(senders, receiver), rounds=1, iterations=1
+    )
+    bitmap = BitmapClueTable(senders, receiver)
+    subtables = SubTablesClueTable(senders, receiver)
+
+    rng = random.Random(41)
+    n_packets = min(packets, 1500)
+    totals = {"union": 0, "bitmap": 0, "subtables": 0}
+    measured = 0
+    while measured < n_packets:
+        name = rng.choice(list(senders))
+        destination = Address(rng.getrandbits(32), 32)
+        clue = senders[name].best_prefix(destination)
+        if clue is None:
+            continue
+        expected, _ = receiver.best_match(destination)
+        for label, lookup_fn in (
+            ("union", lambda: union.lookup(destination, clue)),
+            ("bitmap", lambda: bitmap.lookup(destination, clue, name)),
+            ("subtables", lambda: subtables.lookup(destination, clue, name)),
+        ):
+            counter = MemoryCounter()
+            if label == "union":
+                result = union.lookup(destination, clue, counter)
+            elif label == "bitmap":
+                result = bitmap.lookup(destination, clue, name, counter)
+            else:
+                result = subtables.lookup(destination, clue, name, counter)
+            assert result.prefix == expected
+            totals[label] += counter.accesses
+        measured += 1
+
+    sizes = subtables.sizes()
+    rows = [
+        ["union", len(union.table), round(totals["union"] / measured, 3)],
+        ["bitmap", bitmap.size(), round(totals["bitmap"] / measured, 3)],
+        ["sub-tables", sum(sizes.values()), round(totals["subtables"] / measured, 3)],
+    ]
+    print()
+    print(
+        format_table(
+            ["variant", "records", "refs/packet"],
+            rows,
+            title="§3.4 ablation: shared clue tables for two neighbours",
+        )
+    )
+    # All three stay near one reference; sub-tables pays a small premium
+    # for its two-probe misses.
+    assert totals["union"] / measured < 1.4
+    assert totals["bitmap"] / measured < 1.4
+    assert totals["subtables"] / measured >= totals["bitmap"] / measured - 1e-9

@@ -1,0 +1,73 @@
+"""Ablation (§5.3) — robustness: truncated, stale and withheld clues.
+
+Shape: correctness never drops below the receiver's own full lookup for
+Simple (provably) and truncation (unknown clues are just misses); only
+the *speedup* degrades.  Stale Advance tables may deviate rarely; the
+deviation rate is printed.
+"""
+
+from repro.experiments import format_table
+from repro.netsim import (
+    stale_table_experiment,
+    truncated_clue_experiment,
+    withheld_clue_experiment,
+)
+from repro.tablegen import NeighborProfile, derive_neighbor
+
+
+def test_ablation_robustness(router_tables, packets, benchmark):
+    sender = router_tables["ISP-B-1"]
+    receiver = router_tables["ISP-B-2"]
+    n_packets = min(packets, 1500)
+
+    truncated = benchmark.pedantic(
+        truncated_clue_experiment,
+        args=(sender, receiver, [8, 16, 24, 32]),
+        kwargs={"packets": n_packets, "seed": 29},
+        rounds=1,
+        iterations=1,
+    )
+    new_sender = derive_neighbor(sender, NeighborProfile(), seed=30)
+    stale = stale_table_experiment(
+        sender, new_sender, receiver, packets=n_packets, seed=31
+    )
+    withheld = withheld_clue_experiment(
+        sender, receiver, [0.0, 0.25, 0.5, 1.0], packets=n_packets, seed=32
+    )
+
+    print()
+    print(
+        format_table(
+            ["max clue length", "correct", "refs/packet"],
+            [[point.condition, point.correct_rate, round(point.avg_accesses, 3)]
+             for point in truncated],
+            title="§5.3 ablation: truncated clues",
+        )
+    )
+    print(
+        format_table(
+            ["method (stale sender table)", "correct", "refs/packet"],
+            [[name, point.correct_rate, round(point.avg_accesses, 3)]
+             for name, point in sorted(stale.items())],
+            title="§5.3 ablation: stale clue tables",
+        )
+    )
+    print(
+        format_table(
+            ["withheld fraction", "correct", "refs/packet"],
+            [[point.condition, point.correct_rate, round(point.avg_accesses, 3)]
+             for point in withheld],
+            title="§5.3 ablation: withheld clues",
+        )
+    )
+
+    # Truncation: always correct; cost improves as more clue bits travel.
+    assert all(point.correct_rate == 1.0 for point in truncated)
+    assert truncated[0].avg_accesses >= truncated[-1].avg_accesses
+    # Simple is provably immune to staleness; Advance deviates rarely.
+    assert stale["simple"].correct_rate == 1.0
+    assert stale["advance"].correct_rate > 0.97
+    # Withholding clues is always correct and degrades towards the full
+    # lookup cost.
+    assert all(point.correct_rate == 1.0 for point in withheld)
+    assert withheld[-1].avg_accesses > withheld[0].avg_accesses

@@ -1,0 +1,84 @@
+"""Ablation — the §2 related-work landscape: all clue-less baselines.
+
+One table, one packet stream, seven algorithms: the five the paper
+tabulates, the stride-k multibit trie ([24]) and the bitmap-compressed
+small table ([6]).  Shape: the constant-depth structures (multibit,
+small-table) sit between Log W and the pointer-chasing tries, and *all*
+of them lose to a warmed clue table's single reference — the paper's
+framing that even the best local structure repeats work the upstream
+router already did.
+"""
+
+import random
+
+from repro.core import AdvanceMethod, ClueAssistedLookup, ReceiverState
+from repro.experiments import format_table
+from repro.lookup import BASELINES, MemoryCounter, SmallTableLookup
+from repro.trie import BinaryTrie
+
+
+def test_baseline_landscape(router_tables, packets, benchmark):
+    receiver_entries = router_tables["ISP-B-2"]
+    sender_entries = router_tables["ISP-B-1"]
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+    receiver = ReceiverState(receiver_entries)
+
+    algorithms = {
+        name: cls(receiver_entries) for name, cls in BASELINES.items()
+    }
+    algorithms["smalltable"] = SmallTableLookup(receiver_entries)
+    assisted = ClueAssistedLookup(
+        BASELINES["patricia"](receiver_entries),
+        AdvanceMethod(sender_trie, receiver, "patricia").build_table(),
+    )
+
+    rng = random.Random(53)
+    samples = []
+    while len(samples) < min(packets, 2000):
+        prefix, _hop = sender_entries[rng.randrange(len(sender_entries))]
+        destination = prefix.random_address(rng)
+        clue = sender_trie.best_prefix(destination)
+        if clue is not None:
+            samples.append((destination, clue))
+
+    def run():
+        totals = {name: 0 for name in algorithms}
+        totals["clue (advance+patricia)"] = 0
+        mismatches = 0
+        for destination, clue in samples:
+            expected, _ = receiver.best_match(destination)
+            for name, algorithm in algorithms.items():
+                counter = MemoryCounter()
+                result = algorithm.lookup(destination, counter)
+                totals[name] += counter.accesses
+                if result.prefix != expected:
+                    mismatches += 1
+            counter = MemoryCounter()
+            result = assisted.lookup(destination, clue, counter)
+            totals["clue (advance+patricia)"] += counter.accesses
+            if result.prefix != expected:
+                mismatches += 1
+        return totals, mismatches
+
+    totals, mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    averages = {name: total / len(samples) for name, total in totals.items()}
+
+    print()
+    print(
+        format_table(
+            ["algorithm", "avg memory references"],
+            sorted(averages.items(), key=lambda item: -item[1]),
+            title="§2 landscape: every baseline vs the clue scheme",
+        )
+    )
+
+    assert mismatches == 0
+    # Constant-depth structures beat the pointer-chasing tries...
+    assert averages["multibit"] < averages["regular"]
+    assert averages["smalltable"] < averages["regular"]
+    assert averages["smalltable"] <= 6.0
+    # ...and the clue scheme beats all of them.
+    best_clueless = min(
+        value for name, value in averages.items() if name != "clue (advance+patricia)"
+    )
+    assert averages["clue (advance+patricia)"] < best_clueless

@@ -1,0 +1,46 @@
+"""Figure 1 — best matching prefix along the path and per-router work.
+
+Prints both curves for a concrete source→backbone→destination chain and
+asserts the paper's reading: under distributed IP lookup the per-router
+work tracks the *derivative* of the BMP-length curve, so the backbone
+(flat middle) does the least work, while clue-less routers pay a full
+lookup everywhere.
+"""
+
+from repro.experiments import format_table
+from repro.netsim import ChainScenario
+
+
+def test_figure1_path_profile(benchmark, scale):
+    scenario = ChainScenario(background=max(int(3000 * scale), 150), seed=5)
+    profile = benchmark.pedantic(scenario.profile, rounds=3, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["router", "BMP length", "delta", "clue work", "legacy work"],
+            profile.rows(),
+            title="Figure 1: BMP length and per-router work along the path",
+        )
+    )
+
+    # The BMP length follows the configured profile and is non-decreasing.
+    lengths = profile.bmp_lengths
+    assert lengths == sorted(lengths)
+    # Flat backbone segment: about one reference per packet.
+    deltas = profile.derivative()
+    for delta, work in list(zip(deltas, profile.clue_work))[1:]:
+        if delta == 0:
+            assert work <= 2
+    # Work correlates with the derivative: the largest jumps cost the most.
+    jumps = [(d, w) for d, w in list(zip(deltas, profile.clue_work))[1:]]
+    flat_work = [w for d, w in jumps if d == 0]
+    steep_work = [w for d, w in jumps if d >= 8]
+    if flat_work and steep_work:
+        assert min(steep_work) >= max(flat_work) - 1
+    # Clue routers never do worse than legacy ones after the first hop.
+    for clue_work, legacy_work in list(zip(profile.clue_work, profile.legacy_work))[1:]:
+        assert clue_work <= legacy_work
+    # The backbone (middle) is the least-loaded stretch of the clue path.
+    middle = profile.clue_work[len(profile.clue_work) // 3: -2]
+    assert min(middle) == min(profile.clue_work[1:])

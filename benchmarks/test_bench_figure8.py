@@ -1,0 +1,67 @@
+"""Figure 8 / §5.1 — MPLS aggregation point, with and without clues.
+
+Reproduces the LSP of Figure 8 (R1→R2→R3→R4 with the FEC aggregated at
+R4) and prints the per-hop memory references of pure IP, plain MPLS and
+MPLS with the clue integration.  Shape: MPLS switches in one reference
+until the aggregation point, where it pays a full IP lookup; the clue
+integration removes exactly that spike.
+"""
+
+import random
+
+from repro.addressing import Prefix
+from repro.experiments import format_table
+from repro.netsim import AggregationScenario
+from repro.tablegen import generate_table
+
+
+def test_figure8_aggregation_point(benchmark, scale, packets):
+    fec = Prefix.parse("10.0.0.0/16")
+    # Figure 8 shows a single /24 under the aggregated FEC; three specifics
+    # keep the potential set within the clue entry's cache line, the common
+    # case §4 banks on.
+    specifics = [
+        (Prefix.parse("10.0.%d.0/24" % block), "exit-%d" % block)
+        for block in range(1, 4)
+    ]
+    background = [
+        (prefix, hop)
+        for prefix, hop in generate_table(max(int(20000 * scale), 300), seed=11)
+        if not fec.is_prefix_of(prefix)
+    ]
+    scenario = AggregationScenario(fec, specifics, background)
+
+    rng = random.Random(3)
+    addresses = [fec.random_address(rng) for _ in range(min(packets, 2000))]
+    costs = benchmark.pedantic(
+        scenario.aggregation_cost, args=(addresses,), rounds=1, iterations=1
+    )
+
+    sample = scenario.measure(addresses[0])
+    print()
+    print(
+        format_table(
+            ["scheme", "R1", "R2", "R3", "R4 (aggregation)"],
+            [
+                [name] + series
+                for name, series in sorted(sample.items())
+            ],
+            title="Figure 8: per-hop memory references across the LSP",
+        )
+    )
+    print(
+        format_table(
+            ["scheme", "avg refs at aggregation point"],
+            sorted(costs.items()),
+            title="Aggregation-point cost (avg over %d packets)" % len(addresses),
+        )
+    )
+    print("MPLS label-distribution setup messages: %d; clue scheme: 0"
+          % scenario.setup_messages)
+
+    # Plain MPLS pays a full lookup at R4; the clue integration pays ~1.
+    assert costs["mpls"] > 4
+    assert costs["mpls+clue"] < 2.5
+    assert costs["mpls"] == costs["ip"]  # both do a full lookup at R4
+    # Mid-path label switching costs exactly one reference.
+    assert sample["mpls"][1] == sample["mpls"][2] == 1

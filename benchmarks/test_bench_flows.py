@@ -1,0 +1,70 @@
+"""Extension (§1–2) — flow-size economics: clues vs tag switching.
+
+"Even a flow of one packet enjoys the benefits of the scheme without any
+additional overhead."  This bench routes a heavy-tailed flow mix over a
+5-hop chain under plain IP, distributed IP lookup, and traffic-driven
+tag switching, and prints references per packet, setup messages and
+first-packet delay.  Shape: clues win outright for short flows and match
+tag switching for elephants, with zero control traffic either way.
+"""
+
+from repro.experiments import format_table
+from repro.netsim import FlowExperiment, pareto_flow_sizes
+
+
+def test_flow_size_economics(benchmark, scale):
+    experiment = FlowExperiment(
+        hops=5, table_size=max(int(5000 * scale), 300), seed=43
+    )
+
+    mixes = {
+        "1-packet (UDP)": [1] * 200,
+        "heavy-tailed": pareto_flow_sizes(200, seed=44),
+        "elephants (500 pkts)": [500] * 20,
+    }
+
+    results = {}
+    for name, sizes in mixes.items():
+        if name == "heavy-tailed":
+            results[name] = benchmark.pedantic(
+                experiment.run, args=(sizes,), kwargs={"seed": 45},
+                rounds=1, iterations=1,
+            )
+        else:
+            results[name] = experiment.run(sizes, seed=45)
+
+    rows = []
+    for name, schemes in results.items():
+        rows.append([
+            name,
+            round(schemes["ip"].per_packet(), 2),
+            round(schemes["clue"].per_packet(), 2),
+            round(schemes["tag"].per_packet(), 2),
+            schemes["tag"].setup_messages,
+        ])
+    print()
+    print(
+        format_table(
+            ["flow mix", "ip refs/pkt", "clue refs/pkt", "tag refs/pkt",
+             "tag setup msgs"],
+            rows,
+            title="Flow economics over a 5-hop path (clue: 0 setup messages)",
+        )
+    )
+
+    crossover = experiment.crossover_flow_size(samples=100, seed=46)
+    print(
+        "analytic crossover: tag switching overtakes clues beyond ~%.0f"
+        " packets per flow" % crossover
+    )
+
+    one_packet = results["1-packet (UDP)"]
+    elephants = results["elephants (500 pkts)"]
+    # Crossover shape: clues dominate short flows...
+    assert one_packet["clue"].per_packet() < one_packet["tag"].per_packet()
+    # ...and long flows amortise tag setup down to parity.
+    assert elephants["tag"].per_packet() <= elephants["clue"].per_packet() + 0.5
+    # Clues always beat plain IP and never send control messages.
+    for schemes in results.values():
+        assert schemes["clue"].per_packet() < schemes["ip"].per_packet()
+        assert schemes["clue"].setup_messages == 0

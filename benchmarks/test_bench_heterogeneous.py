@@ -1,0 +1,54 @@
+"""§5.3 — partial deployment in a heterogeneous network.
+
+Sweeps the fraction of clue-aware routers along a 8-hop chain of
+neighbouring tables and prints per-hop memory references.  Shape: the
+benefit grows monotonically with deployment (even a few upgraded routers
+pay off), and legacy routers that *strip* the clue forfeit part of it.
+"""
+
+from repro.experiments import format_table
+from repro.netsim import build_neighbor_chain, deployment_sweep
+
+
+def test_heterogeneous_deployment(benchmark, scale, packets):
+    tables = build_neighbor_chain(8, max(int(6000 * scale), 200), seed=13)
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+    n_packets = min(max(packets // 10, 30), 200)
+
+    relaying = benchmark.pedantic(
+        deployment_sweep,
+        args=(tables, fractions),
+        kwargs={"packets": n_packets, "warmup": 30, "seed": 14, "relay_clues": True},
+        rounds=1,
+        iterations=1,
+    )
+    stripping = deployment_sweep(
+        tables, [0.5], packets=n_packets, warmup=30, seed=14, relay_clues=False
+    )
+
+    rows = [
+        ["%.0f%%" % (100 * point.fraction), point.enabled,
+         round(point.avg_per_hop, 2), round(point.avg_total, 1)]
+        for point in relaying
+    ]
+    print()
+    print(
+        format_table(
+            ["clue-aware", "routers", "refs/hop", "refs/packet"],
+            rows,
+            title="§5.3: cost vs deployment fraction (8-hop chain)",
+        )
+    )
+    print(
+        "50%% deployment, legacy strips clues: %.2f refs/hop (relaying: %.2f)"
+        % (stripping[0].avg_per_hop, relaying[2].avg_per_hop)
+    )
+
+    # Monotone improvement end to end.
+    assert relaying[0].avg_per_hop > relaying[-1].avg_per_hop
+    # Full deployment cuts per-hop work by at least 2x on this chain.
+    assert relaying[-1].avg_per_hop < relaying[0].avg_per_hop / 2
+    # Partial deployment already pays: 50% is visibly better than 0%.
+    assert relaying[2].avg_per_hop < relaying[0].avg_per_hop * 0.95
+    # Stripping legacy routers forfeit some benefit.
+    assert stripping[0].avg_per_hop >= relaying[2].avg_per_hop - 0.05

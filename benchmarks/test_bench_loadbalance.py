@@ -1,0 +1,49 @@
+"""§5.4 — work shaping / load balancing via clue design.
+
+De-aggregates a backbone sender's table just enough that every clue it
+emits is final at the receiver, and prints the receiver's average work
+before and after plus the sender-table growth that buys it.  Shape: the
+receiver reaches exactly one memory reference per packet (TAG-switching
+speed without labels) for a small de-aggregation cost.
+"""
+
+from repro.experiments import format_table
+from repro.netsim import shaping_report
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+
+
+def test_loadbalance_shaping(benchmark, scale, packets):
+    sender = generate_table(max(int(20000 * scale), 500), seed=17)
+    receiver = derive_neighbor(
+        sender, NeighborProfile(add_specifics=0.02), seed=18
+    )
+
+    report = benchmark.pedantic(
+        shaping_report,
+        args=(sender, receiver),
+        kwargs={"packets": min(packets, 2000), "seed": 19},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            ["quantity", "before shaping", "after shaping"],
+            [
+                ["receiver refs/packet", round(report.receiver_work_before, 3),
+                 round(report.receiver_work_after, 3)],
+                ["problematic clues", report.problematic_before,
+                 report.problematic_after],
+                ["sender table size", report.sender_size_before,
+                 report.sender_size_after],
+            ],
+            title="§5.4: work shaping between a router pair",
+        )
+    )
+
+    assert report.problematic_after == 0
+    assert report.receiver_work_after == 1.0
+    assert report.receiver_work_before >= report.receiver_work_after
+    # The de-aggregation cost is modest (a few percent of the table).
+    assert report.sender_growth() < report.sender_size_before * 0.1

@@ -1,0 +1,78 @@
+"""Ablation — clue-table maintenance under route churn (§3.4).
+
+The paper argues clue tables "change very rarely" and recommends marking
+withdrawn clues invalid instead of deleting them.  This bench applies a
+stream of route updates to a maintained pair and compares the
+incremental path against rebuilding the table from scratch: entries
+touched per update, and data-path correctness throughout.
+"""
+
+import random
+
+from repro.core import ClueAssistedLookup, MaintainedClueTable
+from repro.experiments import format_table
+from repro.lookup import BASELINES, MemoryCounter
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+
+
+def test_maintenance_under_churn(benchmark, scale, packets):
+    size = max(int(10000 * scale), 400)
+    sender = generate_table(size, seed=61)
+    receiver = derive_neighbor(sender, NeighborProfile(), seed=62)
+    maintained = MaintainedClueTable(sender, receiver, technique="binary")
+    pool = generate_table(size // 4, seed=63)
+    updates = 40
+    rng = random.Random(64)
+
+    def churn():
+        maintained.rebuilt_entries = 0
+        for _ in range(updates):
+            addition = pool[rng.randrange(len(pool))]
+            if rng.random() < 0.5:
+                receiver_prefixes = [q for q, _ in maintained.receiver.entries]
+                victim = receiver_prefixes[rng.randrange(len(receiver_prefixes))]
+                maintained.apply_receiver_update(add=[addition], remove=[victim])
+            else:
+                sender_prefixes = list(maintained.sender_trie.prefixes())
+                victim = sender_prefixes[rng.randrange(len(sender_prefixes))]
+                maintained.apply_sender_update(add=[addition], remove=[victim])
+        return maintained.rebuilt_entries
+
+    rebuilt = benchmark.pedantic(churn, rounds=1, iterations=1)
+
+    # Data-path correctness after the churn.
+    lookup = ClueAssistedLookup(
+        BASELINES["patricia"](maintained.receiver.entries), maintained.table
+    )
+    checked = 0
+    while checked < min(packets, 500):
+        entries = list(maintained.sender_trie.entries())
+        prefix, _hop = entries[rng.randrange(len(entries))]
+        destination = prefix.random_address(rng)
+        clue = maintained.sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        expected, _ = maintained.receiver.best_match(destination)
+        assert lookup.lookup(destination, clue).prefix == expected
+        checked += 1
+
+    per_update = rebuilt / updates
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["table entries", len(maintained.table)],
+                ["route updates applied", updates],
+                ["entries rebuilt (incremental)", rebuilt],
+                ["entries rebuilt per update", round(per_update, 2)],
+                ["entries a full rebuild touches", len(maintained.table)],
+                ["incremental advantage",
+                 "%.0fx" % (len(maintained.table) / max(per_update, 0.01))],
+            ],
+            title="§3.4 ablation: incremental clue-table maintenance",
+        )
+    )
+
+    # A route update touches a tiny, local slice of the clue table.
+    assert per_update < len(maintained.table) * 0.05

@@ -1,0 +1,49 @@
+"""§3.5 — clue-table space requirements.
+
+Prints the paper's pessimistic accounting (60 000 entries, ~9 bytes each,
+500–600 KB) next to the measured footprint of a real Advance table built
+over a generated pair.
+"""
+
+from repro.core import AdvanceMethod, ReceiverState, measured_table_bytes, space_report
+from repro.experiments import render_paper_vs_measured
+from repro.experiments.paperdata import SPACE_CLAIMS
+from repro.trie import BinaryTrie
+
+
+def test_space_requirements(router_tables, benchmark):
+    sender_entries = router_tables["ISP-B-1"]
+    receiver = ReceiverState(router_tables["ISP-B-2"])
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+
+    method = AdvanceMethod(sender_trie, receiver, "binary")
+    table = benchmark.pedantic(method.build_table, rounds=1, iterations=1)
+
+    pointer_fraction = table.pointer_count() / len(table)
+    measured_bytes = measured_table_bytes(table)
+    paper = space_report(
+        int(SPACE_CLAIMS["entries"]), SPACE_CLAIMS["pointer_fraction_max"]
+    )
+
+    rows = [
+        ("entries", int(SPACE_CLAIMS["entries"]), len(table)),
+        ("pointer fraction", "< %.0f%%" % (100 * SPACE_CLAIMS["pointer_fraction_max"]),
+         "%.2f%%" % (100 * pointer_fraction)),
+        ("avg bytes/entry", SPACE_CLAIMS["average_entry_bytes"],
+         round(measured_bytes / len(table), 2)),
+        ("total (paper-size table)", "%d-%d KB" % (
+            SPACE_CLAIMS["total_kilobytes_low"], SPACE_CLAIMS["total_kilobytes_high"]),
+         "%.0f KB" % paper["kilobytes"]),
+        ("total (this table)", "-", "%.1f KB" % (measured_bytes / 1024)),
+    ]
+    print()
+    print(render_paper_vs_measured(rows, title="§3.5 clue-table space"))
+
+    # Advance tables keep the Ptr field on well under 10% of entries.
+    assert pointer_fraction < SPACE_CLAIMS["pointer_fraction_max"]
+    # A paper-sized table lands in the 500-600 KB band.
+    assert (
+        SPACE_CLAIMS["total_kilobytes_low"] * 0.9
+        <= paper["kilobytes"]
+        <= SPACE_CLAIMS["total_kilobytes_high"]
+    )

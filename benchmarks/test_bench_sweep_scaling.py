@@ -1,0 +1,51 @@
+"""Ablation — table-size scaling: clue-less baselines climb, clues don't.
+
+Grows the router tables across an order of magnitude and reports the
+clue-less Regular/Log W costs next to their Advance combinations.
+Shape: Regular tracks the (size-independent but depth-bound) trie walk,
+Log W grows with the number of distinct lengths, and the Advance rows
+stay pinned at ≈1 — the scheme's cost is a property of table *similarity*
+not table *size*, which is also the paper's IPv6 argument.
+"""
+
+from repro.experiments import format_table, scaling_sweep
+
+
+def test_scaling_sweep(benchmark, scale, packets):
+    base = max(int(4000 * scale), 200)
+    sizes = [base, base * 2, base * 4, base * 8]
+    points = benchmark.pedantic(
+        scaling_sweep,
+        args=(sizes,),
+        kwargs={"packets": min(packets, 600), "seed": 71},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            int(point.parameter),
+            round(point.metrics["regular_clueless"], 2),
+            round(point.metrics["regular_advance"], 3),
+            round(point.metrics["logw_clueless"], 2),
+            round(point.metrics["logw_advance"], 3),
+        ]
+        for point in points
+    ]
+    print()
+    print(
+        format_table(
+            ["table size", "regular", "regular+adv", "logw", "logw+adv"],
+            rows,
+            title="Scaling sweep: cost vs table size",
+        )
+    )
+
+    # The clue rows are flat at ~1 across the whole sweep.
+    for point in points:
+        assert point.metrics["regular_advance"] < 1.25
+        assert point.metrics["logw_advance"] < 1.25
+    # The clue-less rows do not shrink as tables grow.
+    first, last = points[0], points[-1]
+    assert last.metrics["regular_clueless"] >= first.metrics["regular_clueless"] - 1
+    assert last.metrics["logw_clueless"] >= first.metrics["logw_clueless"] - 0.5

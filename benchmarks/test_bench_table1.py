@@ -1,0 +1,25 @@
+"""Table 1 — total number of prefixes in each router table.
+
+Prints the paper's counts next to the generated (scaled) counts and
+benchmarks the table generator itself.
+"""
+
+from repro.experiments import render_paper_vs_measured
+from repro.experiments.paperdata import TABLE1_PREFIX_COUNTS
+from repro.tablegen import generate_table
+
+
+def test_table1_prefix_counts(router_tables, scale, benchmark):
+    rows = []
+    for name, paper_count in TABLE1_PREFIX_COUNTS.items():
+        measured = len(router_tables[name])
+        rows.append((name, paper_count, "%d (x%.2g)" % (measured, scale)))
+        # The generated table must land near the scaled paper size.
+        assert abs(measured - paper_count * scale) / (paper_count * scale) < 0.25
+    print()
+    print(render_paper_vs_measured(rows, title="Table 1: prefixes per router"))
+
+    benchmark.pedantic(
+        generate_table, args=(len(router_tables["Paix"]),), kwargs={"seed": 7},
+        rounds=3, iterations=1,
+    )

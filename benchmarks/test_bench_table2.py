@@ -1,0 +1,39 @@
+"""Table 2 — problematic clues (Claim 1 fails) per ordered router pair.
+
+The shape that must hold (and did in the paper): problematic clues are a
+tiny fraction of the sender's table — Claim 1 applies to 93 %+ of clues —
+which is what makes the Advance method ≈1 memory reference.
+"""
+
+from repro.experiments import render_paper_vs_measured
+from repro.experiments.paperdata import TABLE2_PROBLEMATIC_CLUES
+from repro.tablegen import PAPER_PAIRS
+from repro.trie import BinaryTrie, TrieOverlay
+
+
+def test_table2_problematic_clues(router_tables, scale, benchmark):
+    tries = {
+        name: BinaryTrie.from_prefixes(entries)
+        for name, entries in router_tables.items()
+    }
+    rows = []
+    for sender, receiver in PAPER_PAIRS:
+        overlay = TrieOverlay(tries[sender], tries[receiver])
+        measured = len(overlay.problematic_clues())
+        paper = TABLE2_PROBLEMATIC_CLUES[(sender, receiver)]
+        rows.append(("%s -> %s" % (sender, receiver), paper, measured))
+        fraction = measured / len(tries[sender])
+        assert fraction < 0.07, (sender, receiver, fraction)
+    print()
+    print(
+        render_paper_vs_measured(
+            rows, title="Table 2: problematic clues per pair (measured at x%g)" % scale
+        )
+    )
+
+    sender, receiver = PAPER_PAIRS[0]
+    benchmark.pedantic(
+        lambda: TrieOverlay(tries[sender], tries[receiver]).problematic_clues(),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Table 3 — prefixes common to both tables of a pair (intersection).
+
+Shape: neighbouring/related tables share the overwhelming majority of the
+smaller table's prefixes, the premise the whole clue scheme rests on.
+"""
+
+from repro.experiments import render_paper_vs_measured
+from repro.experiments.paperdata import TABLE3_INTERSECTIONS
+from repro.trie import BinaryTrie, TrieOverlay
+
+
+def test_table3_intersections(router_tables, scale, benchmark):
+    tries = {
+        name: BinaryTrie.from_prefixes(entries)
+        for name, entries in router_tables.items()
+    }
+    rows = []
+    for (left, right), paper in TABLE3_INTERSECTIONS.items():
+        overlay = TrieOverlay(tries[left], tries[right])
+        measured = overlay.equal_prefixes()
+        rows.append(("%s & %s" % (left, right), paper, measured))
+        smaller = min(len(tries[left]), len(tries[right]))
+        assert measured / smaller > 0.8, (left, right)
+    print()
+    print(
+        render_paper_vs_measured(
+            rows, title="Table 3: shared prefixes per pair (measured at x%g)" % scale
+        )
+    )
+
+    benchmark.pedantic(
+        lambda: TrieOverlay(tries["ISP-B-1"], tries["ISP-B-2"]).equal_prefixes(),
+        rounds=3,
+        iterations=1,
+    )

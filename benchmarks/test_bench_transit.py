@@ -1,0 +1,39 @@
+"""Extension (§5.2) — BGP over OSPF: clues across an autonomous system.
+
+A border router resolves destinations in two table passes (the BGP route
+plus the IGP route to the egress) yet stamps the *first* BMP as the clue,
+so the AS interior and the far border still run at clue speed.  Shape:
+only the external ingress pays a full lookup; the border pays the
+clue-assisted first pass plus one IGP pass; everyone else ≈1 reference.
+"""
+
+from repro.experiments import format_table
+from repro.netsim import TransitScenario
+
+
+def test_transit_bgp_over_ospf(benchmark, scale, packets):
+    scenario = TransitScenario(
+        interior_hops=3, table_size=max(int(10000 * scale), 400), seed=37
+    )
+    costs = benchmark.pedantic(
+        scenario.average_costs,
+        kwargs={"packets": min(packets, 400), "seed": 38},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            ["router", "avg memory references"],
+            [[name, round(costs[name], 2)] for name in scenario.names],
+            title="§5.2: crossing an AS (B1 resolves in two passes)",
+        )
+    )
+
+    # Full lookup at the clue-less ingress; near-one inside the AS.
+    assert costs["R0"] > 5
+    for name in scenario.names[2:]:
+        assert costs[name] < 2.5, (name, costs[name])
+    # The border still beats the clue-less ingress despite the IGP pass.
+    assert costs["B1"] < costs["R0"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: distributed IP lookup between two routers in ~40 lines.
+
+Builds a pair of neighbouring forwarding tables, constructs the Advance
+clue machinery at the receiver, and compares the cost of resolving the
+same packets with and without the clue.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    AdvanceMethod,
+    BinaryTrie,
+    ClueAssistedLookup,
+    MemoryCounter,
+    PatriciaLookup,
+    ReceiverState,
+)
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+
+
+def main() -> None:
+    # Two neighbouring routers: R2's table is derived from R1's, the way
+    # real neighbours' tables relate (§3 of the paper).
+    r1_table = generate_table(3000, seed=1)
+    r2_table = derive_neighbor(r1_table, NeighborProfile(), seed=2)
+    print("R1: %d prefixes, R2: %d prefixes" % (len(r1_table), len(r2_table)))
+
+    r1_trie = BinaryTrie.from_prefixes(r1_table)
+    receiver = ReceiverState(r2_table)
+
+    # R2 pre-computes one clue-table entry per prefix R1 could name (§3.3).
+    method = AdvanceMethod(r1_trie, receiver, technique="patricia")
+    clue_table = method.build_table()
+    print(
+        "clue table: %d entries, %d problematic (Claim 1 fails)"
+        % (len(clue_table), clue_table.pointer_count())
+    )
+
+    base = PatriciaLookup(r2_table)
+    assisted = ClueAssistedLookup(base, clue_table)
+
+    rng = random.Random(7)
+    with_clue = MemoryCounter()
+    without_clue = MemoryCounter()
+    packets = 0
+    while packets < 5000:
+        prefix, _hop = r1_table[rng.randrange(len(r1_table))]
+        destination = prefix.random_address(rng)
+        clue = r1_trie.best_prefix(destination)  # what R1 stamps on the packet
+        if clue is None:
+            continue
+        slow = base.lookup(destination, without_clue)
+        fast = assisted.lookup(destination, clue, with_clue)
+        assert slow.prefix == fast.prefix  # clues never change routing
+        packets += 1
+
+    print("average memory references per packet at R2:")
+    print("  without clue : %.2f" % (without_clue.accesses / packets))
+    print("  with clue    : %.2f" % (with_clue.accesses / packets))
+    print(
+        "speedup: %.1fx"
+        % (without_clue.accesses / max(with_clue.accesses, 1))
+    )
+
+
+if __name__ == "__main__":
+    main()

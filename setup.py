@@ -1,0 +1,18 @@
+"""Legacy setup shim for environments without PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Routing with a Clue' (SIGCOMM 1999): "
+        "distributed IP lookup with clues"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+    entry_points={"console_scripts": ["repro-clue = repro.cli:main"]},
+)

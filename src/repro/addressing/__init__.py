@@ -1,0 +1,41 @@
+"""Address-family substrate: exact bit-string addresses and prefixes."""
+
+from repro.addressing.errors import (
+    AddressError,
+    AddressParseError,
+    PrefixLengthError,
+    WidthMismatchError,
+)
+from repro.addressing.ip import (
+    CLUE_BITS,
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    Address,
+    Prefix,
+    clue_field_width,
+    format_ipv4,
+    format_ipv6,
+    longest_common_prefix,
+    parse_ipv4,
+    parse_ipv6,
+    sort_key,
+)
+
+__all__ = [
+    "Address",
+    "AddressError",
+    "AddressParseError",
+    "CLUE_BITS",
+    "IPV4_WIDTH",
+    "IPV6_WIDTH",
+    "Prefix",
+    "PrefixLengthError",
+    "WidthMismatchError",
+    "clue_field_width",
+    "format_ipv4",
+    "format_ipv6",
+    "longest_common_prefix",
+    "parse_ipv4",
+    "parse_ipv6",
+    "sort_key",
+]

@@ -1,0 +1,17 @@
+"""Exceptions raised by the addressing layer."""
+
+
+class AddressError(ValueError):
+    """Base class for malformed addresses and prefixes."""
+
+
+class AddressParseError(AddressError):
+    """A textual address or prefix could not be parsed."""
+
+
+class PrefixLengthError(AddressError):
+    """A prefix length is outside ``[0, width]``."""
+
+
+class WidthMismatchError(AddressError):
+    """Two objects of different address families were combined."""

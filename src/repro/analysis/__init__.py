@@ -1,0 +1,19 @@
+"""Structural analysis of forwarding tables and pairs."""
+
+from repro.analysis.similarity import (
+    containment,
+    histogram_distance,
+    jaccard,
+    length_histogram,
+    nesting_profile,
+    pair_report,
+)
+
+__all__ = [
+    "containment",
+    "histogram_distance",
+    "jaccard",
+    "length_histogram",
+    "nesting_profile",
+    "pair_report",
+]

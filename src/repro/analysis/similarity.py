@@ -1,0 +1,110 @@
+"""Structural metrics of forwarding tables and table pairs.
+
+The clue scheme's performance is a function of table *structure* —
+nesting (do clue vertices have descendants?), and pair similarity (does
+Claim 1 hold?).  These metrics quantify both, and are what
+``repro.tablegen`` is calibrated against; pointing them at real RIB
+dumps shows immediately whether a deployment is in the paper's regime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.addressing import Prefix
+from repro.tablegen.synthetic import Entry
+from repro.trie.binary_trie import BinaryTrie
+from repro.trie.overlay import TrieOverlay
+
+
+def jaccard(left: Sequence[Entry], right: Sequence[Entry]) -> float:
+    """Jaccard similarity of the two prefix sets."""
+    a = {prefix for prefix, _ in left}
+    b = {prefix for prefix, _ in right}
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def containment(inner: Sequence[Entry], outer: Sequence[Entry]) -> float:
+    """Fraction of ``inner``'s prefixes also present in ``outer``."""
+    a = {prefix for prefix, _ in inner}
+    if not a:
+        return 1.0
+    b = {prefix for prefix, _ in outer}
+    return len(a & b) / len(a)
+
+
+def nesting_profile(entries: Sequence[Entry], width: int = 32) -> Dict[str, float]:
+    """How deeply the table nests: covered fraction and depth histogram.
+
+    ``covered_fraction`` is the share of prefixes having a shorter table
+    prefix above them — the provider-aggregate/customer-specific pattern
+    the clue scheme feeds on.
+    """
+    trie = BinaryTrie.from_prefixes(entries, width)
+    covered = 0
+    depths: Dict[int, int] = {}
+    for prefix, _hop in entries:
+        level = 0
+        probe = prefix
+        while probe.length:
+            probe = probe.parent()
+            node = trie.find_node(probe)
+            if node is not None and node.marked:
+                level += 1
+        if level:
+            covered += 1
+        depths[level] = depths.get(level, 0) + 1
+    total = len(entries) or 1
+    max_depth = max(depths) if depths else 0
+    return {
+        "covered_fraction": covered / total,
+        "max_nesting_depth": float(max_depth),
+        "mean_nesting_depth": sum(k * v for k, v in depths.items()) / total,
+    }
+
+
+def length_histogram(entries: Sequence[Entry]) -> Dict[int, float]:
+    """Normalised prefix-length distribution of a table."""
+    counts: Dict[int, int] = {}
+    for prefix, _hop in entries:
+        counts[prefix.length] = counts.get(prefix.length, 0) + 1
+    total = len(entries) or 1
+    return {length: count / total for length, count in sorted(counts.items())}
+
+
+def histogram_distance(
+    left: Dict[int, float], right: Dict[int, float]
+) -> float:
+    """Total-variation distance between two length distributions."""
+    lengths = set(left) | set(right)
+    return 0.5 * sum(
+        abs(left.get(length, 0.0) - right.get(length, 0.0)) for length in lengths
+    )
+
+
+def pair_report(
+    sender: Sequence[Entry], receiver: Sequence[Entry], width: int = 32
+) -> Dict[str, float]:
+    """Everything that predicts how well clues will work for a pair."""
+    sender_trie = BinaryTrie.from_prefixes(sender, width)
+    receiver_trie = BinaryTrie.from_prefixes(receiver, width)
+    overlay = TrieOverlay(sender_trie, receiver_trie)
+    stats = overlay.statistics()
+    problematic = stats["problematic_clues"]
+    nesting = nesting_profile(receiver, width)
+    return {
+        "sender_prefixes": float(stats["sender_prefixes"]),
+        "receiver_prefixes": float(stats["receiver_prefixes"]),
+        "jaccard": jaccard(sender, receiver),
+        "sender_in_receiver": containment(sender, receiver),
+        "receiver_in_sender": containment(receiver, sender),
+        "problematic_clues": float(problematic),
+        "claim1_fraction": 1.0 - problematic / max(stats["sender_prefixes"], 1),
+        "receiver_covered_fraction": nesting["covered_fraction"],
+        "length_histogram_distance": histogram_distance(
+            length_histogram(sender), length_histogram(receiver)
+        ),
+    }

@@ -1,0 +1,27 @@
+"""§7 extension: distributed packet classification with filter clues."""
+
+from repro.classify.clue import (
+    ClassifierWithClues,
+    FilterClueEntry,
+    classification_experiment,
+)
+from repro.classify.filter import FULL_PORT_RANGE, FlowKey, PacketFilter
+from repro.classify.ruleset import (
+    RuleSet,
+    derive_neighbor_ruleset,
+    generate_ruleset,
+    sample_matching_flow,
+)
+
+__all__ = [
+    "ClassifierWithClues",
+    "FULL_PORT_RANGE",
+    "FilterClueEntry",
+    "FlowKey",
+    "PacketFilter",
+    "RuleSet",
+    "classification_experiment",
+    "derive_neighbor_ruleset",
+    "generate_ruleset",
+    "sample_matching_flow",
+]

@@ -1,0 +1,167 @@
+"""Packet filters and flow keys for the classification extension (§7).
+
+The paper's conclusions generalise the clue idea beyond destination
+lookup: "when a packet header is classified by several filters (in QoS,
+or firewall applications), the clue being added to the packet is the
+filter by which the packet is classified at a router".
+
+A filter here is the classical 5-tuple rule: source/destination address
+prefixes, an optional protocol, and source/destination port ranges, with
+a global priority (lower number wins).  Filters are value objects —
+identical rules at two routers are *the same filter*, which is what lets
+the receiving router reason about what the sender's classification
+already ruled out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.addressing import Address, Prefix
+
+PortRange = Tuple[int, int]
+FULL_PORT_RANGE: PortRange = (0, 65535)
+
+
+def _check_port_range(name: str, ports: PortRange) -> None:
+    low, high = ports
+    if not 0 <= low <= high <= 65535:
+        raise ValueError("%s range %r is not a valid port range" % (name, ports))
+
+
+class FlowKey:
+    """The header fields a classifier examines."""
+
+    __slots__ = ("src", "dst", "protocol", "src_port", "dst_port")
+
+    def __init__(
+        self,
+        src: Address,
+        dst: Address,
+        protocol: int = 6,
+        src_port: int = 0,
+        dst_port: int = 0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.src_port = src_port
+        self.dst_port = dst_port
+
+    def __repr__(self) -> str:
+        return "FlowKey(%s -> %s, proto=%d, %d -> %d)" % (
+            self.src,
+            self.dst,
+            self.protocol,
+            self.src_port,
+            self.dst_port,
+        )
+
+
+class PacketFilter:
+    """One classification rule.
+
+    ``priority`` is a global rank (lower wins) shared by every router
+    holding the rule; ``action`` is the rule's verdict (an opaque label
+    such as ``"deny"`` or a QoS class).
+    """
+
+    __slots__ = (
+        "src_prefix",
+        "dst_prefix",
+        "protocol",
+        "src_ports",
+        "dst_ports",
+        "priority",
+        "action",
+    )
+
+    def __init__(
+        self,
+        src_prefix: Prefix,
+        dst_prefix: Prefix,
+        priority: int,
+        action: object = "permit",
+        protocol: Optional[int] = None,
+        src_ports: PortRange = FULL_PORT_RANGE,
+        dst_ports: PortRange = FULL_PORT_RANGE,
+    ):
+        _check_port_range("source port", src_ports)
+        _check_port_range("destination port", dst_ports)
+        if priority < 0:
+            raise ValueError("priority cannot be negative")
+        self.src_prefix = src_prefix
+        self.dst_prefix = dst_prefix
+        self.protocol = protocol
+        self.src_ports = src_ports
+        self.dst_ports = dst_ports
+        self.priority = priority
+        self.action = action
+
+    # ------------------------------------------------------------------
+    def matches(self, flow: FlowKey) -> bool:
+        """True if the flow's header falls inside every dimension."""
+        if not self.src_prefix.matches(flow.src):
+            return False
+        if not self.dst_prefix.matches(flow.dst):
+            return False
+        if self.protocol is not None and self.protocol != flow.protocol:
+            return False
+        if not self.src_ports[0] <= flow.src_port <= self.src_ports[1]:
+            return False
+        if not self.dst_ports[0] <= flow.dst_port <= self.dst_ports[1]:
+            return False
+        return True
+
+    def intersects(self, other: "PacketFilter") -> bool:
+        """True if some flow could match both filters.
+
+        This is the geometric test §7 uses: a receiver may discard any
+        candidate that cannot intersect the clue filter.
+        """
+        if not (
+            self.src_prefix.is_prefix_of(other.src_prefix)
+            or other.src_prefix.is_prefix_of(self.src_prefix)
+        ):
+            return False
+        if not (
+            self.dst_prefix.is_prefix_of(other.dst_prefix)
+            or other.dst_prefix.is_prefix_of(self.dst_prefix)
+        ):
+            return False
+        if (
+            self.protocol is not None
+            and other.protocol is not None
+            and self.protocol != other.protocol
+        ):
+            return False
+        if self.src_ports[0] > other.src_ports[1] or other.src_ports[0] > self.src_ports[1]:
+            return False
+        if self.dst_ports[0] > other.dst_ports[1] or other.dst_ports[0] > self.dst_ports[1]:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (
+            self.src_prefix,
+            self.dst_prefix,
+            self.protocol,
+            self.src_ports,
+            self.dst_ports,
+            self.priority,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PacketFilter) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return "PacketFilter(#%d %s -> %s proto=%s)" % (
+            self.priority,
+            self.src_prefix,
+            self.dst_prefix,
+            self.protocol,
+        )

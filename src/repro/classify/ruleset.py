@@ -1,0 +1,160 @@
+"""Rule sets: priority-ordered filter lists and their generators.
+
+The baseline classifier is the linear scan every 1999 firewall actually
+ran: examine filters in priority order, first match wins, one memory
+reference per filter examined.  The synthetic generator produces
+firewall-shaped rule sets (prefix pairs drawn from the 1999 address
+histogram, well-known service ports, a protocol mix) and the neighbour
+derivation mirrors :mod:`repro.tablegen.neighbors` so that adjacent
+routers hold mostly-shared rules — the premise the §7 clue extension
+needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.classify.filter import FULL_PORT_RANGE, FlowKey, PacketFilter
+from repro.lookup.counters import MemoryCounter
+from repro.tablegen.synthetic import generate_table
+
+WELL_KNOWN_PORTS = (20, 21, 22, 23, 25, 53, 80, 110, 143, 443, 8080)
+PROTOCOLS = (6, 17, 1)  # TCP, UDP, ICMP
+ACTIONS = ("permit", "deny", "qos-gold", "qos-silver")
+
+
+class RuleSet:
+    """A priority-ordered set of filters with linear-scan classification."""
+
+    def __init__(self, filters: Sequence[PacketFilter]):
+        self.filters: List[PacketFilter] = sorted(
+            filters, key=lambda f: f.priority
+        )
+        priorities = [f.priority for f in self.filters]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError("filter priorities must be unique within a rule set")
+
+    def classify(
+        self, flow: FlowKey, counter: Optional[MemoryCounter] = None
+    ) -> Optional[PacketFilter]:
+        """First (highest-priority) matching filter; one reference each."""
+        for rule in self.filters:
+            if counter is not None:
+                counter.touch()
+            if rule.matches(flow):
+                return rule
+        return None
+
+    def classify_among(
+        self,
+        flow: FlowKey,
+        candidates: Sequence[PacketFilter],
+        counter: Optional[MemoryCounter] = None,
+    ) -> Optional[PacketFilter]:
+        """Linear scan restricted to a precomputed candidate list."""
+        for rule in candidates:
+            if counter is not None:
+                counter.touch()
+            if rule.matches(flow):
+                return rule
+        return None
+
+    def __len__(self) -> int:
+        return len(self.filters)
+
+    def __contains__(self, rule: PacketFilter) -> bool:
+        return rule in set(self.filters)
+
+    def __iter__(self) -> Iterator[PacketFilter]:
+        return iter(self.filters)
+
+
+def generate_ruleset(
+    count: int, seed: int = 0, width: int = 32
+) -> RuleSet:
+    """A firewall-shaped synthetic rule set of ``count`` filters."""
+    if count < 1:
+        raise ValueError("a rule set needs at least one filter")
+    rng = random.Random(seed)
+    # Draw address prefixes from the same 1999-shaped universe the
+    # forwarding tables use, then coarsen some for wildcard-ish rules.
+    pool = [prefix for prefix, _hop in generate_table(count * 2, seed=seed, width=width)]
+    filters: List[PacketFilter] = []
+    for priority in range(count):
+        src = rng.choice(pool)
+        dst = rng.choice(pool)
+        if rng.random() < 0.3:
+            src = src.truncate(min(src.length, rng.choice((0, 8, 16))))
+        if rng.random() < 0.2:
+            dst = dst.truncate(min(dst.length, rng.choice((8, 16))))
+        protocol = rng.choice(PROTOCOLS) if rng.random() < 0.7 else None
+        if rng.random() < 0.6:
+            port = rng.choice(WELL_KNOWN_PORTS)
+            dst_ports = (port, port)
+        elif rng.random() < 0.5:
+            low = rng.randrange(1024, 60000)
+            dst_ports = (low, low + rng.randrange(1, 4096))
+        else:
+            dst_ports = FULL_PORT_RANGE
+        filters.append(
+            PacketFilter(
+                src_prefix=src,
+                dst_prefix=dst,
+                priority=priority,
+                action=rng.choice(ACTIONS),
+                protocol=protocol,
+                dst_ports=dst_ports,
+            )
+        )
+    return RuleSet(filters)
+
+
+def derive_neighbor_ruleset(
+    base: RuleSet,
+    seed: int = 1,
+    drop: float = 0.03,
+    add: float = 0.03,
+    width: int = 32,
+) -> RuleSet:
+    """A neighbouring router's rule set: mostly shared, a few private rules."""
+    rng = random.Random(seed)
+    kept = [rule for rule in base if rng.random() >= drop]
+    extra_count = round(len(base) * add)
+    if extra_count:
+        # Private rules get fresh priorities woven between the shared ones.
+        taken = {rule.priority for rule in kept}
+        fresh = generate_ruleset(extra_count, seed=seed + 17, width=width)
+        for rule in fresh:
+            priority = rng.randrange(len(base) * 2)
+            while priority in taken:
+                priority += 1
+            taken.add(priority)
+            kept.append(
+                PacketFilter(
+                    rule.src_prefix,
+                    rule.dst_prefix,
+                    priority,
+                    rule.action,
+                    rule.protocol,
+                    rule.src_ports,
+                    rule.dst_ports,
+                )
+            )
+    return RuleSet(kept)
+
+
+def sample_matching_flow(
+    ruleset: RuleSet, rng: random.Random, width: int = 32
+) -> FlowKey:
+    """A random flow that matches at least one rule of the set."""
+    rule = ruleset.filters[rng.randrange(len(ruleset.filters))]
+    protocol = rule.protocol if rule.protocol is not None else rng.choice(PROTOCOLS)
+    return FlowKey(
+        src=rule.src_prefix.random_address(rng),
+        dst=rule.dst_prefix.random_address(rng),
+        protocol=protocol,
+        src_port=rng.randint(*rule.src_ports),
+        dst_port=rng.randint(*rule.dst_ports),
+    )

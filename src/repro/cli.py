@@ -1,0 +1,250 @@
+"""Command-line interface to the reproduction.
+
+Subcommands mirror the common workflows:
+
+* ``generate``  — write a synthetic forwarding table as text;
+* ``stats``     — Tables 1–3 style statistics for a router pair;
+* ``compare``   — the §6 15-scheme comparison for a pair;
+* ``figure1``   — the per-hop work profile of a packet crossing a chain;
+* ``parse-rib`` — normalise a RIB text dump;
+* ``space``     — the §3.5 clue-table space model.
+
+Tables may come from files (one ``prefix next_hop`` per line, RIB style)
+or from the built-in synthetic pairs (``--synthetic``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    compare_pair,
+    format_table,
+    render_comparison,
+)
+from repro.core.space import space_report
+from repro.netsim.path_profile import ChainScenario
+from repro.tablegen import (
+    NeighborProfile,
+    derive_neighbor,
+    generate_table,
+    parse_rib_file,
+)
+from repro.tablegen.synthetic import Entry
+from repro.trie import BinaryTrie, TrieOverlay
+
+
+def _write_table(entries: Sequence[Entry], stream) -> None:
+    for prefix, next_hop in entries:
+        stream.write("%s %s\n" % (prefix, next_hop if next_hop is not None else "-"))
+
+
+def _load_pair(args) -> (list, list):
+    if args.synthetic:
+        sender = generate_table(args.count, seed=args.seed)
+        receiver = derive_neighbor(sender, NeighborProfile(), seed=args.seed + 1)
+        return sender, receiver
+    if not (args.sender and args.receiver):
+        raise SystemExit("either --synthetic or both --sender and --receiver files")
+    return parse_rib_file(args.sender), parse_rib_file(args.receiver)
+
+
+def _cmd_generate(args) -> int:
+    entries = generate_table(args.count, seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            _write_table(entries, handle)
+    else:
+        _write_table(entries, sys.stdout)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    sender, receiver = _load_pair(args)
+    overlay = TrieOverlay(
+        BinaryTrie.from_prefixes(sender), BinaryTrie.from_prefixes(receiver)
+    )
+    stats = overlay.statistics()
+    rows = [[key, value] for key, value in sorted(stats.items())]
+    fraction = stats["problematic_clues"] / max(stats["sender_prefixes"], 1)
+    rows.append(["claim1 holds for", "%.2f%% of clues" % (100 * (1 - fraction))])
+    print(format_table(["statistic", "value"], rows, title="pair statistics"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    sender, receiver = _load_pair(args)
+    result = compare_pair(sender, receiver, packets=args.packets, seed=args.seed)
+    print(render_comparison(result))
+    if result.mismatches:
+        print("WARNING: %d oracle mismatches" % result.mismatches, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    scenario = ChainScenario(background=args.background, seed=args.seed)
+    profile = scenario.profile()
+    print(
+        format_table(
+            ["router", "BMP length", "delta", "clue work", "legacy work"],
+            profile.rows(),
+            title="Figure 1: per-hop BMP length and work",
+        )
+    )
+    return 0
+
+
+def _cmd_parse_rib(args) -> int:
+    entries = parse_rib_file(args.file, strict=args.strict)
+    _write_table(entries, sys.stdout)
+    print("parsed %d unique prefixes" % len(entries), file=sys.stderr)
+    return 0
+
+
+def _cmd_flows(args) -> int:
+    from repro.netsim.flows import FlowExperiment, pareto_flow_sizes
+
+    experiment = FlowExperiment(
+        hops=args.hops, table_size=args.count, seed=args.seed
+    )
+    schemes = experiment.run(
+        pareto_flow_sizes(args.flows, seed=args.seed + 1), seed=args.seed + 2
+    )
+    rows = [
+        [name, round(cost.per_packet(), 2), cost.setup_messages,
+         cost.first_packet_delay_hops]
+        for name, cost in sorted(schemes.items())
+    ]
+    print(
+        format_table(
+            ["scheme", "refs/packet", "setup msgs", "first-pkt delay (hops)"],
+            rows,
+            title="flow economics over a %d-hop path" % args.hops,
+        )
+    )
+    crossover = experiment.crossover_flow_size(seed=args.seed + 3)
+    print(
+        "tag switching overtakes clues for flows longer than ~%.0f packets"
+        % crossover
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import pair_report
+
+    sender, receiver = _load_pair(args)
+    report = pair_report(sender, receiver)
+    rows = [[key, round(value, 4)] for key, value in sorted(report.items())]
+    print(format_table(["metric", "value"], rows, title="pair structure"))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.report import run_reproduction
+
+    report = run_reproduction(
+        scale=args.scale, packets=args.packets, seed=args.seed
+    )
+    text = report.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print("report written to %s" % args.output)
+    else:
+        print(text)
+    return 0 if report.passed() else 1
+
+
+def _cmd_space(args) -> int:
+    report = space_report(args.entries, args.pointer_fraction)
+    rows = [[key, value] for key, value in sorted(report.items())]
+    print(format_table(["quantity", "value"], rows, title="§3.5 space model"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-clue",
+        description="Routing with a Clue (SIGCOMM 1999) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic forwarding table")
+    gen.add_argument("--count", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", help="output file (default stdout)")
+    gen.set_defaults(func=_cmd_generate)
+
+    def add_pair_options(command):
+        command.add_argument("--sender", help="sender RIB dump file")
+        command.add_argument("--receiver", help="receiver RIB dump file")
+        command.add_argument(
+            "--synthetic", action="store_true",
+            help="use a generated neighbour pair instead of files",
+        )
+        command.add_argument("--count", type=int, default=2000,
+                             help="table size for --synthetic")
+        command.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="Tables 1-3 statistics for a pair")
+    add_pair_options(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    comp = sub.add_parser("compare", help="the §6 15-scheme comparison")
+    add_pair_options(comp)
+    comp.add_argument("--packets", type=int, default=2000)
+    comp.set_defaults(func=_cmd_compare)
+
+    fig1 = sub.add_parser("figure1", help="per-hop work profile (Figure 1)")
+    fig1.add_argument("--background", type=int, default=500)
+    fig1.add_argument("--seed", type=int, default=0)
+    fig1.set_defaults(func=_cmd_figure1)
+
+    rib = sub.add_parser("parse-rib", help="normalise a RIB text dump")
+    rib.add_argument("file")
+    rib.add_argument("--strict", action="store_true")
+    rib.set_defaults(func=_cmd_parse_rib)
+
+    flows = sub.add_parser("flows", help="flow economics vs tag switching")
+    flows.add_argument("--hops", type=int, default=5)
+    flows.add_argument("--count", type=int, default=1000,
+                       help="forwarding-table size per router")
+    flows.add_argument("--flows", type=int, default=200)
+    flows.add_argument("--seed", type=int, default=0)
+    flows.set_defaults(func=_cmd_flows)
+
+    analyze = sub.add_parser("analyze", help="structural metrics for a pair")
+    add_pair_options(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run the whole evaluation, emit a markdown report"
+    )
+    reproduce.add_argument("--scale", type=float, default=0.05)
+    reproduce.add_argument("--packets", type=int, default=500)
+    reproduce.add_argument("--seed", type=int, default=42)
+    reproduce.add_argument("--output", help="report file (default stdout)")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    space = sub.add_parser("space", help="§3.5 clue-table space model")
+    space.add_argument("--entries", type=int, default=60000)
+    space.add_argument("--pointer-fraction", type=float, default=0.1)
+    space.set_defaults(func=_cmd_space)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

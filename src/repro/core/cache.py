@@ -1,0 +1,90 @@
+"""Caching the clue table (§3.5).
+
+"Parts of the clues hash table can be cached and placed into the cache
+only if touched recently."  This module wraps any clue table behind an
+LRU cache of bounded capacity: a cached probe costs the usual single
+(fast) reference; a miss additionally pays the slow-memory fetch and
+promotes the record.  Under realistic Zipf-skewed traffic a small cache
+captures most probes, which is the paper's argument that the clue table
+does not need to live entirely in fast memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.addressing import Prefix
+from repro.core.entry import ClueEntry
+from repro.core.table import ClueTable
+from repro.lookup.counters import MemoryCounter
+
+
+class CachedClueTable:
+    """An LRU front for a backing clue table."""
+
+    def __init__(
+        self,
+        backing: ClueTable,
+        capacity: int,
+        miss_penalty: int = 1,
+    ):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        if miss_penalty < 0:
+            raise ValueError("the miss penalty cannot be negative")
+        self.backing = backing
+        self.capacity = capacity
+        #: extra references a backing-store fetch costs (slow memory).
+        self.miss_penalty = miss_penalty
+        self._cache: "OrderedDict[Prefix, ClueEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def probe(
+        self, clue: Prefix, counter: Optional[MemoryCounter] = None
+    ) -> Optional[ClueEntry]:
+        """One fast reference on a hit; the slow fetch on top on a miss."""
+        if counter is not None:
+            counter.touch()
+        cached = self._cache.get(clue)
+        if cached is not None and cached.active:
+            self.hits += 1
+            self._cache.move_to_end(clue)
+            return cached
+        self.misses += 1
+        if counter is not None:
+            counter.touch(self.miss_penalty)
+        entry = self.backing.probe(clue)  # uncounted: the penalty covers it
+        if entry is None:
+            return None
+        self._admit(entry)
+        return entry
+
+    def _admit(self, entry: ClueEntry) -> None:
+        self._cache[entry.clue] = entry
+        self._cache.move_to_end(entry.clue)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, clue: Prefix) -> None:
+        """Drop a record from the cache (after a table update)."""
+        self._cache.pop(clue, None)
+
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def occupancy(self) -> int:
+        """Records currently cached."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return "CachedClueTable(%d/%d cached, hit rate %.3f)" % (
+            len(self._cache),
+            self.capacity,
+            self.hit_rate(),
+        )

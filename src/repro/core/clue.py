@@ -1,0 +1,99 @@
+"""Clue encoding: the 5-bit (IPv4) / 7-bit (IPv6) header field.
+
+A clue is the best matching prefix the upstream router found for the
+packet's destination.  Because it is by construction a *prefix of the
+destination address*, it travels as a tiny pointer into the address: the
+number of leading destination bits that form it (§3).  This module encodes
+and decodes that field and models the optional 16-bit index of the
+"indexing technique" (§3.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.addressing import Address, Prefix, clue_field_width
+
+#: Width of the optional per-neighbour clue index field (§3.3.1 assumes at
+#: most 64K distinct clues between a pair of routers).
+INDEX_FIELD_BITS = 16
+MAX_CLUE_INDEX = (1 << INDEX_FIELD_BITS) - 1
+
+
+class ClueEncodingError(ValueError):
+    """A clue field value is invalid for the address family."""
+
+
+def encode_clue(bmp_length: int, width: int = 32) -> int:
+    """Encode a BMP length as the header field value.
+
+    The field is simply the length itself; the function validates that it
+    fits the family's field width (5 bits cover 0..32, 7 bits 0..128).
+    """
+    if not 0 <= bmp_length <= width:
+        raise ClueEncodingError(
+            "clue length %d outside [0, %d]" % (bmp_length, width)
+        )
+    field_bits = clue_field_width(width)
+    if bmp_length >= (1 << field_bits) and bmp_length != width:
+        raise ClueEncodingError(
+            "clue length %d does not fit %d bits" % (bmp_length, field_bits)
+        )
+    return bmp_length
+
+
+def decode_clue(address: Address, field: int) -> Prefix:
+    """Recover the clue prefix from the destination address and the field."""
+    if not 0 <= field <= address.width:
+        raise ClueEncodingError(
+            "clue field %d outside [0, %d]" % (field, address.width)
+        )
+    return address.prefix(field)
+
+
+class ClueHeader:
+    """The clue-related packet-header state.
+
+    ``length`` is the 5/7-bit clue field (None when the packet carries no
+    clue, e.g. it was emitted by a legacy router).  ``index`` is the
+    optional 16-bit sequential index of the indexing technique.
+    """
+
+    __slots__ = ("length", "index")
+
+    def __init__(self, length: Optional[int] = None, index: Optional[int] = None):
+        if index is not None and not 0 <= index <= MAX_CLUE_INDEX:
+            raise ClueEncodingError("clue index %d does not fit 16 bits" % index)
+        self.length = length
+        self.index = index
+
+    def carries_clue(self) -> bool:
+        """True if a clue is present."""
+        return self.length is not None
+
+    def clue_prefix(self, address: Address) -> Optional[Prefix]:
+        """The clue as a prefix of ``address`` (None if absent)."""
+        if self.length is None:
+            return None
+        return decode_clue(address, self.length)
+
+    def clear(self) -> None:
+        """Drop the clue (legacy router on the path)."""
+        self.length = None
+        self.index = None
+
+    def truncate(self, max_length: int) -> None:
+        """Shorten the clue for privacy (§5.3); no-op if already shorter."""
+        if self.length is not None and self.length > max_length:
+            self.length = max_length
+            self.index = None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ClueHeader)
+            and self.length == other.length
+            and self.index == other.index
+        )
+
+    def __repr__(self) -> str:
+        return "ClueHeader(length=%r, index=%r)" % (self.length, self.index)

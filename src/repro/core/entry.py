@@ -1,0 +1,56 @@
+"""Clue-table entries: the clue value, the FD field and the Ptr field.
+
+Per §3.2 each entry stores the clue itself (so a probe can verify it hit
+the right record), an *FD* ("final decision": the best matching prefix —
+or directly the next hop — to use when no longer match exists locally) and
+a *Ptr*: either "empty", meaning the FD is final, or a precomputed
+continuation object from which the search for a longer match resumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.addressing import Prefix
+from repro.lookup.restricted import Continuation
+
+
+class ClueEntry:
+    """One record of a clues table."""
+
+    __slots__ = ("clue", "fd_prefix", "fd_next_hop", "continuation", "active")
+
+    def __init__(
+        self,
+        clue: Prefix,
+        fd_prefix: Optional[Prefix],
+        fd_next_hop: Optional[object],
+        continuation: Optional[Continuation] = None,
+    ):
+        self.clue = clue
+        self.fd_prefix = fd_prefix
+        self.fd_next_hop = fd_next_hop
+        self.continuation = continuation
+        #: §3.4 suggests never removing clues, only marking them invalid, to
+        #: keep the hash function stable across topology changes.
+        self.active = True
+
+    def pointer_empty(self) -> bool:
+        """True when the Ptr field is "empty" (the FD is final)."""
+        return self.continuation is None
+
+    def final_decision(self) -> Tuple[Optional[Prefix], Optional[object]]:
+        """The FD field as a ``(prefix, next_hop)`` pair."""
+        return self.fd_prefix, self.fd_next_hop
+
+    def deactivate(self) -> None:
+        """Mark the clue invalid without removing it (§3.4)."""
+        self.active = False
+
+    def __repr__(self) -> str:
+        ptr = "empty" if self.continuation is None else "set"
+        return "ClueEntry(clue=%s, fd=%r, ptr=%s)" % (
+            self.clue,
+            self.fd_prefix,
+            ptr,
+        )

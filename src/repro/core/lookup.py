@@ -1,0 +1,92 @@
+"""The distributed IP-lookup data path (Figure 5 of the paper).
+
+``ClueAssistedLookup`` glues together a base lookup algorithm (used for
+clue-less packets and unknown clues) and a clue table built by either the
+Simple or the Advance method.  The per-packet procedure is exactly the
+paper's pseudo-code:
+
+    probe the clue table (one reference);
+    if the record matches the clue:
+        if Ptr is empty: route by FD;
+        else: resume the search below the clue; on failure route by FD;
+    else (never saw this clue): full lookup, then learn the clue.
+
+The lookup also reports the receiver's *own* BMP so the router can attach
+a fresh clue to the outgoing packet — a clue is always what *this* router
+learned, independent of the incoming clue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.addressing import Address, Prefix
+from repro.core.entry import ClueEntry
+from repro.core.table import ClueTable
+from repro.lookup.base import LookupAlgorithm
+from repro.lookup.counters import LookupResult, MemoryCounter
+
+
+class ClueAssistedLookup:
+    """Per-packet lookup combining a clue table with a base algorithm."""
+
+    def __init__(
+        self,
+        base: LookupAlgorithm,
+        table: ClueTable,
+        on_unknown_clue: Optional[Callable[[Prefix], None]] = None,
+    ):
+        self.base = base
+        self.table = table
+        #: Optional learning hook invoked when an unknown clue arrives
+        #: (§3.3.1's "Call procedure new-clue(c)").
+        self.on_unknown_clue = on_unknown_clue
+        self.unknown_clues = 0
+        self.pointer_followed = 0
+        self.fd_used = 0
+
+    def lookup(
+        self,
+        address: Address,
+        clue: Optional[Prefix] = None,
+        counter: Optional[MemoryCounter] = None,
+    ) -> LookupResult:
+        """Route one packet; charges every memory reference to ``counter``."""
+        counter = counter if counter is not None else MemoryCounter()
+        if clue is not None and not clue.matches(address):
+            # The 5-bit header encoding cannot express a non-prefix of the
+            # destination; a disagreeing clue object can only come from a
+            # buggy caller and is treated as no clue at all.
+            clue = None
+        if clue is None:
+            return self.base.lookup(address, counter)
+        entry = self.table.probe(clue, counter)
+        if entry is None:
+            self.unknown_clues += 1
+            result = self.base.lookup(address, counter)
+            if self.on_unknown_clue is not None:
+                self.on_unknown_clue(clue)
+            return result
+        return self._resolve(entry, address, counter)
+
+    def _resolve(
+        self, entry: ClueEntry, address: Address, counter: MemoryCounter
+    ) -> LookupResult:
+        if entry.pointer_empty():
+            self.fd_used += 1
+            prefix, next_hop = entry.final_decision()
+            return LookupResult(prefix, next_hop, counter.accesses)
+        self.pointer_followed += 1
+        match = entry.continuation.search(address, counter)
+        if match is None:
+            self.fd_used += 1
+            prefix, next_hop = entry.final_decision()
+            return LookupResult(prefix, next_hop, counter.accesses)
+        prefix, next_hop = match
+        return LookupResult(prefix, next_hop, counter.accesses)
+
+    def __repr__(self) -> str:
+        return "ClueAssistedLookup(base=%s, table=%r)" % (
+            self.base.name,
+            self.table,
+        )

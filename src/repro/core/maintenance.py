@@ -1,0 +1,158 @@
+"""Keeping clue tables correct under route changes (§3.4).
+
+The paper suggests clue tables change rarely and recommends never
+physically removing clues (mark them invalid so the hash stays stable).
+This module supplies the other half of that story: when the sender's or
+the receiver's forwarding table changes, which clue entries must be
+recomputed, and how to do it without rebuilding the world.
+
+The dependency structure is local: the entry of a clue ``s`` depends only
+on receiver prefixes on the root→s path (the FD) and on both routers'
+prefixes below ``s`` (Claim 1 / the continuation).  So a change at prefix
+``p`` can only dirty the clues that are *comparable* with ``p`` — the
+sender clues on p's root path plus those in p's subtree.  The overlay is
+patched incrementally (see :meth:`TrieOverlay.set_receiver_mark`) and
+exactly the dirty entries are rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.addressing import Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.receiver import ReceiverState
+from repro.core.table import ClueTable
+from repro.trie.binary_trie import BinaryTrie
+from repro.trie.overlay import TrieOverlay
+
+Entry = Tuple[Prefix, object]
+
+
+class MaintainedClueTable:
+    """An Advance clue table that tracks route changes incrementally."""
+
+    def __init__(
+        self,
+        sender_entries: Iterable[Entry],
+        receiver_entries: Iterable[Entry],
+        technique: str = "binary",
+        width: int = 32,
+    ):
+        self.width = width
+        self.sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
+        self.receiver = ReceiverState(receiver_entries, width)
+        self.overlay = TrieOverlay(self.sender_trie, self.receiver.trie)
+        self.method = AdvanceMethod(
+            self.sender_trie, self.receiver, technique, overlay=self.overlay
+        )
+        self.table = self.method.build_table()
+        self.rebuilt_entries = 0
+
+    # ------------------------------------------------------------------
+    def _dirty_clues(self, changed: Iterable[Prefix]) -> Set[Prefix]:
+        """Sender clues whose entries a change at these prefixes can affect."""
+        dirty: Set[Prefix] = set()
+        for prefix in changed:
+            # Clues on the root path of the change (their subtree holds p).
+            node = self.sender_trie.root
+            if node.marked:
+                dirty.add(node.prefix)
+            for index in range(prefix.length):
+                node = node.children.get(prefix.bit(index))
+                if node is None:
+                    break
+                if node.marked:
+                    dirty.add(node.prefix)
+            # Clues inside the change's subtree (p sits on their root path).
+            for vertex in self.sender_trie.marked_in_subtree(prefix):
+                dirty.add(vertex.prefix)
+        return dirty
+
+    def _refresh_stops(self, changed: Iterable[Prefix]) -> None:
+        """Patch the per-vertex stop booleans along the changed paths."""
+        if self.method.stops is None:
+            return
+        for prefix in changed:
+            node = self.overlay.find(prefix)
+            # The stop value can change at the vertex and its ancestors.
+            lineage = [prefix] + list(prefix.ancestors())
+            for ancestor in lineage:
+                vertex = self.overlay.find(ancestor)
+                if vertex is None:
+                    continue
+                self.method.stops[ancestor] = not any(
+                    child.unclaimed for child in vertex.children.values()
+                )
+            if node is not None:
+                for descendant in node.subtree():
+                    self.method.stops[descendant.prefix] = not any(
+                        child.unclaimed
+                        for child in descendant.children.values()
+                    )
+
+    def _rebuild(self, dirty: Set[Prefix]) -> None:
+        for clue in dirty:
+            if self.sender_trie.contains(clue):
+                self.table.insert(self.method.build_entry(clue))
+                self.rebuilt_entries += 1
+            else:
+                # §3.4: keep the record, mark it invalid — a later probe
+                # treats it as a miss and the packet takes a full lookup.
+                record = self.table.probe(clue)
+                if record is not None:
+                    record.deactivate()
+
+    # ------------------------------------------------------------------
+    def apply_receiver_update(
+        self,
+        add: Iterable[Entry] = (),
+        remove: Iterable[Prefix] = (),
+    ) -> Set[Prefix]:
+        """The receiver's own table changed; returns the rebuilt clues."""
+        added = list(add)
+        removed = list(remove)
+        self.receiver.apply_update(added, removed)
+        for prefix in removed:
+            self.overlay.set_receiver_mark(prefix, False)
+        for prefix, _hop in added:
+            self.overlay.set_receiver_mark(prefix, True)
+        changed = [prefix for prefix, _ in added] + list(removed)
+        self._refresh_stops(changed)
+        dirty = self._dirty_clues(changed)
+        self._rebuild(dirty)
+        return dirty
+
+    def apply_sender_update(
+        self,
+        add: Iterable[Entry] = (),
+        remove: Iterable[Prefix] = (),
+    ) -> Set[Prefix]:
+        """The sender's table changed (new/withdrawn clues)."""
+        added = list(add)
+        removed = list(remove)
+        for prefix in removed:
+            self.sender_trie.remove(prefix)
+            self.overlay.set_sender_mark(prefix, False)
+        for prefix, next_hop in added:
+            self.sender_trie.insert(prefix, next_hop)
+            self.overlay.set_sender_mark(prefix, True)
+        changed = [prefix for prefix, _ in added] + list(removed)
+        self._refresh_stops(changed)
+        dirty = self._dirty_clues(changed)
+        # Changed sender prefixes are themselves (new or dead) clues.
+        dirty.update(changed)
+        self._rebuild(dirty)
+        return dirty
+
+    # ------------------------------------------------------------------
+    def reference_table(self) -> ClueTable:
+        """A from-scratch rebuild (test oracle for the incremental path)."""
+        method = AdvanceMethod(self.sender_trie, self.receiver, self.method.technique)
+        return method.build_table()
+
+    def __repr__(self) -> str:
+        return "MaintainedClueTable(%d entries, %d rebuilt)" % (
+            len(self.table),
+            self.rebuilt_entries,
+        )

@@ -1,0 +1,109 @@
+"""Receiver-side state shared by the Simple and Advance builders.
+
+A router that receives clues keeps its ordinary forwarding structures —
+one binary trie and one Patricia trie over its own table — and the clue
+builders derive entries against them.  Building both once and sharing them
+across methods mirrors a real router, where the clue machinery sits next
+to whatever lookup structure is already deployed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.trie.binary_trie import BinaryTrie
+from repro.trie.patricia import PatriciaTrie
+
+#: Continuation techniques a clue entry may be built for (§4).
+TECHNIQUES = ("regular", "patricia", "binary", "6way", "logw", "multibit")
+
+
+class ReceiverState:
+    """A receiving router's own forwarding table and derived structures."""
+
+    def __init__(
+        self,
+        entries: Iterable[Tuple[Prefix, object]],
+        width: int = 32,
+    ):
+        self.width = width
+        self.entries: List[Tuple[Prefix, object]] = sorted(
+            entries, key=lambda item: (item[0].length, item[0].bits)
+        )
+        self.trie = BinaryTrie.from_prefixes(self.entries, width)
+        self.patricia = PatriciaTrie.from_prefixes(self.entries, width)
+        self._multibit = None
+
+    @property
+    def multibit(self):
+        """The stride-k multibit trie, built lazily on first use."""
+        if self._multibit is None:
+            from repro.lookup.multibit import MultibitTrie
+
+            trie = MultibitTrie(width=self.width)
+            for prefix, next_hop in self.entries:
+                trie.insert(prefix, next_hop)
+            self._multibit = trie
+        return self._multibit
+
+    def best_match(
+        self, address: Address
+    ) -> Tuple[Optional[Prefix], Optional[object]]:
+        """The receiver's true BMP for ``address`` (test oracle and FDs)."""
+        node = self.trie.longest_match(address)
+        if node is None:
+            return None, None
+        return node.prefix, node.next_hop
+
+    def fd_for_clue(
+        self, clue: Prefix
+    ) -> Tuple[Optional[Prefix], Optional[object]]:
+        """The FD field for ``clue``: its BMP in the receiver's trie.
+
+        This is the paper's "least ancestor of s which is also a prefix";
+        the walk works whether or not ``clue`` is a vertex of the trie
+        (Advance method case 1 handles absent vertices the same way).
+        """
+        node = self.trie.least_marked_ancestor(clue)
+        if node is None:
+            return None, None
+        return node.prefix, node.next_hop
+
+    def apply_update(
+        self,
+        add: Iterable[Tuple[Prefix, object]] = (),
+        remove: Iterable[Prefix] = (),
+    ) -> None:
+        """Apply a route change to every derived structure.
+
+        The binary and Patricia tries update in place; the multibit trie
+        (which has no cheap delete) is dropped and lazily rebuilt.
+        """
+        removed = list(remove)
+        added = list(add)
+        for prefix in removed:
+            self.trie.remove(prefix)
+            self.patricia.remove(prefix)
+        for prefix, next_hop in added:
+            self.trie.insert(prefix, next_hop)
+            self.patricia.insert(prefix, next_hop)
+        table = dict(self.entries)
+        for prefix in removed:
+            table.pop(prefix, None)
+        for prefix, next_hop in added:
+            table[prefix] = next_hop
+        self.entries = sorted(
+            table.items(), key=lambda item: (item[0].length, item[0].bits)
+        )
+        self._multibit = None
+
+    def size(self) -> int:
+        """Number of forwarding-table entries."""
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return "ReceiverState(%d prefixes, width=%d)" % (
+            len(self.entries),
+            self.width,
+        )

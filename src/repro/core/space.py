@@ -1,0 +1,71 @@
+"""Clue-table space accounting (§3.5).
+
+The paper's pessimistic bound: as many entries as a large router's table
+(~60 000), three 4-byte fields each (clue value, FD, Ptr) — about
+500–600 KB, i.e. the clue table does not even double the fast-memory
+footprint of a backbone router.  In the Advance method only the clues for
+which Claim 1 fails (< 10 % empirically) need the Ptr field at all, which
+this model captures via the measured pointer fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.table import ClueTable
+
+#: Field sizes, in bytes, of one clue record (§3.5).
+CLUE_VALUE_BYTES = 4
+FD_BYTES = 4
+PTR_BYTES = 4
+
+#: SDRAM cache-line size assumed by the paper; two records per line.
+SDRAM_LINE_BYTES = 32
+RECORDS_PER_LINE = 2
+
+
+def entry_bytes(with_pointer: bool) -> int:
+    """Bytes of one record; pointer-less records drop the Ptr field."""
+    size = CLUE_VALUE_BYTES + FD_BYTES
+    if with_pointer:
+        size += PTR_BYTES
+    return size
+
+
+def table_bytes(entries: int, pointer_fraction: float) -> int:
+    """Total bytes of a table with the given pointer fraction."""
+    if entries < 0:
+        raise ValueError("entry count cannot be negative")
+    if not 0.0 <= pointer_fraction <= 1.0:
+        raise ValueError("pointer fraction must be within [0, 1]")
+    with_ptr = round(entries * pointer_fraction)
+    without_ptr = entries - with_ptr
+    return with_ptr * entry_bytes(True) + without_ptr * entry_bytes(False)
+
+
+def measured_table_bytes(table: ClueTable) -> int:
+    """Space of a concrete clue table, by its actual pointer count."""
+    total = len(table)
+    if not total:
+        return 0
+    return table_bytes(total, table.pointer_count() / total)
+
+
+def sdram_lines(total_bytes: int) -> int:
+    """Cache lines consumed, at two packed records per 32-byte line."""
+    if total_bytes < 0:
+        raise ValueError("byte count cannot be negative")
+    return -(-total_bytes // SDRAM_LINE_BYTES)
+
+
+def space_report(entries: int, pointer_fraction: float) -> Dict[str, float]:
+    """The §3.5 accounting as a dict (bytes, kilobytes, lines)."""
+    total = table_bytes(entries, pointer_fraction)
+    return {
+        "entries": entries,
+        "pointer_fraction": pointer_fraction,
+        "bytes": total,
+        "kilobytes": total / 1024.0,
+        "sdram_lines": sdram_lines(total),
+        "average_entry_bytes": total / entries if entries else 0.0,
+    }

@@ -1,0 +1,113 @@
+"""Clue tables: the hashed variant and the 16-bit indexed variant (§3.3).
+
+Both variants charge exactly one memory reference per probe — the minimum
+any scheme (including MPLS/Tag switching) can achieve — and both verify
+the stored clue against the arriving one, which is what makes the scheme
+robust against un-coordinated neighbours: a mismatched record is simply
+treated as a miss and the packet takes the ordinary full lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.addressing import Prefix
+from repro.core.entry import ClueEntry
+from repro.lookup.counters import MemoryCounter
+
+
+class ClueTable:
+    """Hash-keyed clue table (the 5-bit-only variant of §3.3.1)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Prefix, ClueEntry] = {}
+
+    def insert(self, entry: ClueEntry) -> None:
+        """Add or replace the record for ``entry.clue``."""
+        self._entries[entry.clue] = entry
+
+    def probe(
+        self, clue: Prefix, counter: Optional[MemoryCounter] = None
+    ) -> Optional[ClueEntry]:
+        """One-reference hash probe; None on miss or inactive record."""
+        if counter is not None:
+            counter.touch()
+        entry = self._entries.get(clue)
+        if entry is None or not entry.active:
+            return None
+        return entry
+
+    def remove(self, clue: Prefix) -> bool:
+        """Physically drop a record (topology change).  True if present."""
+        return self._entries.pop(clue, None) is not None
+
+    def entries(self) -> Iterator[ClueEntry]:
+        """All records, active and inactive."""
+        return iter(self._entries.values())
+
+    def pointer_count(self) -> int:
+        """Records whose Ptr is non-empty (the "problematic" fraction)."""
+        return sum(
+            1 for entry in self._entries.values() if not entry.pointer_empty()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, clue: Prefix) -> bool:
+        return clue in self._entries
+
+    def __repr__(self) -> str:
+        return "ClueTable(%d entries, %d with Ptr)" % (
+            len(self._entries),
+            self.pointer_count(),
+        )
+
+
+class IndexedClueTable:
+    """Sequential clue table addressed by the 16-bit index field (§3.3.1).
+
+    The sender enumerates its clues; the receiver keeps a flat array.  A
+    probe reads slot ``index`` and compares the stored clue with the one on
+    the packet — a one-instruction check.  On mismatch the caller overwrites
+    the slot with a freshly built record, so the table is self-healing with
+    no pre-synchronisation between the routers.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: List[Optional[ClueEntry]] = [None] * capacity
+        self.overwrites = 0
+
+    def probe(
+        self,
+        index: int,
+        clue: Prefix,
+        counter: Optional[MemoryCounter] = None,
+    ) -> Optional[ClueEntry]:
+        """One-reference array read; None when the slot disagrees."""
+        if not 0 <= index < self.capacity:
+            raise IndexError("clue index %d out of range" % index)
+        if counter is not None:
+            counter.touch()
+        entry = self._slots[index]
+        if entry is None or entry.clue != clue or not entry.active:
+            return None
+        return entry
+
+    def store(self, index: int, entry: ClueEntry) -> None:
+        """Write ``entry`` into slot ``index`` (overwriting is expected)."""
+        if not 0 <= index < self.capacity:
+            raise IndexError("clue index %d out of range" % index)
+        if self._slots[index] is not None:
+            self.overwrites += 1
+        self._slots[index] = entry
+
+    def occupied(self) -> int:
+        """Number of populated slots."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def __repr__(self) -> str:
+        return "IndexedClueTable(%d/%d slots)" % (self.occupied(), self.capacity)

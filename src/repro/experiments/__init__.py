@@ -1,0 +1,59 @@
+"""Experiment harness: §6 sampling, comparisons, rendering, paper data."""
+
+from repro.experiments.comparison import (
+    MODES,
+    PairComparison,
+    compare_pair,
+    compare_pairs,
+)
+from repro.experiments.paperdata import (
+    HEADER_BITS,
+    SHAPE_CLAIMS,
+    SPACE_CLAIMS,
+    TABLE1_PREFIX_COUNTS,
+    TABLE2_PROBLEMATIC_CLUES,
+    TABLE3_INTERSECTIONS,
+)
+from repro.experiments.render import (
+    format_table,
+    render_comparison,
+    render_comparison_matrix,
+    render_paper_vs_measured,
+)
+from repro.experiments.sampling import (
+    paper_destination_sample,
+    uniform_destination_sample,
+    zipf_destination_sample,
+)
+from repro.experiments.scale import DEFAULT_SCALE, get_scale, scaled
+from repro.experiments.sweeps import (
+    SweepPoint,
+    scaling_sweep,
+    similarity_sweep,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "HEADER_BITS",
+    "MODES",
+    "PairComparison",
+    "SHAPE_CLAIMS",
+    "SPACE_CLAIMS",
+    "TABLE1_PREFIX_COUNTS",
+    "TABLE2_PROBLEMATIC_CLUES",
+    "TABLE3_INTERSECTIONS",
+    "compare_pair",
+    "compare_pairs",
+    "format_table",
+    "get_scale",
+    "paper_destination_sample",
+    "render_comparison",
+    "render_comparison_matrix",
+    "render_paper_vs_measured",
+    "scaled",
+    "scaling_sweep",
+    "similarity_sweep",
+    "SweepPoint",
+    "uniform_destination_sample",
+    "zipf_destination_sample",
+]

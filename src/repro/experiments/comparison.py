@@ -1,0 +1,162 @@
+"""The 15-method comparison matrix of the paper's §6 (Tables 4–9).
+
+For one ordered router pair (sender → receiver), the harness measures the
+average number of memory references at the *receiving* router over a
+stream of sampled destinations, for every combination of
+
+* the five baselines (regular, patricia, binary, 6-way, log W), and
+* the three modes (*common* = no clue, *+Simple*, *+Advance*).
+
+Every lookup is additionally verified against a brute-force oracle, so a
+benchmark run doubles as a correctness sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.experiments.sampling import paper_destination_sample
+from repro.lookup import BASELINES, PAPER_BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.tablegen.synthetic import Entry
+from repro.trie.binary_trie import BinaryTrie
+from repro.trie.overlay import TrieOverlay
+
+MODES = ("common", "simple", "advance")
+
+
+class PairComparison:
+    """Results of one sender→receiver comparison run."""
+
+    def __init__(
+        self,
+        sender_name: str,
+        receiver_name: str,
+        packets: int,
+        averages: Dict[Tuple[str, str], float],
+        mismatches: int,
+        statistics: Dict[str, int],
+    ):
+        self.sender_name = sender_name
+        self.receiver_name = receiver_name
+        self.packets = packets
+        #: (technique, mode) → average memory references per packet.
+        self.averages = averages
+        #: lookups disagreeing with the oracle (must be 0).
+        self.mismatches = mismatches
+        #: Table 1–3 style pair statistics.
+        self.statistics = statistics
+
+    def average(self, technique: str, mode: str) -> float:
+        """Average references for one of the 15 schemes."""
+        return self.averages[(technique, mode)]
+
+    def speedup(self, technique: str, mode: str = "advance") -> float:
+        """How many times fewer references than the clue-less baseline."""
+        baseline = self.averages[(technique, "common")]
+        other = self.averages[(technique, mode)]
+        return baseline / other if other else float("inf")
+
+    def __repr__(self) -> str:
+        return "PairComparison(%s->%s, %d packets)" % (
+            self.sender_name,
+            self.receiver_name,
+            self.packets,
+        )
+
+
+def compare_pair(
+    sender_entries: Sequence[Entry],
+    receiver_entries: Sequence[Entry],
+    packets: int = 10000,
+    seed: int = 0,
+    techniques: Iterable[str] = tuple(PAPER_BASELINES),
+    sender_name: str = "R1",
+    receiver_name: str = "R2",
+    width: int = 32,
+) -> PairComparison:
+    """Run the full matrix for one ordered pair."""
+    techniques = tuple(techniques)
+    receiver = ReceiverState(receiver_entries, width)
+    sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
+    overlay = TrieOverlay(sender_trie, receiver.trie)
+    samples = paper_destination_sample(
+        sender_entries, sender_trie, receiver.trie, packets, seed
+    )
+
+    algorithms = {
+        name: BASELINES[name](receiver.entries, width) for name in techniques
+    }
+    clue_universe = list(sender_trie.prefixes())
+    lookups: Dict[Tuple[str, str], ClueAssistedLookup] = {}
+    for name in techniques:
+        simple_table = SimpleMethod(receiver, name).build_table(clue_universe)
+        advance_table = AdvanceMethod(sender_trie, receiver, name).build_table(
+            clue_universe
+        )
+        lookups[(name, "simple")] = ClueAssistedLookup(
+            algorithms[name], simple_table
+        )
+        lookups[(name, "advance")] = ClueAssistedLookup(
+            algorithms[name], advance_table
+        )
+
+    totals: Dict[Tuple[str, str], int] = {
+        (name, mode): 0 for name in techniques for mode in MODES
+    }
+    mismatches = 0
+    for destination, clue in samples:
+        oracle_prefix, _hop = receiver.best_match(destination)
+        for name in techniques:
+            counter = MemoryCounter()
+            result = algorithms[name].lookup(destination, counter)
+            totals[(name, "common")] += counter.accesses
+            if result.prefix != oracle_prefix:
+                mismatches += 1
+            for mode in ("simple", "advance"):
+                counter = MemoryCounter()
+                result = lookups[(name, mode)].lookup(destination, clue, counter)
+                totals[(name, mode)] += counter.accesses
+                if result.prefix != oracle_prefix:
+                    mismatches += 1
+
+    averages = {key: total / packets for key, total in totals.items()}
+    return PairComparison(
+        sender_name,
+        receiver_name,
+        packets,
+        averages,
+        mismatches,
+        overlay.statistics(),
+    )
+
+
+def compare_pairs(
+    tables: Dict[str, Sequence[Entry]],
+    pairs: Sequence[Tuple[str, str]],
+    packets: int = 10000,
+    seed: int = 0,
+    techniques: Iterable[str] = tuple(PAPER_BASELINES),
+    width: int = 32,
+) -> List[PairComparison]:
+    """Run the matrix for several named ordered pairs (Tables 4–9)."""
+    results = []
+    for index, (sender, receiver) in enumerate(pairs):
+        results.append(
+            compare_pair(
+                tables[sender],
+                tables[receiver],
+                packets=packets,
+                seed=seed + index,
+                techniques=techniques,
+                sender_name=sender,
+                receiver_name=receiver,
+                width=width,
+            )
+        )
+    return results

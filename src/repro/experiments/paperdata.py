@@ -1,0 +1,75 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Everything the published text states quantitatively is recorded here so
+benchmarks can print "paper vs measured" rows.  Tables 4–9's cell values
+are not reproduced in the available text (only the summary ratios are),
+so for those the *shape claims* below are the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 1 — total number of prefixes in each snapshot.
+TABLE1_PREFIX_COUNTS: Dict[str, int] = {
+    "MAE-East": 42986,
+    "MAE-West": 23123,
+    "Paix": 5974,
+    "AT&T-1": 23414,
+    "AT&T-2": 60475,
+    "ISP-B-1": 56034,
+    "ISP-B-2": 55959,
+}
+
+#: Table 2 — problematic clues (Claim 1 fails at the receiver) per
+#: ordered (sender, receiver) pair.
+TABLE2_PROBLEMATIC_CLUES: Dict[Tuple[str, str], int] = {
+    ("MAE-East", "MAE-West"): 288,
+    ("MAE-East", "Paix"): 35,
+    ("Paix", "MAE-East"): 411,
+    ("AT&T-1", "AT&T-2"): 155,
+    ("AT&T-2", "AT&T-1"): 52,
+    ("ISP-B-1", "ISP-B-2"): 66,
+    ("ISP-B-2", "ISP-B-1"): 38,
+}
+
+#: Table 3 — prefixes appearing in both tables of a pair.
+TABLE3_INTERSECTIONS: Dict[Tuple[str, str], int] = {
+    ("MAE-East", "MAE-West"): 23382,
+    ("MAE-East", "Paix"): 5899,
+    ("MAE-West", "Paix"): 5814,
+    ("AT&T-1", "AT&T-2"): 23381,
+    ("ISP-B-1", "ISP-B-2"): 55540,
+}
+
+#: §6 summary claims (Tables 4–9 are only published as these ratios).
+SHAPE_CLAIMS: Dict[str, float] = {
+    # Advance combined with any scheme: near-optimal references.
+    "advance_avg_max": 1.1,
+    # "1.05 in the unfavorable case" (abstract).
+    "advance_unfavorable": 1.05,
+    # "about 22 times better than the simple trie scheme".
+    "advance_vs_regular": 22.0,
+    # "3.5 times better than the Log W technique".
+    "advance_vs_logw": 3.5,
+    # Simple: "about 10 times better than the standard methods".
+    "simple_vs_regular": 10.0,
+    # "about 50% improvement over the Log W method".
+    "simple_vs_logw": 1.5,
+    # Claim 1 applies to "95% to 99.5%" of clues.
+    "claim1_fraction_low": 0.95,
+    "claim1_fraction_high": 0.995,
+}
+
+#: §3.5 space accounting.
+SPACE_CLAIMS: Dict[str, float] = {
+    "entries": 60000,
+    "average_entry_bytes": 9.0,
+    "total_kilobytes_low": 500.0,
+    "total_kilobytes_high": 600.0,
+    # "less than 10%" of Advance entries need the Ptr field.
+    "pointer_fraction_max": 0.10,
+}
+
+#: Header cost (abstract): clue field bits per family.
+HEADER_BITS = {"ipv4": 5, "ipv6": 7, "index_field": 16}

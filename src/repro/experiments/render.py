@@ -1,0 +1,101 @@
+"""Plain-text rendering of experiment results, in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.comparison import MODES, PairComparison
+from repro.lookup import BASELINES
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width %d != header width %d" % (len(row), columns))
+        cells = [
+            "%.3f" % cell if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        text_rows.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    line = "+".join("-" * (width + 2) for width in widths)
+    line = "+%s+" % line
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line)
+    out.append(
+        "|"
+        + "|".join(
+            " %s " % str(header).ljust(widths[index])
+            for index, header in enumerate(headers)
+        )
+        + "|"
+    )
+    out.append(line)
+    for cells in text_rows:
+        out.append(
+            "|"
+            + "|".join(
+                " %s " % cell.rjust(widths[index]) for index, cell in enumerate(cells)
+            )
+            + "|"
+        )
+    out.append(line)
+    return "\n".join(out)
+
+
+def _techniques_of(result: PairComparison) -> List[str]:
+    """The techniques actually present in a result, in canonical order."""
+    present = {technique for technique, _mode in result.averages}
+    return [technique for technique in BASELINES if technique in present]
+
+
+def render_comparison(result: PairComparison) -> str:
+    """One pair's 15-scheme matrix, rows grouped as in Tables 4–9."""
+    rows = []
+    for mode in MODES:
+        for technique in _techniques_of(result):
+            label = technique if mode == "common" else "%s+%s" % (technique, mode)
+            rows.append((label, result.average(technique, mode)))
+    return format_table(
+        ["scheme", "avg memory references"],
+        rows,
+        title="Average memory accesses, %s -> %s (%d packets)"
+        % (result.sender_name, result.receiver_name, result.packets),
+    )
+
+
+def render_comparison_matrix(results: Sequence[PairComparison]) -> str:
+    """All pairs side by side: one column per pair, one row per scheme."""
+    headers = ["scheme"] + [
+        "%s->%s" % (result.sender_name, result.receiver_name) for result in results
+    ]
+    techniques = _techniques_of(results[0]) if results else []
+    rows: List[List[object]] = []
+    for mode in MODES:
+        for technique in techniques:
+            label = technique if mode == "common" else "%s+%s" % (technique, mode)
+            row: List[object] = [label]
+            for result in results:
+                row.append(result.average(technique, mode))
+            rows.append(row)
+    return format_table(headers, rows, title="Tables 4-9: average memory accesses")
+
+
+def render_paper_vs_measured(
+    rows: Iterable[Tuple[str, object, object]],
+    title: str = "paper vs measured",
+) -> str:
+    """Three-column comparison table."""
+    return format_table(
+        ["quantity", "paper", "measured"], [list(row) for row in rows], title=title
+    )

@@ -1,0 +1,218 @@
+"""One-command reproduction: run every experiment, emit a markdown report.
+
+``repro-clue reproduce --scale 0.05 --output report.md`` regenerates the
+paper's Tables 1–3, the Tables 4–9 matrix, Figure 1, Figure 8 and the
+§3.5 space model in one pass and writes a self-contained paper-vs-measured
+report.  The same drivers back the pytest benchmarks; this module simply
+sequences them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.addressing import Prefix
+from repro.core.space import space_report
+from repro.experiments.comparison import MODES, PairComparison, compare_pairs
+from repro.experiments.paperdata import (
+    SHAPE_CLAIMS,
+    SPACE_CLAIMS,
+    TABLE1_PREFIX_COUNTS,
+    TABLE2_PROBLEMATIC_CLUES,
+    TABLE3_INTERSECTIONS,
+)
+from repro.experiments.render import (
+    format_table,
+    render_comparison_matrix,
+    render_paper_vs_measured,
+)
+from repro.lookup import PAPER_BASELINES
+from repro.netsim.mpls import AggregationScenario
+from repro.netsim.path_profile import ChainScenario
+from repro.tablegen import PAPER_PAIRS, generate_table, paper_router_tables
+from repro.trie import BinaryTrie, TrieOverlay
+
+
+class ReproductionReport:
+    """Accumulates sections and writes the final markdown document."""
+
+    def __init__(self, scale: float, packets: int):
+        self.scale = scale
+        self.packets = packets
+        self.sections: List[Tuple[str, str]] = []
+        self.checks: List[Tuple[str, bool]] = []
+
+    def add(self, title: str, body: str) -> None:
+        self.sections.append((title, body))
+
+    def check(self, name: str, passed: bool) -> None:
+        self.checks.append((name, passed))
+
+    def passed(self) -> bool:
+        return all(flag for _name, flag in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            "# Routing with a Clue — reproduction report",
+            "",
+            "Scale ×%g, %d packets per pair." % (self.scale, self.packets),
+            "",
+        ]
+        for title, body in self.sections:
+            lines.append("## %s" % title)
+            lines.append("")
+            lines.append("```")
+            lines.append(body)
+            lines.append("```")
+            lines.append("")
+        lines.append("## Shape checks")
+        lines.append("")
+        for name, passed in self.checks:
+            lines.append("- [%s] %s" % ("x" if passed else " ", name))
+        lines.append("")
+        lines.append(
+            "Overall: %s" % ("all shape checks hold" if self.passed() else "FAILURES")
+        )
+        return "\n".join(lines)
+
+
+def run_reproduction(
+    scale: float = 0.05,
+    packets: int = 500,
+    seed: int = 42,
+) -> ReproductionReport:
+    """Run the core evaluation and return the filled report."""
+    report = ReproductionReport(scale, packets)
+    tables = paper_router_tables(scale=scale, seed=seed)
+    tries = {name: BinaryTrie.from_prefixes(entries) for name, entries in tables.items()}
+
+    # Tables 1-3 ------------------------------------------------------
+    rows = [
+        (name, TABLE1_PREFIX_COUNTS[name], len(tables[name]))
+        for name in TABLE1_PREFIX_COUNTS
+    ]
+    report.add("Table 1 — prefixes per router",
+               render_paper_vs_measured(rows, title=""))
+    report.check(
+        "table sizes within 25% of the scaled paper counts",
+        all(
+            abs(len(tables[name]) - count * scale) / (count * scale) < 0.25
+            for name, count in TABLE1_PREFIX_COUNTS.items()
+        ),
+    )
+
+    overlays = {
+        pair: TrieOverlay(tries[pair[0]], tries[pair[1]]) for pair in PAPER_PAIRS
+    }
+    rows = [
+        ("%s -> %s" % pair, TABLE2_PROBLEMATIC_CLUES[pair],
+         len(overlays[pair].problematic_clues()))
+        for pair in PAPER_PAIRS
+    ]
+    report.add("Table 2 — problematic clues", render_paper_vs_measured(rows, title=""))
+    report.check(
+        "Claim 1 holds for >93% of clues on every pair",
+        all(
+            len(overlay.problematic_clues()) / len(tries[pair[0]]) < 0.07
+            for pair, overlay in overlays.items()
+        ),
+    )
+
+    rows = []
+    for (left, right), paper in TABLE3_INTERSECTIONS.items():
+        overlay = TrieOverlay(tries[left], tries[right])
+        rows.append(("%s & %s" % (left, right), paper, overlay.equal_prefixes()))
+    report.add("Table 3 — shared prefixes", render_paper_vs_measured(rows, title=""))
+
+    # Tables 4-9 ------------------------------------------------------
+    results = compare_pairs(tables, PAPER_PAIRS, packets=packets, seed=seed)
+    report.add("Tables 4–9 — 15-scheme comparison",
+               render_comparison_matrix(results))
+    report.check(
+        "all lookups agree with the oracle",
+        all(result.mismatches == 0 for result in results),
+    )
+    worst_advance = max(
+        result.average(technique, "advance")
+        for result in results
+        for technique in PAPER_BASELINES
+    )
+    regular_ratio = _mean_ratio(results, "regular")
+    logw_ratio = _mean_ratio(results, "logw")
+    rows = [
+        ("advance worst case", SHAPE_CLAIMS["advance_unfavorable"], round(worst_advance, 3)),
+        ("advance vs regular", SHAPE_CLAIMS["advance_vs_regular"], round(regular_ratio, 1)),
+        ("advance vs logw", SHAPE_CLAIMS["advance_vs_logw"], round(logw_ratio, 1)),
+    ]
+    report.add("§6 summary ratios", render_paper_vs_measured(rows, title=""))
+    report.check("advance near one reference (<=1.35 worst)", worst_advance <= 1.35)
+    report.check("advance >10x better than the regular trie", regular_ratio > 10)
+
+    # Figure 1 --------------------------------------------------------
+    chain = ChainScenario(background=max(int(3000 * scale), 150), seed=seed)
+    profile = chain.profile()
+    report.add(
+        "Figure 1 — BMP length and work along the path",
+        format_table(
+            ["router", "BMP length", "delta", "clue work", "legacy work"],
+            profile.rows(),
+        ),
+    )
+    report.check(
+        "clue work <= legacy work after the first hop",
+        all(c <= l for c, l in list(zip(profile.clue_work, profile.legacy_work))[1:]),
+    )
+
+    # Figure 8 --------------------------------------------------------
+    fec = Prefix.parse("10.0.0.0/16")
+    specifics = [
+        (Prefix.parse("10.0.%d.0/24" % block), "exit-%d" % block)
+        for block in range(1, 4)
+    ]
+    background = [
+        (prefix, hop)
+        for prefix, hop in generate_table(max(int(20000 * scale), 300), seed=seed + 5)
+        if not fec.is_prefix_of(prefix)
+    ]
+    scenario = AggregationScenario(fec, specifics, background)
+    rng = random.Random(seed)
+    addresses = [fec.random_address(rng) for _ in range(min(packets, 500))]
+    costs = scenario.aggregation_cost(addresses)
+    report.add(
+        "Figure 8 — MPLS aggregation point",
+        format_table(
+            ["scheme", "avg refs at aggregation"],
+            sorted(costs.items()),
+        ),
+    )
+    report.check("clue removes the MPLS aggregation spike",
+                 costs["mpls+clue"] < costs["mpls"] / 3)
+
+    # §3.5 space ------------------------------------------------------
+    space = space_report(
+        int(SPACE_CLAIMS["entries"]), SPACE_CLAIMS["pointer_fraction_max"]
+    )
+    report.add(
+        "§3.5 — clue-table space (paper-sized)",
+        format_table(
+            ["quantity", "value"],
+            [[key, value] for key, value in sorted(space.items())],
+        ),
+    )
+    report.check(
+        "60k-entry clue table lands in the 500-600 KB band",
+        SPACE_CLAIMS["total_kilobytes_low"] * 0.9
+        <= space["kilobytes"]
+        <= SPACE_CLAIMS["total_kilobytes_high"],
+    )
+    return report
+
+
+def _mean_ratio(results: Sequence[PairComparison], technique: str) -> float:
+    import statistics
+
+    common = statistics.mean(r.average(technique, "common") for r in results)
+    advance = statistics.mean(r.average(technique, "advance") for r in results)
+    return common / advance

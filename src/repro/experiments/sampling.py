@@ -1,0 +1,108 @@
+"""Destination sampling — the paper's §6 methodology and extensions.
+
+The paper selects experiment destinations as follows: draw a random
+destination, compute its BMP at the sending router R1, and keep the
+destination only if that BMP is a vertex in the receiving router R2's
+trie — a proxy for "R2 is a plausible next hop for this packet".  (The
+paper notes this filtering can only make the clue scheme look *worse*:
+a clue absent from R2's trie resolves in the single clue-table access.)
+
+Additional samplers (uniform and Zipf-weighted over the sender's
+prefixes) support the traffic-skew ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.tablegen.synthetic import Entry
+from repro.trie.binary_trie import BinaryTrie
+
+Sample = Tuple[Address, Prefix]
+
+
+def paper_destination_sample(
+    sender_entries: Sequence[Entry],
+    sender_trie: BinaryTrie,
+    receiver_trie: BinaryTrie,
+    count: int,
+    seed: int = 0,
+    max_attempts_factor: int = 50,
+) -> List[Sample]:
+    """``count`` (destination, sender-BMP) pairs per the paper's rule.
+
+    Destinations are drawn under random sender prefixes (so a BMP always
+    exists) and rejected unless the BMP is a vertex of the receiver's
+    trie.
+    """
+    rng = random.Random(seed)
+    entries = list(sender_entries)
+    if not entries:
+        raise ValueError("the sender table is empty")
+    samples: List[Sample] = []
+    attempts = 0
+    budget = count * max_attempts_factor
+    while len(samples) < count and attempts < budget:
+        attempts += 1
+        prefix, _hop = entries[rng.randrange(len(entries))]
+        destination = prefix.random_address(rng)
+        clue = sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        if receiver_trie.find_node(clue) is None:
+            continue
+        samples.append((destination, clue))
+    if len(samples) < count:
+        raise RuntimeError(
+            "only %d/%d samples found; tables may be too dissimilar"
+            % (len(samples), count)
+        )
+    return samples
+
+
+def uniform_destination_sample(
+    sender_trie: BinaryTrie,
+    count: int,
+    seed: int = 0,
+    width: int = 32,
+) -> List[Tuple[Address, Optional[Prefix]]]:
+    """Uniform random destinations over the whole address space.
+
+    The sender BMP may be None (no default route): such packets carry no
+    clue.
+    """
+    rng = random.Random(seed)
+    samples: List[Tuple[Address, Optional[Prefix]]] = []
+    for _ in range(count):
+        destination = Address(rng.getrandbits(width), width)
+        samples.append((destination, sender_trie.best_prefix(destination)))
+    return samples
+
+
+def zipf_destination_sample(
+    sender_entries: Sequence[Entry],
+    sender_trie: BinaryTrie,
+    count: int,
+    seed: int = 0,
+    exponent: float = 1.0,
+) -> List[Sample]:
+    """Zipf-weighted destinations: few prefixes receive most traffic."""
+    if exponent < 0:
+        raise ValueError("the Zipf exponent cannot be negative")
+    rng = random.Random(seed)
+    entries = list(sender_entries)
+    if not entries:
+        raise ValueError("the sender table is empty")
+    ranked = list(entries)
+    rng.shuffle(ranked)
+    weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(ranked))]
+    samples: List[Sample] = []
+    while len(samples) < count:
+        prefix, _hop = rng.choices(ranked, weights=weights, k=1)[0]
+        destination = prefix.random_address(rng)
+        clue = sender_trie.best_prefix(destination)
+        if clue is not None:
+            samples.append((destination, clue))
+    return samples

@@ -1,0 +1,34 @@
+"""The REPRO_SCALE knob shared by benchmarks and examples.
+
+Paper-sized tables (up to ~60 000 prefixes) make the full 15-scheme
+matrix slow in pure Python; ``REPRO_SCALE`` (default 0.1) multiplies
+table sizes and packet counts so the entire suite runs in minutes.  Set
+``REPRO_SCALE=1.0`` for a faithful-size run.
+"""
+
+from __future__ import annotations
+
+import os
+
+DEFAULT_SCALE = 0.1
+ENV_VAR = "REPRO_SCALE"
+
+
+def get_scale(default: float = DEFAULT_SCALE) -> float:
+    """The configured scale factor (``REPRO_SCALE``, else ``default``)."""
+    raw = os.environ.get(ENV_VAR)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError("%s must be a number, got %r" % (ENV_VAR, raw))
+    if value <= 0:
+        raise ValueError("%s must be positive, got %r" % (ENV_VAR, raw))
+    return value
+
+
+def scaled(count: int, minimum: int = 1, scale: float = None) -> int:
+    """``count`` scaled by the knob, floored at ``minimum``."""
+    factor = get_scale() if scale is None else scale
+    return max(int(round(count * factor)), minimum)

@@ -1,0 +1,122 @@
+"""Parameter sweeps around the paper's operating point.
+
+The paper evaluates at one point of a two-dimensional space: *how similar
+neighbouring tables are* and *how big tables are*.  These sweeps map the
+whole neighbourhood:
+
+* :func:`similarity_sweep` — degrade table similarity (more private
+  more-specifics at the receiver) and watch the problematic-clue fraction
+  and the Advance cost move.  The scheme's value depends on similarity;
+  this locates the cliff.
+* :func:`scaling_sweep` — grow the tables and watch the clue-less
+  baselines climb (log N / depth effects) while the clue cost stays flat.
+  This is the asymptotic version of the paper's "order of magnitude"
+  claim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.tablegen.neighbors import NeighborProfile, derive_neighbor
+from repro.tablegen.synthetic import generate_table
+from repro.trie.binary_trie import BinaryTrie
+
+
+class SweepPoint:
+    """One sampled point of a sweep."""
+
+    __slots__ = ("parameter", "metrics")
+
+    def __init__(self, parameter: float, metrics: Dict[str, float]):
+        self.parameter = parameter
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        return "SweepPoint(%r, %r)" % (self.parameter, self.metrics)
+
+
+def _pair_cost(
+    sender_entries,
+    receiver_entries,
+    packets: int,
+    seed: int,
+    technique: str,
+) -> Dict[str, float]:
+    """Clue-less vs Advance cost and the problematic fraction for a pair."""
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+    receiver = ReceiverState(receiver_entries)
+    method = AdvanceMethod(sender_trie, receiver, technique)
+    base = BASELINES[technique](receiver.entries)
+    assisted = ClueAssistedLookup(base, method.build_table())
+
+    rng = random.Random(seed)
+    entries = list(sender_entries)
+    clueless = MemoryCounter()
+    clued = MemoryCounter()
+    measured = 0
+    while measured < packets:
+        prefix, _hop = entries[rng.randrange(len(entries))]
+        destination = prefix.random_address(rng)
+        clue = sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        base.lookup(destination, clueless)
+        assisted.lookup(destination, clue, clued)
+        measured += 1
+    return {
+        "clueless": clueless.accesses / packets,
+        "advance": clued.accesses / packets,
+        "problematic_fraction": method.problematic_fraction(),
+    }
+
+
+def similarity_sweep(
+    specific_fractions: Sequence[float],
+    table_size: int = 2000,
+    packets: int = 500,
+    seed: int = 0,
+    technique: str = "patricia",
+) -> List[SweepPoint]:
+    """Sweep receiver-private more-specifics (table dissimilarity)."""
+    sender = generate_table(table_size, seed=seed)
+    points: List[SweepPoint] = []
+    for fraction in specific_fractions:
+        if fraction < 0:
+            raise ValueError("fractions cannot be negative")
+        receiver = derive_neighbor(
+            sender,
+            NeighborProfile(add_specifics=fraction),
+            seed=seed + 1,
+        )
+        metrics = _pair_cost(sender, receiver, packets, seed + 2, technique)
+        points.append(SweepPoint(fraction, metrics))
+    return points
+
+
+def scaling_sweep(
+    table_sizes: Sequence[int],
+    packets: int = 500,
+    seed: int = 0,
+    techniques: Sequence[str] = ("regular", "logw"),
+) -> List[SweepPoint]:
+    """Sweep table size; report clue-less baselines vs Advance."""
+    points: List[SweepPoint] = []
+    for size in table_sizes:
+        if size < 10:
+            raise ValueError("table sizes below 10 are not meaningful")
+        sender = generate_table(size, seed=seed)
+        receiver = derive_neighbor(sender, NeighborProfile(), seed=seed + 1)
+        metrics: Dict[str, float] = {}
+        for technique in techniques:
+            cost = _pair_cost(sender, receiver, packets, seed + 2, technique)
+            metrics["%s_clueless" % technique] = cost["clueless"]
+            metrics["%s_advance" % technique] = cost["advance"]
+        points.append(SweepPoint(size, metrics))
+    return points

@@ -1,0 +1,77 @@
+"""The paper's five LPM baselines plus clue-restricted adaptations."""
+
+from repro.lookup.base import LookupAlgorithm, reference_lookup
+from repro.lookup.binary_range import (
+    BinaryRangeLookup,
+    MultiwayRangeLookup,
+    RangeTable,
+)
+from repro.lookup.counters import (
+    CACHE_LINE_PREFIXES,
+    LookupResult,
+    MemoryCounter,
+)
+from repro.lookup.logw import LengthTables, LogWLookup
+from repro.lookup.multibit import (
+    MultibitContinuation,
+    MultibitTrie,
+    MultibitTrieLookup,
+)
+from repro.lookup.patricia_search import PatriciaLookup
+from repro.lookup.regular import RegularTrieLookup
+from repro.lookup.smalltable import CompressedChunk, SmallTableLookup
+from repro.lookup.restricted import (
+    Continuation,
+    LengthContinuation,
+    PatriciaContinuation,
+    SetContinuation,
+    TrieContinuation,
+    locate_patricia_entry,
+    subtree_candidates,
+)
+
+#: The paper's five baselines (keyed by its table names) plus the
+#: stride-k multibit trie of [24], which §4 names as a candidate too.
+BASELINES = {
+    "regular": RegularTrieLookup,
+    "patricia": PatriciaLookup,
+    "binary": BinaryRangeLookup,
+    "6way": MultiwayRangeLookup,
+    "logw": LogWLookup,
+    "multibit": MultibitTrieLookup,
+}
+
+#: The subset evaluated in the paper's Tables 4-9.
+PAPER_BASELINES = {
+    name: BASELINES[name]
+    for name in ("regular", "patricia", "binary", "6way", "logw")
+}
+
+__all__ = [
+    "BASELINES",
+    "BinaryRangeLookup",
+    "CACHE_LINE_PREFIXES",
+    "Continuation",
+    "LengthContinuation",
+    "LengthTables",
+    "LogWLookup",
+    "LookupAlgorithm",
+    "LookupResult",
+    "MemoryCounter",
+    "MultibitContinuation",
+    "MultibitTrie",
+    "MultibitTrieLookup",
+    "MultiwayRangeLookup",
+    "PAPER_BASELINES",
+    "PatriciaContinuation",
+    "PatriciaLookup",
+    "RangeTable",
+    "RegularTrieLookup",
+    "SmallTableLookup",
+    "CompressedChunk",
+    "SetContinuation",
+    "TrieContinuation",
+    "locate_patricia_entry",
+    "reference_lookup",
+    "subtree_candidates",
+]

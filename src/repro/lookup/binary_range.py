@@ -1,0 +1,147 @@
+"""Binary search over prefix ranges — the paper's baseline (3), ref [19].
+
+Every prefix covers a contiguous range of addresses.  Cutting the address
+line at every range boundary yields segments inside which the best matching
+prefix is constant, so longest-prefix matching reduces to a binary search
+for the segment containing the destination (O(log N) memory references,
+one per probe; the answer rides in the final probed record for free).
+
+The same :class:`RangeTable` also powers the 6-way variant (baseline (4))
+and the clue-restricted searches over a potential set ``P(s, R1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.lookup.base import LookupAlgorithm, TableEntries
+from repro.lookup.counters import LookupResult, MemoryCounter
+from repro.trie.binary_trie import BinaryTrie
+
+
+class RangeTable:
+    """Sorted segment array with a precomputed BMP per segment."""
+
+    def __init__(self, entries: TableEntries, width: int = 32):
+        self.width = width
+        items = list(entries)
+        trie = BinaryTrie(width)
+        boundaries = {0}
+        for prefix, next_hop in items:
+            trie.insert(prefix, next_hop)
+            low, high = prefix.address_range()
+            boundaries.add(low)
+            if high + 1 < (1 << width):
+                boundaries.add(high + 1)
+        #: segment i covers addresses [starts[i], starts[i+1]) — the last
+        #: segment runs to the top of the address space.
+        self.starts: List[int] = sorted(boundaries)
+        self.answers: List[Tuple[Optional[Prefix], Optional[object]]] = []
+        for start in self.starts:
+            node = trie.longest_match(Address(start, width))
+            if node is None:
+                self.answers.append((None, None))
+            else:
+                self.answers.append((node.prefix, node.next_hop))
+
+    def segment_count(self) -> int:
+        """Number of constant-BMP segments."""
+        return len(self.starts)
+
+    def locate_binary(
+        self, address: Address, counter: MemoryCounter
+    ) -> Tuple[Optional[Prefix], Optional[object]]:
+        """Binary search: one memory reference per probed record.
+
+        Finds the rightmost segment start not exceeding the address; the
+        answer is stored alongside the key in the probed record, so the
+        final fetch is free.
+        """
+        value = address.value
+        lo, hi = 0, len(self.starts) - 1
+        if lo == hi:
+            counter.touch()
+            return self.answers[lo]
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            counter.touch()
+            if self.starts[mid] <= value:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.answers[lo]
+
+    def locate_multiway(
+        self, address: Address, counter: MemoryCounter, branching: int = 6
+    ) -> Tuple[Optional[Prefix], Optional[object]]:
+        """B-way search: each step reads one node of B-1 keys (one line).
+
+        The candidate range shrinks by a factor of ``branching`` per memory
+        reference; once at most ``branching`` candidates remain, one last
+        node read resolves among them.
+        """
+        if branching < 2:
+            raise ValueError("branching factor must be at least 2")
+        value = address.value
+        lo, hi = 0, len(self.starts) - 1
+        while hi - lo + 1 > branching:
+            counter.touch()
+            span = hi - lo + 1
+            step = math.ceil(span / branching)
+            prev = lo
+            probe = lo + step
+            narrowed = False
+            while probe <= hi:
+                if self.starts[probe] <= value:
+                    prev = probe
+                    probe += step
+                else:
+                    lo, hi = prev, probe - 1
+                    narrowed = True
+                    break
+            if not narrowed:
+                lo = prev
+        counter.touch()
+        while lo < hi and self.starts[lo + 1] <= value:
+            lo += 1
+        return self.answers[lo]
+
+
+class BinaryRangeLookup(LookupAlgorithm):
+    """Binary search over range segments [19]."""
+
+    name = "binary"
+
+    def _build(self) -> None:
+        self.ranges = RangeTable(self._entries, self.width)
+
+    def lookup(
+        self, address: Address, counter: Optional[MemoryCounter] = None
+    ) -> LookupResult:
+        counter = counter if counter is not None else MemoryCounter()
+        prefix, next_hop = self.ranges.locate_binary(address, counter)
+        return self._result(prefix, next_hop, counter)
+
+
+class MultiwayRangeLookup(LookupAlgorithm):
+    """B-way search over range segments [11] (default B = 6)."""
+
+    name = "6way"
+
+    def __init__(self, entries: TableEntries, width: int = 32, branching: int = 6):
+        self.branching = branching
+        super().__init__(entries, width)
+
+    def _build(self) -> None:
+        self.ranges = RangeTable(self._entries, self.width)
+
+    def lookup(
+        self, address: Address, counter: Optional[MemoryCounter] = None
+    ) -> LookupResult:
+        counter = counter if counter is not None else MemoryCounter()
+        prefix, next_hop = self.ranges.locate_multiway(
+            address, counter, self.branching
+        )
+        return self._result(prefix, next_hop, counter)

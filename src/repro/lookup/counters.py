@@ -1,0 +1,85 @@
+"""Memory-reference accounting.
+
+The paper's §6 compares lookup schemes by the *number of memory accesses*
+(to a table or to the trie) per packet — a hardware-independent cost model.
+Every lookup algorithm in :mod:`repro.lookup` charges one unit to a
+:class:`MemoryCounter` per data-structure element it touches:
+
+* trie walks — one per vertex visited (the root included);
+* Patricia walks — one per compressed vertex visited;
+* binary / B-way searches — one per probe of the sorted array;
+* Log W — one per hash-table probe;
+* clue methods — one for the clue-table probe, plus whatever the resumed
+  search costs.
+
+Inline data co-located with an already-fetched entry (the paper's "the
+entire set may be placed in the same cache line with the clue's entry") is
+free; the :data:`CACHE_LINE_PREFIXES` constant says how many potential
+prefixes fit in such a line.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.addressing import Prefix
+
+#: How many potential prefixes fit in the clue entry's cache line (§3.5
+#: assumes 32-byte SDRAM lines holding two 12-byte entries plus slack; we
+#: conservatively allow four packed 8-byte (prefix, hop) words).
+CACHE_LINE_PREFIXES = 4
+
+
+class MemoryCounter:
+    """Counts memory references charged by a lookup."""
+
+    __slots__ = ("accesses",)
+
+    def __init__(self) -> None:
+        self.accesses = 0
+
+    def touch(self, count: int = 1) -> None:
+        """Charge ``count`` memory references."""
+        self.accesses += count
+
+    def reset(self) -> None:
+        """Zero the counter (reuse between lookups)."""
+        self.accesses = 0
+
+    def __repr__(self) -> str:
+        return "MemoryCounter(%d)" % self.accesses
+
+
+class LookupResult:
+    """Outcome of one destination lookup."""
+
+    __slots__ = ("prefix", "next_hop", "accesses")
+
+    def __init__(
+        self,
+        prefix: Optional[Prefix],
+        next_hop: Optional[object],
+        accesses: int,
+    ):
+        self.prefix = prefix
+        self.next_hop = next_hop
+        self.accesses = accesses
+
+    def matched(self) -> bool:
+        """True if some prefix matched (i.e. not a no-route miss)."""
+        return self.prefix is not None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LookupResult)
+            and self.prefix == other.prefix
+            and self.next_hop == other.next_hop
+            and self.accesses == other.accesses
+        )
+
+    def __repr__(self) -> str:
+        return "LookupResult(prefix=%r, next_hop=%r, accesses=%d)" % (
+            self.prefix,
+            self.next_hop,
+            self.accesses,
+        )

@@ -1,0 +1,129 @@
+"""Binary search on prefix lengths with marker hash tables — baseline (5).
+
+This is Waldvogel et al.'s "scalable high speed IP routing lookups" [26]:
+prefixes are bucketed into one hash table per distinct length; a binary
+search over the sorted list of lengths probes one hash table per step.
+*Markers* (truncated images of longer prefixes) steer the search towards
+longer lengths, and every marker carries its own precomputed best matching
+prefix so a failed excursion never needs to backtrack.  Each probe is one
+memory reference, for O(log W) references total.
+
+The structure is also reusable over an arbitrary small entry set, which is
+how the clue-restricted "Log W below a clue" search of §4 is implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.lookup.base import LookupAlgorithm, TableEntries
+from repro.lookup.counters import LookupResult, MemoryCounter
+from repro.trie.binary_trie import BinaryTrie
+
+
+class _Bucket:
+    """One hash-table record: a real prefix, a marker, or both."""
+
+    __slots__ = ("is_prefix", "next_hop", "bmp_prefix", "bmp_next_hop")
+
+    def __init__(self) -> None:
+        self.is_prefix = False
+        self.next_hop: Optional[object] = None
+        #: Best matching prefix of this bucket's bit string (precomputed),
+        #: used when the search moves on from here and finds nothing longer.
+        self.bmp_prefix: Optional[Prefix] = None
+        self.bmp_next_hop: Optional[object] = None
+
+
+class LengthTables:
+    """Per-length hash tables with markers; core of the Log W scheme."""
+
+    def __init__(self, entries: TableEntries, width: int = 32):
+        self.width = width
+        items = list(entries)
+        trie = BinaryTrie(width)
+        for prefix, next_hop in items:
+            trie.insert(prefix, next_hop)
+        self.lengths: List[int] = sorted({p.length for p, _ in items})
+        self.tables: Dict[int, Dict[int, _Bucket]] = {
+            length: {} for length in self.lengths
+        }
+        for prefix, next_hop in items:
+            bucket = self._bucket(prefix.length, prefix.bits)
+            bucket.is_prefix = True
+            bucket.next_hop = next_hop
+            bucket.bmp_prefix = prefix
+            bucket.bmp_next_hop = next_hop
+            self._plant_markers(prefix, trie)
+
+    def _bucket(self, length: int, bits: int) -> _Bucket:
+        table = self.tables[length]
+        bucket = table.get(bits)
+        if bucket is None:
+            bucket = _Bucket()
+            table[bits] = bucket
+        return bucket
+
+    def _plant_markers(self, prefix: Prefix, trie: BinaryTrie) -> None:
+        """Insert markers for ``prefix`` on its binary-search path."""
+        lo, hi = 0, len(self.lengths) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            length = self.lengths[mid]
+            if length < prefix.length:
+                marker = prefix.truncate(length)
+                bucket = self._bucket(length, marker.bits)
+                if bucket.bmp_prefix is None:
+                    best = trie.least_marked_ancestor(marker)
+                    if best is not None:
+                        bucket.bmp_prefix = best.prefix
+                        bucket.bmp_next_hop = best.next_hop
+                lo = mid + 1
+            elif length == prefix.length:
+                break
+            else:
+                hi = mid - 1
+
+    def search(
+        self, address: Address, counter: MemoryCounter
+    ) -> Tuple[Optional[Prefix], Optional[object]]:
+        """Binary search over lengths; one reference per hash probe."""
+        best: Tuple[Optional[Prefix], Optional[object]] = (None, None)
+        lo, hi = 0, len(self.lengths) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            length = self.lengths[mid]
+            counter.touch()
+            bucket = self.tables[length].get(address.leading_bits(length))
+            if bucket is None:
+                hi = mid - 1
+            else:
+                if bucket.bmp_prefix is not None:
+                    best = (bucket.bmp_prefix, bucket.bmp_next_hop)
+                lo = mid + 1
+        return best
+
+    def probe_budget(self) -> int:
+        """Worst-case number of probes (depth of the length search)."""
+        count, steps = len(self.lengths), 0
+        while count:
+            count //= 2
+            steps += 1
+        return steps
+
+
+class LogWLookup(LookupAlgorithm):
+    """Binary search on prefix lengths [26]."""
+
+    name = "logw"
+
+    def _build(self) -> None:
+        self.levels = LengthTables(self._entries, self.width)
+
+    def lookup(
+        self, address: Address, counter: Optional[MemoryCounter] = None
+    ) -> LookupResult:
+        counter = counter if counter is not None else MemoryCounter()
+        prefix, next_hop = self.levels.search(address, counter)
+        return self._result(prefix, next_hop, counter)

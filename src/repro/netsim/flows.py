@@ -1,0 +1,190 @@
+"""Flow-level cost comparison: clues vs traffic-driven label swapping.
+
+§1–2 argue the clue scheme's killer feature against data-driven
+IP-switching/Tag-switching: **no setup**.  A label-per-flow scheme pays a
+full IP lookup along the whole path for the first packet (plus label
+setup messages, plus up to a round-trip of added latency) and only then
+switches in O(1); a one-packet UDP flow never amortises that.  The clue
+scheme gives every packet — including the very first of a flow — the ≈1
+reference treatment, with zero control traffic.
+
+This module measures all three schemes over a flow-size distribution on
+a real simulated chain: the IP and clue costs come from the actual
+lookup structures, only the label swap is the constant the hardware
+gives it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.netsim.heterogeneous import build_neighbor_chain, rehop
+from repro.tablegen.synthetic import Entry
+from repro.trie.binary_trie import BinaryTrie
+
+
+def pareto_flow_sizes(
+    count: int, seed: int = 0, alpha: float = 1.3, max_size: int = 10000
+) -> List[int]:
+    """Heavy-tailed flow sizes (packets per flow), mostly tiny."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = random.Random(seed)
+    sizes = []
+    for _ in range(count):
+        size = int(rng.paretovariate(alpha))
+        sizes.append(min(max(size, 1), max_size))
+    return sizes
+
+
+class SchemeCost:
+    """Accumulated cost of one forwarding scheme over a traffic mix."""
+
+    __slots__ = ("references", "setup_messages", "first_packet_delay_hops", "packets")
+
+    def __init__(self) -> None:
+        self.references = 0
+        self.setup_messages = 0
+        self.first_packet_delay_hops = 0
+        self.packets = 0
+
+    def per_packet(self) -> float:
+        """Average data-path memory references per packet (whole path)."""
+        return self.references / self.packets if self.packets else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            "SchemeCost(refs/pkt=%.2f, setup=%d, delay=%d)"
+            % (self.per_packet(), self.setup_messages, self.first_packet_delay_hops)
+        )
+
+
+class FlowExperiment:
+    """Chain of routers measuring IP, clue and tag-switching flow costs."""
+
+    def __init__(
+        self,
+        hops: int = 5,
+        table_size: int = 2000,
+        seed: int = 0,
+        technique: str = "patricia",
+    ):
+        if hops < 2:
+            raise ValueError("a path needs at least two hops")
+        self.hops = hops
+        tables = build_neighbor_chain(hops, table_size, seed=seed)
+        names = ["f%d" % i for i in range(hops)]
+        self.tables: List[Sequence[Entry]] = [
+            rehop(table, names[min(i + 1, hops - 1)])
+            for i, table in enumerate(tables)
+        ]
+        self.receivers = [ReceiverState(table) for table in self.tables]
+        self.bases = [
+            BASELINES[technique](receiver.entries) for receiver in self.receivers
+        ]
+        self.assisted: List[Optional[ClueAssistedLookup]] = [None]
+        for index in range(1, hops):
+            upstream = BinaryTrie.from_prefixes(self.tables[index - 1])
+            method = AdvanceMethod(upstream, self.receivers[index], technique)
+            self.assisted.append(
+                ClueAssistedLookup(self.bases[index], method.build_table())
+            )
+        self._sender_trie = BinaryTrie.from_prefixes(self.tables[0])
+
+    # ------------------------------------------------------------------
+    def _full_path_references(self, destination) -> int:
+        counter = MemoryCounter()
+        for base in self.bases:
+            base.lookup(destination, counter)
+        return counter.accesses
+
+    def _clue_path_references(self, destination) -> int:
+        counter = MemoryCounter()
+        result = self.bases[0].lookup(destination, counter)
+        clue = result.prefix
+        for index in range(1, self.hops):
+            result = self.assisted[index].lookup(destination, clue, counter)
+            clue = result.prefix
+        return counter.accesses
+
+    # ------------------------------------------------------------------
+    def average_path_costs(
+        self, samples: int = 100, seed: int = 0
+    ) -> Dict[str, float]:
+        """Average whole-path references for a single packet, per scheme."""
+        rng = random.Random(seed)
+        entries = list(self.tables[0])
+        full_total = 0
+        clue_total = 0
+        measured = 0
+        while measured < samples:
+            prefix, _hop = entries[rng.randrange(len(entries))]
+            destination = prefix.random_address(rng)
+            if self._sender_trie.best_prefix(destination) is None:
+                continue
+            full_total += self._full_path_references(destination)
+            clue_total += self._clue_path_references(destination)
+            measured += 1
+        return {
+            "ip": full_total / samples,
+            "clue": clue_total / samples,
+            "tag_steady": float(self.hops),
+        }
+
+    def crossover_flow_size(self, samples: int = 100, seed: int = 0) -> float:
+        """The flow size beyond which tag switching beats clues.
+
+        Per the cost model, a flow of ``n`` packets costs ``n * clue_path``
+        under clues and ``full_path + (n - 1) * hops`` under traffic-driven
+        tag switching, so the crossover sits at
+
+            n* = (full_path - hops) / (clue_path - hops)
+
+        Returns ``inf`` when the clue path already matches the per-hop
+        label-switching floor (tag switching never catches up).
+        """
+        costs = self.average_path_costs(samples, seed)
+        clue_margin = costs["clue"] - self.hops
+        if clue_margin <= 0:
+            return float("inf")
+        return (costs["ip"] - self.hops) / clue_margin
+
+    def run(
+        self, flow_sizes: Sequence[int], seed: int = 0
+    ) -> Dict[str, SchemeCost]:
+        """Route every flow under the three schemes."""
+        rng = random.Random(seed)
+        entries = list(self.tables[0])
+        schemes = {"ip": SchemeCost(), "clue": SchemeCost(), "tag": SchemeCost()}
+        for size in flow_sizes:
+            prefix, _hop = entries[rng.randrange(len(entries))]
+            destination = prefix.random_address(rng)
+            if self._sender_trie.best_prefix(destination) is None:
+                continue
+            full_cost = self._full_path_references(destination)
+            clue_cost = self._clue_path_references(destination)
+
+            ip = schemes["ip"]
+            ip.references += full_cost * size
+            ip.packets += size
+
+            clue = schemes["clue"]
+            clue.references += clue_cost * size
+            clue.packets += size
+
+            # Traffic-driven tag switching: the first packet triggers the
+            # full lookup along the path and a label-setup message per hop
+            # (and is delayed by the setup propagating); every later
+            # packet switches in one reference per hop.
+            tag = schemes["tag"]
+            tag.references += full_cost + (size - 1) * self.hops
+            tag.setup_messages += self.hops - 1
+            tag.first_packet_delay_hops += self.hops - 1
+            tag.packets += size
+        return schemes

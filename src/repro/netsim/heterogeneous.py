@@ -1,0 +1,144 @@
+"""Partial deployment in a heterogeneous network (§5.3).
+
+The scheme needs no flag day: a router that has not deployed it simply
+ignores (and hopefully relays) the clue, and any clue-aware router
+downstream of another clue-aware router still benefits — "even if the
+packet has traveled several hops since a clue was last added to it, the
+clue it carries is still a prefix of the packet destination".
+
+This module builds a chain of neighbouring routers (each table derived
+from its upstream's) and sweeps the fraction of clue-aware routers from
+0 to 1, measuring average per-hop memory references.  The two legacy
+behaviours — relaying vs stripping the clue — are both supported, showing
+how much of the benefit survives non-participating hops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.netsim.network import Network
+from repro.netsim.packet import Packet
+from repro.netsim.router import ClueRouter, LegacyRouter
+from repro.tablegen.neighbors import NeighborProfile, derive_neighbor
+from repro.tablegen.synthetic import Entry, generate_table
+
+
+def rehop(entries: Sequence[Entry], next_hop: object) -> List[Entry]:
+    """Point every entry of a table at one next hop (chain wiring)."""
+    return [(prefix, next_hop) for prefix, _old in entries]
+
+
+def build_neighbor_chain(
+    hops: int,
+    table_size: int,
+    seed: int = 0,
+    profile: Optional[NeighborProfile] = None,
+) -> List[List[Entry]]:
+    """``hops`` tables, each derived from the previous one."""
+    if hops < 2:
+        raise ValueError("a chain needs at least two routers")
+    profile = profile if profile is not None else NeighborProfile()
+    tables = [generate_table(table_size, seed=seed)]
+    for index in range(1, hops):
+        tables.append(derive_neighbor(tables[-1], profile, seed=seed + index))
+    return tables
+
+
+class DeploymentPoint:
+    """One sweep sample: deployment fraction and measured cost."""
+
+    __slots__ = ("fraction", "enabled", "avg_per_hop", "avg_total")
+
+    def __init__(
+        self, fraction: float, enabled: int, avg_per_hop: float, avg_total: float
+    ):
+        self.fraction = fraction
+        self.enabled = enabled
+        self.avg_per_hop = avg_per_hop
+        self.avg_total = avg_total
+
+    def __repr__(self) -> str:
+        return "DeploymentPoint(fraction=%.2f, per_hop=%.2f)" % (
+            self.fraction,
+            self.avg_per_hop,
+        )
+
+
+def _build_chain_network(
+    tables: Sequence[Sequence[Entry]],
+    enabled: Sequence[bool],
+    technique: str,
+    relay_clues: bool,
+) -> Tuple[Network, List[str]]:
+    names = ["h%d" % i for i in range(len(tables))]
+    network = Network()
+    for index, table in enumerate(tables):
+        hop = names[index + 1] if index + 1 < len(names) else names[index]
+        wired = rehop(table, hop)
+        if enabled[index]:
+            router = ClueRouter(
+                names[index], wired, technique=technique, preprocess=True
+            )
+            if index > 0:
+                upstream_hop = names[index]
+                router.register_neighbor(
+                    names[index - 1], rehop(tables[index - 1], upstream_hop)
+                )
+            network.add_router(router)
+        else:
+            network.add_router(
+                LegacyRouter(
+                    names[index], wired, technique=technique, relay_clues=relay_clues
+                )
+            )
+    return network, names
+
+
+def deployment_sweep(
+    tables: Sequence[Sequence[Entry]],
+    fractions: Sequence[float],
+    packets: int = 200,
+    seed: int = 0,
+    technique: str = "patricia",
+    relay_clues: bool = True,
+    warmup: int = 50,
+) -> List[DeploymentPoint]:
+    """Measure per-hop cost as the clue-aware fraction grows.
+
+    For each fraction, a random subset of the chain is upgraded; packets
+    are addressed to prefixes of the last router's table so they traverse
+    the full chain.  ``warmup`` extra packets populate the learned clue
+    tables before measurement (steady state).
+    """
+    rng = random.Random(seed)
+    results: List[DeploymentPoint] = []
+    last_table = list(tables[-1])
+    hops = len(tables)
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fractions must be within [0, 1]")
+        enabled_count = round(fraction * hops)
+        chosen = set(rng.sample(range(hops), k=enabled_count))
+        enabled = [index in chosen for index in range(hops)]
+        network, names = _build_chain_network(
+            tables, enabled, technique, relay_clues
+        )
+        total_accesses = 0
+        total_hops = 0
+        for number in range(warmup + packets):
+            prefix, _hop = last_table[rng.randrange(len(last_table))]
+            destination = prefix.random_address(rng)
+            packet = Packet(destination)
+            network.forward(packet, names[0])
+            if number >= warmup:
+                total_accesses += packet.total_accesses()
+                total_hops += packet.hop_count()
+        avg_total = total_accesses / packets if packets else 0.0
+        avg_per_hop = total_accesses / total_hops if total_hops else 0.0
+        results.append(
+            DeploymentPoint(fraction, enabled_count, avg_per_hop, avg_total)
+        )
+    return results

@@ -1,0 +1,160 @@
+"""Work shaping between routers via clue design (§5.4).
+
+The paper's closing idea: instead of merely accelerating lookups, use the
+clue mechanism to *shape* where work happens.  If the sender's table is
+de-aggregated just enough that every clue it can emit is a prefix the
+receiver cannot extend, the receiver resolves every packet in exactly one
+memory reference — TAG-switching speed without label swapping — moving
+the residual work to the (lightly loaded) edge.
+
+``shape_sender_table`` performs the minimal de-aggregation: it adds, for
+every problematic clue, the receiver's potential-set prefixes into the
+sender's table.  Because this only *reduces* aggregation it cannot create
+routing loops (the paper's §5.4 observation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.addressing import Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.tablegen.synthetic import Entry
+from repro.trie.binary_trie import BinaryTrie
+from repro.trie.overlay import TrieOverlay
+
+
+def shape_sender_table(
+    sender_entries: Sequence[Entry],
+    receiver_entries: Sequence[Entry],
+    width: int = 32,
+) -> List[Entry]:
+    """De-aggregate the sender so all its clues are final at the receiver.
+
+    For every problematic clue the receiver's potential-set prefixes are
+    copied into the sender's table, inheriting the clue's next hop (they
+    route the same way — towards the receiver).  The closure property: in
+    the shaped table *no* clue violates Claim 1 anymore.
+    """
+    sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
+    receiver_trie = BinaryTrie.from_prefixes(receiver_entries, width)
+    overlay = TrieOverlay(sender_trie, receiver_trie)
+    additions: Dict[Prefix, object] = {}
+    for clue in overlay.problematic_clues():
+        hop = sender_trie.next_hop_of(clue)
+        for prefix in overlay.potential_set(clue):
+            additions.setdefault(prefix, hop)
+    merged = dict(sender_entries)
+    for prefix, hop in additions.items():
+        merged.setdefault(prefix, hop)
+    return sorted(merged.items(), key=lambda item: (item[0].length, item[0].bits))
+
+
+class ShapingReport:
+    """Before/after measurements of receiver work under shaping."""
+
+    __slots__ = (
+        "receiver_work_before",
+        "receiver_work_after",
+        "problematic_before",
+        "problematic_after",
+        "sender_size_before",
+        "sender_size_after",
+    )
+
+    def __init__(
+        self,
+        receiver_work_before: float,
+        receiver_work_after: float,
+        problematic_before: int,
+        problematic_after: int,
+        sender_size_before: int,
+        sender_size_after: int,
+    ):
+        self.receiver_work_before = receiver_work_before
+        self.receiver_work_after = receiver_work_after
+        self.problematic_before = problematic_before
+        self.problematic_after = problematic_after
+        self.sender_size_before = sender_size_before
+        self.sender_size_after = sender_size_after
+
+    def sender_growth(self) -> int:
+        """Extra prefixes the sender carries after shaping."""
+        return self.sender_size_after - self.sender_size_before
+
+    def __repr__(self) -> str:
+        return (
+            "ShapingReport(before=%.3f, after=%.3f, growth=%d)"
+            % (
+                self.receiver_work_before,
+                self.receiver_work_after,
+                self.sender_growth(),
+            )
+        )
+
+
+def _receiver_work(
+    sender_entries: Sequence[Entry],
+    receiver: ReceiverState,
+    packets: int,
+    seed: int,
+    technique: str,
+) -> float:
+    """Average receiver references per packet, Advance clue tables."""
+    sender_trie = BinaryTrie.from_prefixes(sender_entries, receiver.width)
+    method = AdvanceMethod(sender_trie, receiver, technique)
+    lookup = ClueAssistedLookup(
+        BASELINES[technique](receiver.entries, receiver.width),
+        method.build_table(),
+    )
+    rng = random.Random(seed)
+    sender_list = list(sender_entries)
+    total = 0
+    measured = 0
+    for _ in range(packets):
+        prefix, _hop = sender_list[rng.randrange(len(sender_list))]
+        destination = prefix.random_address(rng)
+        clue = sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        counter = MemoryCounter()
+        lookup.lookup(destination, clue, counter)
+        total += counter.accesses
+        measured += 1
+    return total / measured if measured else 0.0
+
+
+def shaping_report(
+    sender_entries: Sequence[Entry],
+    receiver_entries: Sequence[Entry],
+    packets: int = 1000,
+    seed: int = 0,
+    technique: str = "patricia",
+    width: int = 32,
+) -> ShapingReport:
+    """Measure receiver work before and after §5.4 work shaping."""
+    receiver = ReceiverState(receiver_entries, width)
+    shaped = shape_sender_table(sender_entries, receiver_entries, width)
+    before_overlay = TrieOverlay(
+        BinaryTrie.from_prefixes(sender_entries, width), receiver.trie
+    )
+    after_overlay = TrieOverlay(
+        BinaryTrie.from_prefixes(shaped, width), receiver.trie
+    )
+    return ShapingReport(
+        receiver_work_before=_receiver_work(
+            sender_entries, receiver, packets, seed, technique
+        ),
+        receiver_work_after=_receiver_work(
+            shaped, receiver, packets, seed, technique
+        ),
+        problematic_before=len(before_overlay.problematic_clues()),
+        problematic_after=len(after_overlay.problematic_clues()),
+        sender_size_before=len(list(sender_entries)),
+        sender_size_after=len(shaped),
+    )

@@ -1,0 +1,119 @@
+"""Clues for IP multicast (§7).
+
+The conclusions list IP-multicasting among the services distributed IP
+lookup "can support and be beneficial for".  A multicast forwarding
+entry maps a *group prefix* to the set of outgoing interfaces (plus the
+RPF check against the source); the longest-group-prefix match is the
+same computation as unicast LPM, so the clue machinery applies verbatim
+— the upstream router stamps the group BMP it matched, the downstream
+router resolves its own (out-interface set valued) entry in ≈1 memory
+reference.
+
+Group tables here live in the historical class-D space (224.0.0.0/4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.trie.binary_trie import BinaryTrie
+
+#: The class-D multicast block.
+MULTICAST_BLOCK = Prefix.parse("224.0.0.0/4")
+
+Interfaces = FrozenSet[str]
+GroupEntry = Tuple[Prefix, Interfaces]
+
+
+def generate_group_table(
+    count: int,
+    seed: int = 0,
+    interfaces: Sequence[str] = ("if0", "if1", "if2", "if3"),
+) -> List[GroupEntry]:
+    """Synthetic multicast state: group prefixes → outgoing-interface sets.
+
+    Groups are drawn inside 224.0.0.0/4 at /8–/32 granularity (shared
+    trees use coarse group ranges, source-specific state is /32).
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    rng = random.Random(seed)
+    table: Dict[Prefix, Interfaces] = {}
+    attempts = count * 20
+    while len(table) < count and attempts:
+        attempts -= 1
+        length = rng.choice((8, 12, 16, 24, 32, 32))
+        extra = length - MULTICAST_BLOCK.length
+        bits = (MULTICAST_BLOCK.bits << extra) | rng.getrandbits(extra)
+        prefix = Prefix(bits, length, 32)
+        if prefix in table:
+            continue
+        fanout = rng.randint(1, len(interfaces))
+        table[prefix] = frozenset(rng.sample(list(interfaces), k=fanout))
+    return sorted(table.items(), key=lambda item: (item[0].length, item[0].bits))
+
+
+def derive_neighbor_groups(
+    base: Sequence[GroupEntry],
+    seed: int = 1,
+    drop: float = 0.02,
+    interfaces: Sequence[str] = ("if0", "if1", "if2", "if3"),
+) -> List[GroupEntry]:
+    """A neighbouring router's multicast state (pruned branches differ)."""
+    rng = random.Random(seed)
+    result: Dict[Prefix, Interfaces] = {}
+    for prefix, oifs in base:
+        if rng.random() < drop:
+            continue
+        # Downstream of a prune, the interface set often differs.
+        if rng.random() < 0.2:
+            fanout = rng.randint(1, len(interfaces))
+            oifs = frozenset(rng.sample(list(interfaces), k=fanout))
+        result[prefix] = oifs
+    return sorted(result.items(), key=lambda item: (item[0].length, item[0].bits))
+
+
+class MulticastForwarder:
+    """A pair of multicast routers running distributed group lookup."""
+
+    def __init__(
+        self,
+        upstream: Sequence[GroupEntry],
+        local: Sequence[GroupEntry],
+        technique: str = "patricia",
+    ):
+        for prefix, _oifs in list(upstream) + list(local):
+            if not MULTICAST_BLOCK.is_prefix_of(prefix):
+                raise ValueError("group prefix %s outside 224.0.0.0/4" % prefix)
+        self.upstream_trie = BinaryTrie.from_prefixes(upstream)
+        self.receiver = ReceiverState(local)
+        method = AdvanceMethod(self.upstream_trie, self.receiver, technique)
+        self.assisted = ClueAssistedLookup(
+            BASELINES[technique](self.receiver.entries), method.build_table()
+        )
+
+    def upstream_clue(self, group: Address) -> Optional[Prefix]:
+        """What the upstream router stamps for this group."""
+        return self.upstream_trie.best_prefix(group)
+
+    def forward(
+        self,
+        group: Address,
+        clue: Optional[Prefix] = None,
+        counter: Optional[MemoryCounter] = None,
+    ) -> Optional[Interfaces]:
+        """The local outgoing-interface set for the group (None = prune)."""
+        result = self.assisted.lookup(group, clue, counter)
+        return result.next_hop
+
+    def oracle(self, group: Address) -> Optional[Interfaces]:
+        """Full local lookup (test reference)."""
+        _prefix, oifs = self.receiver.best_match(group)
+        return oifs

@@ -1,0 +1,119 @@
+"""The forwarding fabric: routers wired by their tables' next hops.
+
+Next hops in a simulated forwarding table are router names; a packet is
+delivered when the resolving router returns itself (local route) or a
+name not present in the network (an egress).  The network also knows how
+to assemble itself from a finished path-vector computation, registering
+every adjacency so Advance clue tables can be built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.addressing import Address
+from repro.netsim.packet import Packet
+from repro.netsim.router import ClueRouter, Router
+from repro.routing.pathvector import PathVectorRouting
+
+
+class DeliveryReport:
+    """Outcome of forwarding one packet."""
+
+    __slots__ = ("packet", "delivered", "path", "exit_reason")
+
+    def __init__(
+        self,
+        packet: Packet,
+        delivered: bool,
+        path: List[str],
+        exit_reason: str,
+    ):
+        self.packet = packet
+        self.delivered = delivered
+        self.path = path
+        self.exit_reason = exit_reason
+
+    def total_accesses(self) -> int:
+        """Memory references spent across all hops."""
+        return self.packet.total_accesses()
+
+    def __repr__(self) -> str:
+        return "DeliveryReport(delivered=%s, path=%s)" % (
+            self.delivered,
+            "->".join(self.path),
+        )
+
+
+class Network:
+    """A set of routers addressable by name."""
+
+    def __init__(self) -> None:
+        self.routers: Dict[str, Router] = {}
+
+    def add_router(self, router: Router) -> None:
+        """Register a router; names must be unique."""
+        if router.name in self.routers:
+            raise ValueError("duplicate router name %r" % router.name)
+        self.routers[router.name] = router
+
+    def forward(
+        self, packet: Packet, start: str, max_hops: Optional[int] = None
+    ) -> DeliveryReport:
+        """Forward the packet from ``start`` until delivery or failure."""
+        if start not in self.routers:
+            raise KeyError("unknown start router %r" % start)
+        limit = max_hops if max_hops is not None else packet.ttl
+        current: Optional[str] = start
+        previous: Optional[str] = None
+        path: List[str] = []
+        for _hop in range(limit):
+            router = self.routers[current]
+            path.append(current)
+            next_hop = router.process(packet, previous)
+            if next_hop is None:
+                return DeliveryReport(packet, False, path, "no-route")
+            if next_hop == current:
+                return DeliveryReport(packet, True, path, "local")
+            if next_hop not in self.routers:
+                return DeliveryReport(packet, True, path, "egress")
+            previous, current = current, next_hop
+        return DeliveryReport(packet, False, path, "ttl-exceeded")
+
+    def send(
+        self, destination: Address, start: str, max_hops: Optional[int] = None
+    ) -> DeliveryReport:
+        """Convenience: build a fresh packet for ``destination`` and forward."""
+        return self.forward(Packet(destination), start, max_hops)
+
+    @classmethod
+    def from_pathvector(
+        cls,
+        routing: PathVectorRouting,
+        technique: str = "patricia",
+        method: str = "advance",
+        width: int = 32,
+    ) -> "Network":
+        """Build a clue-router network from a converged route computation.
+
+        Every adjacency registers the neighbour's table, so the Advance
+        method is available on every link — modelling pre-processing table
+        construction from the routing exchange (§3.3.2).
+        """
+        tables = routing.all_tables()
+        network = cls()
+        for name, entries in tables.items():
+            network.add_router(
+                ClueRouter(name, entries, technique=technique, method=method, width=width)
+            )
+        for name in routing.graph.nodes:
+            router = network.routers[name]
+            for neighbor in routing.graph.neighbors(name):
+                router.register_neighbor(neighbor, tables[neighbor])
+        return network
+
+    def __len__(self) -> int:
+        return len(self.routers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.routers

@@ -1,0 +1,81 @@
+"""Packets and per-hop work traces.
+
+A packet carries its destination address and the clue header field; every
+router that processes it appends a :class:`HopRecord`, so experiments can
+read off the per-router work profile (Figure 1) and the end-to-end cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.addressing import Address, Prefix
+from repro.core.clue import ClueHeader
+
+
+class HopRecord:
+    """What one router did to the packet."""
+
+    __slots__ = ("router", "accesses", "bmp", "incoming_clue_length")
+
+    def __init__(
+        self,
+        router: str,
+        accesses: int,
+        bmp: Optional[Prefix],
+        incoming_clue_length: Optional[int],
+    ):
+        self.router = router
+        self.accesses = accesses
+        self.bmp = bmp
+        self.incoming_clue_length = incoming_clue_length
+
+    def bmp_length(self) -> Optional[int]:
+        """Length of the BMP found at this hop (None on a miss)."""
+        return self.bmp.length if self.bmp is not None else None
+
+    def __repr__(self) -> str:
+        return "HopRecord(%s, accesses=%d, bmp=%s)" % (
+            self.router,
+            self.accesses,
+            self.bmp,
+        )
+
+
+class Packet:
+    """An IP packet with the clue extension."""
+
+    __slots__ = ("destination", "clue", "trace", "ttl")
+
+    def __init__(self, destination: Address, ttl: int = 64):
+        self.destination = destination
+        self.clue = ClueHeader()
+        self.trace: List[HopRecord] = []
+        self.ttl = ttl
+
+    def clue_prefix(self) -> Optional[Prefix]:
+        """The clue currently on the packet, decoded against destination."""
+        return self.clue.clue_prefix(self.destination)
+
+    def total_accesses(self) -> int:
+        """Memory references spent on this packet across all hops."""
+        return sum(record.accesses for record in self.trace)
+
+    def hop_count(self) -> int:
+        """Routers traversed so far."""
+        return len(self.trace)
+
+    def bmp_lengths(self) -> List[Optional[int]]:
+        """Per-hop BMP lengths (the Figure 1 upper curve)."""
+        return [record.bmp_length() for record in self.trace]
+
+    def work_profile(self) -> List[int]:
+        """Per-hop memory references (the Figure 1 lower curve)."""
+        return [record.accesses for record in self.trace]
+
+    def __repr__(self) -> str:
+        return "Packet(dest=%s, hops=%d, clue=%r)" % (
+            self.destination,
+            len(self.trace),
+            self.clue,
+        )

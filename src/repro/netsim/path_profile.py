@@ -1,0 +1,170 @@
+"""The Figure 1 scenario: BMP length and work along a packet's path.
+
+The paper's Figure 1 sketches how a packet's best matching prefix grows
+on its way from source to destination, and argues the per-router work
+under distributed IP lookup is (roughly) the *derivative* of that curve —
+so the heavily-loaded backbone routers in the flat middle of the curve do
+almost no work.
+
+This module builds a concrete router chain realising a chosen BMP-length
+profile: router *i*'s table contains the destination's prefix truncated
+to the profile's *i*-th length (plus realistic background prefixes that
+do not interfere), wired hop by hop.  Forwarding one packet through the
+chain with clues, and once more through an identical legacy chain,
+produces both curves of the figure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.netsim.network import Network
+from repro.netsim.packet import Packet
+from repro.netsim.router import ClueRouter, LegacyRouter
+from repro.tablegen.synthetic import Entry, generate_table
+
+#: Default BMP-length profile: specific near the edges, flat aggregates
+#: across the backbone, fully resolved (/32 host route) at the last hop.
+DEFAULT_LENGTH_PROFILE: Tuple[int, ...] = (8, 10, 12, 12, 12, 16, 24, 32)
+
+
+class PathProfile:
+    """The measured Figure 1 curves for one packet."""
+
+    __slots__ = ("routers", "bmp_lengths", "clue_work", "legacy_work")
+
+    def __init__(
+        self,
+        routers: List[str],
+        bmp_lengths: List[Optional[int]],
+        clue_work: List[int],
+        legacy_work: List[int],
+    ):
+        self.routers = routers
+        self.bmp_lengths = bmp_lengths
+        self.clue_work = clue_work
+        self.legacy_work = legacy_work
+
+    def derivative(self) -> List[int]:
+        """Per-hop BMP-length increase (first hop from zero)."""
+        series: List[int] = []
+        previous = 0
+        for length in self.bmp_lengths:
+            current = length if length is not None else 0
+            series.append(max(current - previous, 0))
+            previous = current
+        return series
+
+    def rows(self) -> List[Tuple[str, Optional[int], int, int, int]]:
+        """(router, bmp_length, delta, clue_work, legacy_work) per hop."""
+        deltas = self.derivative()
+        return [
+            (router, length, delta, clue, legacy)
+            for router, length, delta, clue, legacy in zip(
+                self.routers,
+                self.bmp_lengths,
+                deltas,
+                self.clue_work,
+                self.legacy_work,
+            )
+        ]
+
+
+class ChainScenario:
+    """A source→backbone→destination chain realising a length profile."""
+
+    def __init__(
+        self,
+        length_profile: Sequence[int] = DEFAULT_LENGTH_PROFILE,
+        background: int = 300,
+        seed: int = 0,
+        technique: str = "patricia",
+        method: str = "advance",
+        width: int = 32,
+    ):
+        if len(length_profile) < 2:
+            raise ValueError("the profile needs at least two hops")
+        if any(not 1 <= length <= width for length in length_profile):
+            raise ValueError("profile lengths must be within [1, width]")
+        self.length_profile = tuple(length_profile)
+        self.width = width
+        self.technique = technique
+        self.method = method
+        rng = random.Random(seed)
+        self.destination = Address(rng.getrandbits(width), width)
+        self.router_names = ["r%d" % i for i in range(len(length_profile))]
+        self.tables = self._build_tables(background, seed)
+        self.clue_network = self._build_network(clue_aware=True)
+        self.legacy_network = self._build_network(clue_aware=False)
+
+    # ------------------------------------------------------------------
+    def _build_tables(self, background: int, seed: int) -> List[List[Entry]]:
+        tables: List[List[Entry]] = []
+        names = self.router_names
+        for index, length in enumerate(self.length_profile):
+            next_hop = names[index + 1] if index + 1 < len(names) else names[index]
+            noise = generate_table(
+                background, seed=seed + index, width=self.width, next_hops=(next_hop,)
+            )
+            table = [
+                (prefix, hop)
+                for prefix, hop in noise
+                if not (prefix.matches(self.destination) and prefix.length > length)
+            ]
+            table.append((self.destination.prefix(length), next_hop))
+            # Deduplicate in case the noise already held the exact prefix.
+            unique = {}
+            for prefix, hop in table:
+                unique[prefix] = hop
+            tables.append(
+                sorted(unique.items(), key=lambda item: (item[0].length, item[0].bits))
+            )
+        return tables
+
+    def _build_network(self, clue_aware: bool) -> Network:
+        network = Network()
+        for index, name in enumerate(self.router_names):
+            if clue_aware:
+                router = ClueRouter(
+                    name,
+                    self.tables[index],
+                    technique=self.technique,
+                    method=self.method,
+                    width=self.width,
+                )
+                if index > 0:
+                    router.register_neighbor(
+                        self.router_names[index - 1], self.tables[index - 1]
+                    )
+            else:
+                router = LegacyRouter(
+                    name, self.tables[index], technique=self.technique, width=self.width
+                )
+            network.add_router(router)
+        return network
+
+    # ------------------------------------------------------------------
+    def profile(self, warm: bool = True) -> PathProfile:
+        """Forward one packet through both chains and collect the curves.
+
+        ``warm`` sends a first packet to populate the learned clue tables
+        (the paper's steady state); the measured packet follows.
+        """
+        if warm:
+            self.clue_network.forward(
+                Packet(self.destination), self.router_names[0]
+            )
+        clue_packet = Packet(self.destination)
+        clue_report = self.clue_network.forward(clue_packet, self.router_names[0])
+        legacy_packet = Packet(self.destination)
+        self.legacy_network.forward(legacy_packet, self.router_names[0])
+        if not clue_report.delivered:
+            raise RuntimeError("chain failed to deliver: %s" % clue_report.exit_reason)
+        return PathProfile(
+            routers=list(self.router_names),
+            bmp_lengths=clue_packet.bmp_lengths(),
+            clue_work=clue_packet.work_profile(),
+            legacy_work=legacy_packet.work_profile(),
+        )

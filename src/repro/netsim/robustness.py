@@ -1,0 +1,225 @@
+"""Robustness of the clue scheme (§5.3 and the §1 robustness claim).
+
+The paper argues "even if neighbouring routers are slightly
+un-coordinated the clues they send each other can not cause any
+confusion".  This module turns that claim into measurable experiments:
+
+* **truncated clues** — a privacy-conscious sender shortens its clues;
+  the receiver must stay correct (an unknown truncated clue is just a
+  table miss → full lookup), only the speedup degrades;
+* **stale clue tables** — the receiver's Advance tables were built
+  against an *old* snapshot of the sender's table; the Simple method is
+  provably immune (its entries never consult the sender's table), while
+  Advance may return a prefix shorter than the local optimum — we count
+  exactly how often;
+* **withheld clues** — a fraction of packets arrive with no clue at all
+  (the sender may "refrain from sending some clues").
+
+All experiments report both a correctness rate (against the receiver's
+own full-lookup oracle) and the average memory references.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.tablegen.synthetic import Entry
+from repro.trie.binary_trie import BinaryTrie
+
+
+class RobustnessPoint:
+    """One experimental condition's outcome."""
+
+    __slots__ = ("condition", "correct_rate", "avg_accesses", "samples")
+
+    def __init__(
+        self, condition: object, correct_rate: float, avg_accesses: float, samples: int
+    ):
+        self.condition = condition
+        self.correct_rate = correct_rate
+        self.avg_accesses = avg_accesses
+        self.samples = samples
+
+    def __repr__(self) -> str:
+        return "RobustnessPoint(%r, correct=%.4f, accesses=%.3f)" % (
+            self.condition,
+            self.correct_rate,
+            self.avg_accesses,
+        )
+
+
+def _measure(
+    lookup: ClueAssistedLookup,
+    receiver: ReceiverState,
+    samples: Sequence[Tuple[Address, Optional[Prefix]]],
+) -> Tuple[float, float]:
+    """Correctness vs the receiver's oracle, and average references."""
+    correct = 0
+    accesses = 0
+    for destination, clue in samples:
+        counter = MemoryCounter()
+        result = lookup.lookup(destination, clue, counter)
+        accesses += counter.accesses
+        oracle_prefix, _oracle_hop = receiver.best_match(destination)
+        if result.prefix == oracle_prefix:
+            correct += 1
+    count = len(samples) or 1
+    return correct / count, accesses / count
+
+
+def _sample_destinations(
+    sender_entries: Sequence[Entry],
+    sender_trie: BinaryTrie,
+    packets: int,
+    seed: int,
+) -> List[Tuple[Address, Prefix]]:
+    """(destination, true sender BMP) pairs for traffic from the sender."""
+    rng = random.Random(seed)
+    entries = list(sender_entries)
+    samples: List[Tuple[Address, Prefix]] = []
+    while len(samples) < packets:
+        prefix, _hop = entries[rng.randrange(len(entries))]
+        destination = prefix.random_address(rng)
+        clue = sender_trie.best_prefix(destination)
+        if clue is not None:
+            samples.append((destination, clue))
+    return samples
+
+
+def truncated_clue_experiment(
+    sender_entries: Sequence[Entry],
+    receiver_entries: Sequence[Entry],
+    max_lengths: Sequence[int],
+    packets: int = 500,
+    seed: int = 0,
+    technique: str = "patricia",
+    width: int = 32,
+) -> List[RobustnessPoint]:
+    """Sweep the §5.3 clue-truncation limit.
+
+    The clue table is still built over the sender's *full* clue universe
+    plus its truncations, mirroring the paper's note that "truncated clues
+    are also beneficial, perhaps not as much".
+    """
+    receiver = ReceiverState(receiver_entries, width)
+    sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
+    method = AdvanceMethod(sender_trie, receiver, technique)
+    clue_universe = list(sender_trie.prefixes())
+    samples = _sample_destinations(sender_entries, sender_trie, packets, seed)
+    points: List[RobustnessPoint] = []
+    for limit in max_lengths:
+        universe = {
+            clue if clue.length <= limit else clue.truncate(limit)
+            for clue in clue_universe
+        }
+        # A clue of length exactly ``limit`` may be a *truncation* of a
+        # longer BMP, so Claim 1 (which assumes the clue is the sender's
+        # true BMP) is unsound for it — those clues get Simple-style
+        # entries, which are correct for any clue that prefixes the
+        # destination.  Strictly-shorter clues always arrive untruncated.
+        simple = SimpleMethod(receiver, technique)
+        table = method.build_table(
+            clue
+            for clue in universe
+            if clue.length < limit and sender_trie.contains(clue)
+        )
+        for clue in universe:
+            if clue.length >= limit or not sender_trie.contains(clue):
+                table.insert(simple.build_entry(clue))
+        lookup = ClueAssistedLookup(
+            BASELINES[technique](receiver.entries, width), table
+        )
+        truncated_samples = [
+            (
+                destination,
+                clue if clue.length <= limit else clue.truncate(limit),
+            )
+            for destination, clue in samples
+        ]
+        correct, avg = _measure(lookup, receiver, truncated_samples)
+        points.append(RobustnessPoint(limit, correct, avg, len(samples)))
+    return points
+
+
+def stale_table_experiment(
+    old_sender_entries: Sequence[Entry],
+    new_sender_entries: Sequence[Entry],
+    receiver_entries: Sequence[Entry],
+    packets: int = 500,
+    seed: int = 0,
+    technique: str = "patricia",
+    width: int = 32,
+) -> dict:
+    """Receiver's clue tables built from a stale sender snapshot.
+
+    Traffic carries clues from the *new* sender table while the receiver's
+    Advance machinery believes the *old* one.  Returns per-method
+    robustness points: Simple must stay 100 % correct; Advance's error
+    rate quantifies the staleness exposure.
+    """
+    receiver = ReceiverState(receiver_entries, width)
+    old_trie = BinaryTrie.from_prefixes(old_sender_entries, width)
+    new_trie = BinaryTrie.from_prefixes(new_sender_entries, width)
+    samples = _sample_destinations(new_sender_entries, new_trie, packets, seed)
+
+    simple = SimpleMethod(receiver, technique)
+    simple_table = simple.build_table(
+        {clue for _dest, clue in samples}
+    )
+    simple_lookup = ClueAssistedLookup(
+        BASELINES[technique](receiver.entries, width), simple_table
+    )
+    simple_correct, simple_avg = _measure(simple_lookup, receiver, samples)
+
+    advance = AdvanceMethod(old_trie, receiver, technique)
+    advance_table = advance.build_table()
+    advance_lookup = ClueAssistedLookup(
+        BASELINES[technique](receiver.entries, width), advance_table
+    )
+    advance_correct, advance_avg = _measure(advance_lookup, receiver, samples)
+
+    return {
+        "simple": RobustnessPoint("stale", simple_correct, simple_avg, len(samples)),
+        "advance": RobustnessPoint(
+            "stale", advance_correct, advance_avg, len(samples)
+        ),
+    }
+
+
+def withheld_clue_experiment(
+    sender_entries: Sequence[Entry],
+    receiver_entries: Sequence[Entry],
+    withhold_fractions: Sequence[float],
+    packets: int = 500,
+    seed: int = 0,
+    technique: str = "patricia",
+    width: int = 32,
+) -> List[RobustnessPoint]:
+    """A fraction of packets arrive clue-less (sender refrains, §5.3)."""
+    receiver = ReceiverState(receiver_entries, width)
+    sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
+    method = AdvanceMethod(sender_trie, receiver, technique)
+    lookup = ClueAssistedLookup(
+        BASELINES[technique](receiver.entries, width), method.build_table()
+    )
+    samples = _sample_destinations(sender_entries, sender_trie, packets, seed)
+    points: List[RobustnessPoint] = []
+    for fraction in withhold_fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fractions must be within [0, 1]")
+        rng = random.Random(seed + 1)
+        conditioned = [
+            (destination, None if rng.random() < fraction else clue)
+            for destination, clue in samples
+        ]
+        correct, avg = _measure(lookup, receiver, conditioned)
+        points.append(RobustnessPoint(fraction, correct, avg, len(samples)))
+    return points

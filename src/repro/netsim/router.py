@@ -1,0 +1,166 @@
+"""Simulated routers: clue-aware and legacy.
+
+A :class:`ClueRouter` implements the full distributed-IP-lookup data path:
+it keeps one clue structure per upstream neighbour (Advance needs the
+neighbour's table, obtained from the routing exchange via
+:meth:`register_neighbor`; unknown neighbours fall back to the Simple
+method learned on the fly), resolves each packet, stamps its own BMP as
+the outgoing clue, and returns the next hop.
+
+A :class:`LegacyRouter` ignores clues entirely — it performs the ordinary
+full lookup — and models the two §5.3 behaviours: *relaying* the incoming
+clue unchanged (the good citizen) or stripping it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.addressing import Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.learning import LearningClueLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.netsim.packet import HopRecord, Packet
+from repro.trie.binary_trie import BinaryTrie
+
+Entries = Iterable[Tuple[Prefix, object]]
+
+
+class Router:
+    """Base class: a named node that processes packets."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def process(self, packet: Packet, from_router: Optional[str] = None):
+        """Resolve the packet; append a trace record; return the next hop."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class ClueRouter(Router):
+    """A router running distributed IP lookup."""
+
+    def __init__(
+        self,
+        name: str,
+        entries: Entries,
+        technique: str = "patricia",
+        method: str = "advance",
+        width: int = 32,
+        emit_clues: bool = True,
+        truncate_clues_to: Optional[int] = None,
+        preprocess: bool = False,
+    ):
+        super().__init__(name)
+        if method not in ("simple", "advance"):
+            raise ValueError("method must be 'simple' or 'advance'")
+        self.receiver = ReceiverState(entries, width)
+        self.technique = technique
+        self.method = method
+        self.emit_clues = emit_clues
+        #: §5.3 privacy knob: never emit a clue longer than this.
+        self.truncate_clues_to = truncate_clues_to
+        #: §3.3.2 pre-processing: build a registered neighbour's whole clue
+        #: table up front instead of learning it clue by clue.
+        self.preprocess = preprocess
+        self.base = BASELINES[technique](self.receiver.entries, width)
+        self._simple = SimpleMethod(self.receiver, technique)
+        #: per-upstream clue lookup state, built lazily.
+        self._lookups: Dict[Optional[str], LearningClueLookup] = {}
+        #: upstream tables registered from the routing exchange.
+        self._neighbor_tries: Dict[str, BinaryTrie] = {}
+
+    # ------------------------------------------------------------------
+    def register_neighbor(self, neighbor: str, entries: Entries) -> None:
+        """Learn an upstream's table (enables the Advance method for it)."""
+        self._neighbor_tries[neighbor] = BinaryTrie.from_prefixes(
+            entries, self.receiver.width
+        )
+        self._lookups.pop(neighbor, None)
+
+    def _lookup_for(self, from_router: Optional[str]) -> LearningClueLookup:
+        lookup = self._lookups.get(from_router)
+        if lookup is None:
+            if (
+                self.method == "advance"
+                and from_router is not None
+                and from_router in self._neighbor_tries
+            ):
+                builder = AdvanceMethod(
+                    self._neighbor_tries[from_router],
+                    self.receiver,
+                    self.technique,
+                )
+            else:
+                builder = self._simple
+            lookup = LearningClueLookup(self.base, builder)
+            if self.preprocess and from_router in self._neighbor_tries:
+                for clue in self._neighbor_tries[from_router].prefixes():
+                    lookup.table.insert(builder.build_entry(clue))
+            self._lookups[from_router] = lookup
+        return lookup
+
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet, from_router: Optional[str] = None):
+        """The distributed-IP-lookup data path for one packet."""
+        counter = MemoryCounter()
+        incoming = packet.clue.length
+        clue = packet.clue_prefix()
+        lookup = self._lookup_for(from_router)
+        result = lookup.lookup(packet.destination, clue, counter)
+        packet.trace.append(
+            HopRecord(self.name, counter.accesses, result.prefix, incoming)
+        )
+        if self.emit_clues and result.prefix is not None:
+            packet.clue.length = result.prefix.length
+            packet.clue.index = None
+            if self.truncate_clues_to is not None:
+                packet.clue.truncate(self.truncate_clues_to)
+        elif self.emit_clues:
+            packet.clue.clear()
+        return result.next_hop
+
+    def clue_table_sizes(self) -> Dict[Optional[str], int]:
+        """Learned clue-table sizes per upstream neighbour."""
+        return {
+            upstream: len(lookup.table)
+            for upstream, lookup in self._lookups.items()
+        }
+
+
+class LegacyRouter(Router):
+    """A router that has not deployed the scheme."""
+
+    def __init__(
+        self,
+        name: str,
+        entries: Entries,
+        technique: str = "patricia",
+        width: int = 32,
+        relay_clues: bool = True,
+    ):
+        super().__init__(name)
+        self.receiver = ReceiverState(entries, width)
+        self.base = BASELINES[technique](self.receiver.entries, width)
+        #: §5.3: a legacy router that leaves the options field alone still
+        #: lets downstream clue routers benefit; one that rewrites the
+        #: header strips the clue.
+        self.relay_clues = relay_clues
+
+    def process(self, packet: Packet, from_router: Optional[str] = None):
+        """Plain full lookup; the clue is relayed or stripped, never used."""
+        counter = MemoryCounter()
+        incoming = packet.clue.length
+        result = self.base.lookup(packet.destination, counter)
+        packet.trace.append(
+            HopRecord(self.name, counter.accesses, result.prefix, incoming)
+        )
+        if not self.relay_clues:
+            packet.clue.clear()
+        return result.next_hop

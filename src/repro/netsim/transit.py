@@ -1,0 +1,185 @@
+"""Crossing an autonomous system: BGP over OSPF (§5.2).
+
+A packet entering an AS at border router B1 is resolved in *two passes*:
+the first walk of B1's table finds the destination's BMP, whose next hop
+is the BGP router B2 on the far side of the AS (an address, not an
+interface); the second walk resolves that address through the IGP routes.
+
+The paper's observation: the clue stamped on the packet is still the
+*first* BMP — interior and far-side routers look the destination up, not
+B1's egress — so distributed IP lookup keeps working across the AS.
+
+The scenario here is the concrete chain
+
+    R0 (external) → B1 (border, two-pass) → I1 → … → B2 (border)
+
+where every router carries the external route table (1999-style interiors
+did) plus the IGP infrastructure routes, and all of them speak clues.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.lookup import BASELINES
+from repro.lookup.counters import MemoryCounter
+from repro.routing.twopass import RecursiveNextHop, TwoPassLookup
+from repro.tablegen.neighbors import NeighborProfile, derive_neighbor
+from repro.tablegen.synthetic import Entry, generate_table
+
+#: Infrastructure block holding the routers' own addresses.
+INFRA_BLOCK = Prefix.parse("192.168.0.0/16")
+
+
+class TransitHopReport:
+    """Per-hop outcome of one packet crossing the AS."""
+
+    __slots__ = ("router", "accesses", "bmp", "passes")
+
+    def __init__(self, router: str, accesses: int, bmp: Optional[Prefix], passes: int):
+        self.router = router
+        self.accesses = accesses
+        self.bmp = bmp
+        self.passes = passes
+
+    def __repr__(self) -> str:
+        return "TransitHopReport(%s, refs=%d, passes=%d)" % (
+            self.router,
+            self.accesses,
+            self.passes,
+        )
+
+
+class TransitScenario:
+    """An external sender, a two-pass border router, and an AS interior."""
+
+    def __init__(
+        self,
+        interior_hops: int = 2,
+        table_size: int = 1500,
+        seed: int = 0,
+        technique: str = "patricia",
+    ):
+        if interior_hops < 0:
+            raise ValueError("interior hop count cannot be negative")
+        self.technique = technique
+        self.names = (
+            ["R0", "B1"]
+            + ["I%d" % i for i in range(1, interior_hops + 1)]
+            + ["B2"]
+        )
+        rng = random.Random(seed)
+        #: B2's loopback: what B1's BGP routes recursively resolve to.
+        self.egress_address = INFRA_BLOCK.random_address(rng)
+        egress_route = (self.egress_address.prefix(32), "igp-port-to-B2")
+
+        external = generate_table(table_size, seed=seed)
+        external = [
+            (prefix, hop)
+            for prefix, hop in external
+            if not INFRA_BLOCK.is_prefix_of(prefix) and not prefix.is_prefix_of(INFRA_BLOCK)
+        ]
+        profile = NeighborProfile()
+        tables: Dict[str, List[Entry]] = {}
+        previous = external
+        for index, name in enumerate(self.names):
+            table = previous if index == 0 else derive_neighbor(
+                previous, profile, seed=seed + index
+            )
+            previous = table
+            tables[name] = list(table)
+        # B1's BGP routes resolve recursively through the IGP (§5.2).
+        tables["B1"] = [
+            (prefix, RecursiveNextHop(self.egress_address))
+            for prefix, _hop in tables["B1"]
+        ] + [egress_route]
+        for name in self.names[2:]:
+            tables[name] = sorted(
+                tables[name] + [egress_route],
+                key=lambda item: (item[0].length, item[0].bits),
+            )
+        self.tables = tables
+
+        self.receivers = {
+            name: ReceiverState(tables[name]) for name in self.names
+        }
+        self.bases = {
+            name: BASELINES[technique](self.receivers[name].entries)
+            for name in self.names
+        }
+        self.border_two_pass = TwoPassLookup(self.bases["B1"])
+        #: clue machinery per downstream adjacency.
+        from repro.trie.binary_trie import BinaryTrie
+
+        self.assisted: Dict[str, ClueAssistedLookup] = {}
+        for upstream, name in zip(self.names, self.names[1:]):
+            method = AdvanceMethod(
+                BinaryTrie.from_prefixes(tables[upstream]),
+                self.receivers[name],
+                technique,
+            )
+            self.assisted[name] = ClueAssistedLookup(
+                self.bases[name], method.build_table()
+            )
+        from repro.trie.binary_trie import BinaryTrie as _BT
+
+        self._external_trie = _BT.from_prefixes(tables["R0"])
+
+    # ------------------------------------------------------------------
+    def route(self, destination: Address) -> List[TransitHopReport]:
+        """One packet across the chain; returns the per-hop record."""
+        reports: List[TransitHopReport] = []
+        counter = MemoryCounter()
+        first = self.bases["R0"].lookup(destination, counter)
+        reports.append(TransitHopReport("R0", counter.accesses, first.prefix, 1))
+        clue = first.prefix
+
+        # B1: clue-assisted first pass, then the IGP resolution pass.
+        counter = MemoryCounter()
+        border = self.assisted["B1"].lookup(destination, clue, counter)
+        passes = 1
+        if isinstance(border.next_hop, RecursiveNextHop):
+            self.bases["B1"].lookup(border.next_hop.egress_address, counter)
+            passes = 2
+        reports.append(
+            TransitHopReport("B1", counter.accesses, border.prefix, passes)
+        )
+        # §5.2: the clue placed on the packet is still the FIRST BMP.
+        clue = border.prefix
+
+        for name in self.names[2:]:
+            counter = MemoryCounter()
+            result = self.assisted[name].lookup(destination, clue, counter)
+            reports.append(
+                TransitHopReport(name, counter.accesses, result.prefix, 1)
+            )
+            clue = result.prefix
+        return reports
+
+    def sample_destination(self, rng: random.Random) -> Optional[Address]:
+        """A destination the external sender actually routes."""
+        entries = self.tables["R0"]
+        prefix, _hop = entries[rng.randrange(len(entries))]
+        destination = prefix.random_address(rng)
+        if self._external_trie.best_prefix(destination) is None:
+            return None
+        return destination
+
+    def average_costs(self, packets: int = 300, seed: int = 1) -> Dict[str, float]:
+        """Average per-router references over a packet stream."""
+        rng = random.Random(seed)
+        totals = {name: 0 for name in self.names}
+        measured = 0
+        while measured < packets:
+            destination = self.sample_destination(rng)
+            if destination is None:
+                continue
+            for report in self.route(destination):
+                totals[report.router] += report.accesses
+            measured += 1
+        return {name: total / packets for name, total in totals.items()}

@@ -1,0 +1,29 @@
+"""Routing substrate: topologies, path-vector, link-state, two-pass."""
+
+from repro.routing.linkstate import LinkStateRouting
+from repro.routing.pathvector import PathVectorRouting
+from repro.routing.topology import (
+    chain_topology,
+    hierarchy_topology,
+    mesh_topology,
+    originate_prefixes,
+)
+from repro.routing.twopass import (
+    RecursiveNextHop,
+    TwoPassLookup,
+    TwoPassResult,
+    recursive_fraction,
+)
+
+__all__ = [
+    "LinkStateRouting",
+    "PathVectorRouting",
+    "RecursiveNextHop",
+    "TwoPassLookup",
+    "TwoPassResult",
+    "chain_topology",
+    "hierarchy_topology",
+    "mesh_topology",
+    "originate_prefixes",
+    "recursive_fraction",
+]

@@ -1,0 +1,70 @@
+"""A link-state (OSPF-like) intra-domain routing substrate.
+
+Every router learns the full topology (that is the essence of link
+state); forwarding tables follow from single-source shortest paths.  The
+substrate exists for the §5.2 "BGP over OSPF" scenario: inside an
+autonomous system the egress router is reached over IGP routes, so a
+border router resolves a destination in two passes (see
+:mod:`repro.routing.twopass`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.addressing import Prefix
+
+
+class LinkStateRouting:
+    """Shortest-path routing over a weighted graph."""
+
+    def __init__(self, graph: nx.Graph, weight: str = "weight"):
+        self.graph = graph
+        self.weight = weight
+        self._paths: Dict[str, Dict[str, List[str]]] = {}
+
+    def run(self) -> None:
+        """Compute all-pairs shortest paths (Dijkstra per source)."""
+        self._paths = {}
+        for source in self.graph.nodes:
+            self._paths[source] = nx.single_source_dijkstra_path(
+                self.graph, source, weight=self.weight
+            )
+
+    def next_hop(self, source: str, target: str) -> Optional[str]:
+        """First hop on the shortest path from ``source`` to ``target``."""
+        if not self._paths:
+            raise RuntimeError("run() must be called first")
+        path = self._paths.get(source, {}).get(target)
+        if path is None or len(path) < 2:
+            return None
+        return path[1]
+
+    def path(self, source: str, target: str) -> Optional[List[str]]:
+        """The full shortest path, or None when unreachable."""
+        if not self._paths:
+            raise RuntimeError("run() must be called first")
+        return self._paths.get(source, {}).get(target)
+
+    def forwarding_table(
+        self, source: str, destinations: Dict[str, List[Prefix]]
+    ) -> List[Tuple[Prefix, object]]:
+        """Prefix table of ``source`` given per-router prefix ownership.
+
+        ``destinations`` maps router name → prefixes homed there; the next
+        hop for each prefix is the first hop towards its home router.
+        """
+        table: List[Tuple[Prefix, object]] = []
+        for target, prefixes in destinations.items():
+            if target == source:
+                hop: object = source
+            else:
+                hop = self.next_hop(source, target)
+                if hop is None:
+                    continue
+            for prefix in prefixes:
+                table.append((prefix, hop))
+        table.sort(key=lambda item: (item[0].length, item[0].bits))
+        return table

@@ -1,0 +1,131 @@
+"""A simplified path-vector protocol (BGP-like) over a topology.
+
+The clue scheme's premise — neighbouring forwarding tables are similar
+because "the computation of a forwarding table at a router is based on the
+forwarding tables of its neighbors" (§3) — is demonstrated here from first
+principles: routers exchange route advertisements carrying a router-level
+path, select the shortest loop-free path per prefix, and install the
+neighbour they heard it from as the next hop.
+
+Policy knobs mirror the BGP behaviours the paper discusses:
+
+* ``aggregation_points`` — routers that aggregate the prefixes they
+  administer (their own originated more-specifics) into a covering
+  prefix before exporting, the behaviour that creates Advance-method
+  case 1 / problematic clues between domains;
+* ``filters`` — per-router predicates hiding routes from neighbours
+  ("policies by which a BGP router tries to hide information").
+
+The computation is a synchronous fixed-point iteration, deterministic for
+a given topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.addressing import Prefix
+
+#: route = (path, prefix): ``path`` is the router-name path to the origin,
+#: path[0] being the router holding the route.
+Route = Tuple[Tuple[str, ...], Prefix]
+FilterFn = Callable[[str, str, Prefix], bool]
+
+
+class PathVectorRouting:
+    """Run a path-vector computation and expose per-router tables."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        aggregation_points: Optional[Dict[str, int]] = None,
+        export_filter: Optional[FilterFn] = None,
+        max_iterations: int = 64,
+    ):
+        self.graph = graph
+        #: router -> aggregation length: originated prefixes longer than
+        #: this are exported as their truncation to this length.
+        self.aggregation_points = aggregation_points or {}
+        self.export_filter = export_filter
+        self.max_iterations = max_iterations
+        #: router -> prefix -> (path, next_hop)
+        self.rib: Dict[str, Dict[Prefix, Tuple[Tuple[str, ...], Optional[str]]]] = {}
+        self._converged = False
+        self._iterations = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Iterate advertisement rounds to a fixed point."""
+        rib: Dict[str, Dict[Prefix, Tuple[Tuple[str, ...], Optional[str]]]] = {
+            name: {} for name in self.graph.nodes
+        }
+        for name in self.graph.nodes:
+            for prefix in self._exported_originations(name):
+                rib[name][prefix] = ((name,), None)
+        for iteration in range(self.max_iterations):
+            changed = False
+            for name in sorted(self.graph.nodes):
+                for neighbor in sorted(self.graph.neighbors(name)):
+                    for prefix, (path, _hop) in list(rib[neighbor].items()):
+                        if name in path:
+                            continue  # loop prevention, BGP-style
+                        if self.export_filter is not None and not self.export_filter(
+                            neighbor, name, prefix
+                        ):
+                            continue
+                        candidate = (name,) + path
+                        current = rib[name].get(prefix)
+                        if current is None or len(candidate) < len(current[0]):
+                            rib[name][prefix] = (candidate, neighbor)
+                            changed = True
+            self._iterations = iteration + 1
+            if not changed:
+                self._converged = True
+                break
+        self.rib = rib
+
+    def _exported_originations(self, name: str) -> Set[Prefix]:
+        """A router's originated prefixes after local aggregation."""
+        originated: Iterable[Prefix] = self.graph.nodes[name].get("originated", [])
+        limit = self.aggregation_points.get(name)
+        exported: Set[Prefix] = set()
+        for prefix in originated:
+            if limit is not None and prefix.length > limit:
+                exported.add(prefix.truncate(limit))
+            else:
+                exported.add(prefix)
+        return exported
+
+    # ------------------------------------------------------------------
+    def converged(self) -> bool:
+        """True if a fixed point was reached within the iteration budget."""
+        return self._converged
+
+    def iterations(self) -> int:
+        """Rounds executed."""
+        return self._iterations
+
+    def forwarding_table(self, name: str) -> List[Tuple[Prefix, object]]:
+        """The ``(prefix, next_hop_router)`` table of one router.
+
+        Originated prefixes get the router itself as next hop (local
+        delivery).
+        """
+        if not self.rib:
+            raise RuntimeError("run() must be called first")
+        table = []
+        for prefix, (path, next_hop) in self.rib[name].items():
+            table.append((prefix, next_hop if next_hop is not None else name))
+        table.sort(key=lambda item: (item[0].length, item[0].bits))
+        return table
+
+    def all_tables(self) -> Dict[str, List[Tuple[Prefix, object]]]:
+        """Forwarding tables of every router."""
+        return {name: self.forwarding_table(name) for name in self.graph.nodes}
+
+    def path_of(self, name: str, prefix: Prefix) -> Optional[Tuple[str, ...]]:
+        """The selected router path from ``name`` to the prefix's origin."""
+        entry = self.rib.get(name, {}).get(prefix)
+        return entry[0] if entry else None

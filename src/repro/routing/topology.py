@@ -1,0 +1,121 @@
+"""Network topologies for the routing substrate.
+
+The routing protocols of this package run over a :mod:`networkx` graph.
+Node attributes used downstream:
+
+* ``originated`` — list of ``Prefix`` objects the node injects into the
+  routing system (its own customers/subnets);
+* ``role`` — free-form tag (``"backbone"``, ``"edge"``, ``"stub"``) used
+  by the load-balancing and Figure 1 experiments.
+
+Besides arbitrary user-supplied graphs, three constructors cover the
+shapes the paper reasons about: a linear source→backbone→destination
+chain (Figure 1), a two-level ISP hierarchy, and a random mesh.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.addressing import Prefix
+from repro.tablegen.synthetic import TableGenerator
+
+
+def chain_topology(length: int) -> nx.Graph:
+    """A linear chain ``r0 – r1 – … – r{length-1}``.
+
+    Ends are tagged ``edge``; interior nodes ``backbone``, matching the
+    paper's Figure 1 narrative where the middle of the path crosses the
+    Internet core.
+    """
+    if length < 2:
+        raise ValueError("a chain needs at least two routers")
+    graph = nx.Graph()
+    for index in range(length):
+        role = "edge" if index in (0, length - 1) else "backbone"
+        graph.add_node("r%d" % index, role=role, originated=[])
+    for index in range(length - 1):
+        graph.add_edge("r%d" % index, "r%d" % (index + 1))
+    return graph
+
+
+def hierarchy_topology(
+    backbone: int = 4,
+    regionals_per_backbone: int = 2,
+    stubs_per_regional: int = 3,
+    seed: int = 0,
+) -> nx.Graph:
+    """A three-tier ISP hierarchy: backbone ring, regionals, stubs."""
+    if backbone < 2:
+        raise ValueError("the backbone needs at least two routers")
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    backbone_names = ["bb%d" % i for i in range(backbone)]
+    for name in backbone_names:
+        graph.add_node(name, role="backbone", originated=[])
+    for index, name in enumerate(backbone_names):
+        graph.add_edge(name, backbone_names[(index + 1) % backbone])
+    for b_index, b_name in enumerate(backbone_names):
+        for r_index in range(regionals_per_backbone):
+            r_name = "reg%d_%d" % (b_index, r_index)
+            graph.add_node(r_name, role="regional", originated=[])
+            graph.add_edge(r_name, b_name)
+            # A second uplink for some regionals keeps the graph biconnected.
+            if rng.random() < 0.5:
+                graph.add_edge(r_name, backbone_names[(b_index + 1) % backbone])
+            for s_index in range(stubs_per_regional):
+                s_name = "stub%d_%d_%d" % (b_index, r_index, s_index)
+                graph.add_node(s_name, role="stub", originated=[])
+                graph.add_edge(s_name, r_name)
+    return graph
+
+
+def mesh_topology(nodes: int, degree: int = 3, seed: int = 0) -> nx.Graph:
+    """A random connected mesh (regular-ish degree)."""
+    if nodes < 2:
+        raise ValueError("a mesh needs at least two routers")
+    degree = min(degree, nodes - 1)
+    graph: nx.Graph = nx.random_regular_graph(
+        degree if (degree * nodes) % 2 == 0 else degree + 1, nodes, seed=seed
+    )
+    graph = nx.relabel_nodes(graph, {i: "r%d" % i for i in range(nodes)})
+    if not nx.is_connected(graph):
+        components = [list(c) for c in nx.connected_components(graph)]
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(first[0], second[0])
+    for name in graph.nodes:
+        graph.nodes[name]["role"] = "backbone"
+        graph.nodes[name]["originated"] = []
+    return graph
+
+
+def originate_prefixes(
+    graph: nx.Graph,
+    per_node: int = 4,
+    seed: int = 0,
+    roles: Optional[Sequence[str]] = None,
+    nesting: float = 0.3,
+) -> Dict[str, List[Prefix]]:
+    """Assign originated prefixes to (a role subset of) the graph's nodes.
+
+    Each selected node receives ``per_node`` unique prefixes drawn from the
+    1999 histogram; the assignment is recorded in the node attribute and
+    returned.
+    """
+    generator = TableGenerator(nesting=nesting)
+    nodes = [
+        name
+        for name in sorted(graph.nodes)
+        if roles is None or graph.nodes[name].get("role") in roles
+    ]
+    table = generator.generate(per_node * len(nodes), seed=seed)
+    assignment: Dict[str, List[Prefix]] = {name: [] for name in nodes}
+    for index, (prefix, _hop) in enumerate(table):
+        name = nodes[index % len(nodes)]
+        assignment[name].append(prefix)
+    for name, prefixes in assignment.items():
+        graph.nodes[name]["originated"] = prefixes
+    return assignment

@@ -1,0 +1,110 @@
+"""BGP over OSPF: the two-pass lookup of §5.2.
+
+When a border router's best match resolves to a *recursive* next hop (the
+BGP router on the far side of the AS, with no directly attached
+interface), the router walks its table twice: once for the destination —
+yielding the egress router's address — and once for that address —
+yielding the actual interface next hop.
+
+The paper's point: the clue placed on the packet is still the *first*
+BMP, because downstream routers resolve the packet's destination, not the
+local egress.  Optionally both BMPs can travel ("in some cases it might
+be beneficial to place both BMPs on the packet"); the class reports both
+so the caller can model either choice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.lookup.base import LookupAlgorithm
+from repro.lookup.counters import MemoryCounter
+
+
+class RecursiveNextHop:
+    """A BGP next hop that is itself an address to be resolved by the IGP."""
+
+    __slots__ = ("egress_address",)
+
+    def __init__(self, egress_address: Address):
+        self.egress_address = egress_address
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RecursiveNextHop)
+            and self.egress_address == other.egress_address
+        )
+
+    def __hash__(self) -> int:
+        return hash(("recursive", self.egress_address))
+
+    def __repr__(self) -> str:
+        return "RecursiveNextHop(%s)" % self.egress_address
+
+
+class TwoPassResult:
+    """Outcome of a (possibly) two-pass lookup."""
+
+    __slots__ = (
+        "destination_prefix",
+        "egress_prefix",
+        "next_hop",
+        "accesses",
+        "passes",
+    )
+
+    def __init__(
+        self,
+        destination_prefix: Optional[Prefix],
+        egress_prefix: Optional[Prefix],
+        next_hop: Optional[object],
+        accesses: int,
+        passes: int,
+    ):
+        self.destination_prefix = destination_prefix
+        self.egress_prefix = egress_prefix
+        self.next_hop = next_hop
+        self.accesses = accesses
+        self.passes = passes
+
+    def clue_prefix(self) -> Optional[Prefix]:
+        """The clue to stamp on the packet: always the *first* BMP (§5.2)."""
+        return self.destination_prefix
+
+
+class TwoPassLookup:
+    """Wraps a base algorithm with recursive-next-hop resolution."""
+
+    def __init__(self, base: LookupAlgorithm):
+        self.base = base
+
+    def lookup(
+        self, address: Address, counter: Optional[MemoryCounter] = None
+    ) -> TwoPassResult:
+        """Resolve ``address``; a recursive next hop triggers a second pass."""
+        counter = counter if counter is not None else MemoryCounter()
+        first = self.base.lookup(address, counter)
+        if not isinstance(first.next_hop, RecursiveNextHop):
+            return TwoPassResult(
+                first.prefix, None, first.next_hop, counter.accesses, 1
+            )
+        second = self.base.lookup(first.next_hop.egress_address, counter)
+        return TwoPassResult(
+            first.prefix,
+            second.prefix,
+            second.next_hop,
+            counter.accesses,
+            2,
+        )
+
+
+def recursive_fraction(entries: Iterable[Tuple[Prefix, object]]) -> float:
+    """Fraction of table entries whose next hop is recursive."""
+    total = 0
+    recursive = 0
+    for _prefix, next_hop in entries:
+        total += 1
+        if isinstance(next_hop, RecursiveNextHop):
+            recursive += 1
+    return recursive / total if total else 0.0

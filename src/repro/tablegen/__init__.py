@@ -1,0 +1,44 @@
+"""Forwarding-table sources: synthetic generation, neighbours, RIB dumps."""
+
+from repro.tablegen.histogram import (
+    DEFAULT_IPV4_HISTOGRAM,
+    DEFAULT_IPV6_HISTOGRAM,
+    mean_length,
+    normalise,
+)
+from repro.tablegen.neighbors import (
+    PAPER_PAIRS,
+    PAPER_TABLE_SIZES,
+    NeighborProfile,
+    derive_neighbor,
+    paper_router_tables,
+    subset_table,
+)
+from repro.tablegen.ribparse import (
+    RibParseError,
+    mask_to_length,
+    parse_line,
+    parse_rib,
+    parse_rib_file,
+)
+from repro.tablegen.synthetic import TableGenerator, generate_table
+
+__all__ = [
+    "DEFAULT_IPV4_HISTOGRAM",
+    "DEFAULT_IPV6_HISTOGRAM",
+    "NeighborProfile",
+    "PAPER_PAIRS",
+    "PAPER_TABLE_SIZES",
+    "RibParseError",
+    "TableGenerator",
+    "derive_neighbor",
+    "generate_table",
+    "mask_to_length",
+    "mean_length",
+    "normalise",
+    "paper_router_tables",
+    "parse_line",
+    "parse_rib",
+    "parse_rib_file",
+    "subset_table",
+]

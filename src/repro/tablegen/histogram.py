@@ -1,0 +1,74 @@
+"""Prefix-length distribution of 1999-era backbone tables.
+
+The paper's experiments ran on snapshots of MAE-East/MAE-West/Paix route
+servers and two ISP router pairs taken in 1998/99.  Published analyses of
+that era's tables (e.g. the IPMA project the paper cites as [14]) show a
+distribution dominated by /24s (class-C legacy allocations) with a strong
+/16 mode and a CIDR band around /19–/23.  The default histogram below
+encodes that shape; the generator treats it as a sampling weight, so any
+other distribution (including IPv6 profiles) can be supplied instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Default IPv4 prefix-length weights (1999 backbone shape).  Values are
+#: relative weights, normalised by the generator.
+DEFAULT_IPV4_HISTOGRAM: Dict[int, float] = {
+    8: 0.004,
+    9: 0.001,
+    10: 0.001,
+    11: 0.002,
+    12: 0.003,
+    13: 0.005,
+    14: 0.010,
+    15: 0.010,
+    16: 0.120,
+    17: 0.020,
+    18: 0.035,
+    19: 0.060,
+    20: 0.040,
+    21: 0.040,
+    22: 0.045,
+    23: 0.050,
+    24: 0.540,
+    25: 0.004,
+    26: 0.004,
+    27: 0.002,
+    28: 0.002,
+    29: 0.001,
+    30: 0.001,
+}
+
+#: A plausible IPv6 profile for the paper's "scales to IPv6" argument:
+#: aggregation-friendly allocations between /32 and /64.
+DEFAULT_IPV6_HISTOGRAM: Dict[int, float] = {
+    16: 0.01,
+    24: 0.02,
+    32: 0.25,
+    40: 0.10,
+    44: 0.05,
+    48: 0.35,
+    56: 0.10,
+    64: 0.12,
+}
+
+
+def normalise(histogram: Dict[int, float]) -> Dict[int, float]:
+    """Scale weights to sum to one; rejects empty or non-positive input."""
+    if not histogram:
+        raise ValueError("histogram must not be empty")
+    total = float(sum(histogram.values()))
+    if total <= 0:
+        raise ValueError("histogram weights must sum to a positive value")
+    for length, weight in histogram.items():
+        if weight < 0:
+            raise ValueError("negative weight for length %d" % length)
+    return {length: weight / total for length, weight in histogram.items()}
+
+
+def mean_length(histogram: Dict[int, float]) -> float:
+    """Expected prefix length under the (normalised) histogram."""
+    normal = normalise(histogram)
+    return sum(length * weight for length, weight in normal.items())

@@ -1,0 +1,115 @@
+"""Parsing RIB-style text dumps (``sh ip route`` and friends).
+
+The paper's experiments were driven by router snapshots obtained either
+from the IPMA route servers [14] or via ``sh ip route``.  This parser
+accepts the common textual shapes so real dumps can be dropped into the
+harness in place of the synthetic tables:
+
+* ``10.24.0.0/13 via 192.205.31.165`` — plain prefix + next hop;
+* ``B  10.24.0.0/13 [20/0] via 192.205.31.165, 3d01h`` — Cisco style;
+* ``10.24.0.0/13`` — bare prefix (next hop defaults to None);
+* classful lines ``10.0.0.0 255.0.0.0 192.0.2.1`` — netmask form.
+
+Lines that are blank, comments (``#``/``!``) or unparseable headers are
+skipped; strict mode raises on unparseable non-empty lines instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from repro.addressing import AddressParseError, Prefix, parse_ipv4
+from repro.tablegen.synthetic import Entry
+
+
+class RibParseError(ValueError):
+    """A RIB line could not be parsed in strict mode."""
+
+
+_PREFIX_RE = re.compile(r"(\d{1,3}(?:\.\d{1,3}){3})/(\d{1,2})")
+_MASK_RE = re.compile(
+    r"(\d{1,3}(?:\.\d{1,3}){3})\s+(\d{1,3}(?:\.\d{1,3}){3})"
+)
+_VIA_RE = re.compile(r"via\s+(\d{1,3}(?:\.\d{1,3}){3})")
+
+
+def mask_to_length(mask_text: str) -> int:
+    """Convert a dotted netmask into a prefix length."""
+    value = parse_ipv4(mask_text)
+    length = 0
+    seen_zero = False
+    for shift in range(31, -1, -1):
+        bit = (value >> shift) & 1
+        if bit:
+            if seen_zero:
+                raise RibParseError("non-contiguous netmask %s" % mask_text)
+            length += 1
+        else:
+            seen_zero = True
+    return length
+
+
+def parse_line(line: str) -> Optional[Entry]:
+    """Parse one RIB line into ``(prefix, next_hop)``; None if no route."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith(("#", "!")):
+        return None
+    next_hop: Optional[str] = None
+    via = _VIA_RE.search(stripped)
+    if via:
+        next_hop = via.group(1)
+    slash = _PREFIX_RE.search(stripped)
+    if slash:
+        network, length_text = slash.groups()
+        length = int(length_text)
+        if length > 32:
+            raise RibParseError("prefix length %s too long" % length_text)
+        address_value = parse_ipv4(network)
+        masked = (
+            address_value >> (32 - length) << (32 - length)
+            if length
+            else 0
+        )
+        if masked != address_value:
+            # Tolerate host bits in dumps; canonicalise instead of failing.
+            address_value = masked
+        return Prefix(address_value >> (32 - length) if length else 0, length), next_hop
+    mask = _MASK_RE.search(stripped)
+    if mask:
+        network, mask_text = mask.groups()
+        try:
+            length = mask_to_length(mask_text)
+        except (RibParseError, AddressParseError):
+            return None
+        address_value = parse_ipv4(network)
+        bits = address_value >> (32 - length) if length else 0
+        return Prefix(bits, length), next_hop
+    return None
+
+
+def parse_rib(
+    lines: Iterable[str], strict: bool = False
+) -> List[Entry]:
+    """Parse a whole dump; duplicate prefixes keep the first next hop."""
+    seen = {}
+    for number, line in enumerate(lines, start=1):
+        try:
+            entry = parse_line(line)
+        except (RibParseError, AddressParseError) as exc:
+            if strict:
+                raise RibParseError("line %d: %s" % (number, exc))
+            continue
+        if entry is None:
+            if strict and line.strip() and not line.strip().startswith(("#", "!")):
+                raise RibParseError("line %d: unrecognised route" % number)
+            continue
+        prefix, next_hop = entry
+        seen.setdefault(prefix, next_hop)
+    return sorted(seen.items(), key=lambda item: (item[0].length, item[0].bits))
+
+
+def parse_rib_file(path: str, strict: bool = False) -> List[Entry]:
+    """Parse a RIB dump from a file path."""
+    with open(path) as handle:
+        return parse_rib(handle, strict=strict)

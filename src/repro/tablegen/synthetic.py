@@ -1,0 +1,128 @@
+"""Synthetic BGP-like forwarding tables.
+
+Real 1999 snapshots are unavailable, so this generator builds tables whose
+*structure* matches what the clue scheme is sensitive to:
+
+* the prefix-length histogram of the era (``repro.tablegen.histogram``);
+* nesting — a sizeable share of prefixes are more-specifics of other table
+  entries (customer routes under provider aggregates), which is what makes
+  clue vertices have descendants at all;
+* clustered address usage — allocations concentrate under a set of top
+  blocks rather than spraying uniformly over the 32-bit space.
+
+The generator is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.addressing import Prefix
+from repro.tablegen.histogram import DEFAULT_IPV4_HISTOGRAM, normalise
+
+Entry = Tuple[Prefix, object]
+
+#: Default probability that a new prefix is planted under an existing,
+#: shorter one (provider aggregate → customer more-specific).
+DEFAULT_NESTING = 0.45
+
+#: Default number of top-level allocation blocks (/8s) that receive all
+#: the generated prefixes, mimicking the clustered IPv4 space of 1999.
+DEFAULT_TOP_BLOCKS = 48
+
+
+class TableGenerator:
+    """Generates synthetic forwarding tables with a BGP-like shape."""
+
+    def __init__(
+        self,
+        histogram: Optional[Dict[int, float]] = None,
+        width: int = 32,
+        nesting: float = DEFAULT_NESTING,
+        top_blocks: int = DEFAULT_TOP_BLOCKS,
+        next_hops: Sequence[object] = ("hop-a", "hop-b", "hop-c", "hop-d"),
+    ):
+        if not 0.0 <= nesting <= 1.0:
+            raise ValueError("nesting must be within [0, 1]")
+        if top_blocks < 1:
+            raise ValueError("at least one top block is required")
+        if not next_hops:
+            raise ValueError("a non-empty next-hop pool is required")
+        self.width = width
+        self.histogram = normalise(
+            histogram if histogram is not None else DEFAULT_IPV4_HISTOGRAM
+        )
+        self.nesting = nesting
+        self.top_blocks = top_blocks
+        self.next_hops = list(next_hops)
+        self._lengths = sorted(self.histogram)
+        self._weights = [self.histogram[length] for length in self._lengths]
+
+    # ------------------------------------------------------------------
+    def generate(self, count: int, seed: int = 0) -> List[Entry]:
+        """Generate ``count`` unique prefixes with next hops."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        rng = random.Random(seed)
+        blocks = self._allocate_blocks(rng)
+        chosen: Dict[Prefix, object] = {}
+        # Prefixes sampled shortest-first so more-specifics can nest under
+        # already-chosen entries.
+        lengths = sorted(
+            rng.choices(self._lengths, weights=self._weights, k=count)
+        )
+        shorter_pool: List[Prefix] = []
+        attempts_left = count * 20
+        for length in lengths:
+            while attempts_left:
+                attempts_left -= 1
+                prefix = self._draw_prefix(rng, length, blocks, shorter_pool)
+                if prefix not in chosen:
+                    chosen[prefix] = rng.choice(self.next_hops)
+                    shorter_pool.append(prefix)
+                    break
+        return sorted(chosen.items(), key=lambda item: (item[0].length, item[0].bits))
+
+    # ------------------------------------------------------------------
+    def _allocate_blocks(self, rng: random.Random) -> List[Prefix]:
+        """The top-level /8-style allocation blocks."""
+        block_length = min(8, self.width)
+        values = rng.sample(range(1 << block_length), k=min(self.top_blocks, 1 << block_length))
+        return [Prefix(value, block_length, self.width) for value in values]
+
+    def _draw_prefix(
+        self,
+        rng: random.Random,
+        length: int,
+        blocks: List[Prefix],
+        shorter_pool: List[Prefix],
+    ) -> Prefix:
+        """One candidate prefix of the requested length."""
+        if shorter_pool and rng.random() < self.nesting:
+            parent = rng.choice(shorter_pool)
+            if parent.length < length:
+                extra = length - parent.length
+                bits = (parent.bits << extra) | rng.getrandbits(extra)
+                return Prefix(bits, length, self.width)
+        block = rng.choice(blocks)
+        if block.length >= length:
+            return block.truncate(length)
+        extra = length - block.length
+        bits = (block.bits << extra) | rng.getrandbits(extra)
+        return Prefix(bits, length, self.width)
+
+
+def generate_table(
+    count: int,
+    seed: int = 0,
+    histogram: Optional[Dict[int, float]] = None,
+    width: int = 32,
+    nesting: float = DEFAULT_NESTING,
+    next_hops: Sequence[object] = ("hop-a", "hop-b", "hop-c", "hop-d"),
+) -> List[Entry]:
+    """Convenience wrapper: one-shot table generation."""
+    generator = TableGenerator(
+        histogram=histogram, width=width, nesting=nesting, next_hops=next_hops
+    )
+    return generator.generate(count, seed)

@@ -1,0 +1,14 @@
+"""Trie substrate: binary trie, Patricia trie, and two-trie overlays."""
+
+from repro.trie.binary_trie import BinaryTrie
+from repro.trie.node import TrieNode
+from repro.trie.overlay import OverlayNode, TrieOverlay
+from repro.trie.patricia import PatriciaTrie
+
+__all__ = [
+    "BinaryTrie",
+    "OverlayNode",
+    "PatriciaTrie",
+    "TrieNode",
+    "TrieOverlay",
+]

@@ -1,0 +1,252 @@
+"""Path-compressed binary trie (Patricia), per §3.1 and §4 of the paper.
+
+In the Patricia representation every internal unmarked vertex that has only
+one child is contracted, so any internal vertex is either marked or has two
+children (the root is exempt).  Lookup walks the compressed structure, one
+memory reference per vertex visited, which is the cost model the paper's
+"Patricia" rows use.
+
+The structure supports dynamic insertion (with edge splitting) and removal
+(with re-contraction), exact location of arbitrary bit strings — needed to
+resume a search from a clue vertex that may sit in the middle of a
+compressed edge — and address walks usable both from the root ("common"
+methods) and from a clue ("Simple"/"Advance" methods).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.trie.node import TrieNode
+
+
+class PatriciaTrie:
+    """A path-compressed trie over prefixes of one address family."""
+
+    def __init__(self, width: int = 32):
+        self.width = width
+        self.root = TrieNode(Prefix.root(width))
+        self._size = 0
+
+    @classmethod
+    def from_prefixes(
+        cls,
+        entries: Iterable[Tuple[Prefix, object]],
+        width: int = 32,
+    ) -> "PatriciaTrie":
+        """Build a Patricia trie from ``(prefix, next_hop)`` pairs."""
+        trie = cls(width)
+        for prefix, next_hop in entries:
+            trie.insert(prefix, next_hop)
+        return trie
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, next_hop: object) -> TrieNode:
+        """Insert (or update) a prefix; returns its vertex."""
+        node = self.root
+        while True:
+            if node.prefix == prefix:
+                if not node.marked:
+                    self._size += 1
+                node.mark(next_hop)
+                return node
+            bit = prefix.bit(node.prefix.length)
+            child = node.children.get(bit)
+            if child is None:
+                leaf = TrieNode(prefix)
+                leaf.mark(next_hop)
+                node.children[bit] = leaf
+                self._size += 1
+                return leaf
+            common = prefix.common_with(child.prefix)
+            if common == child.prefix:
+                node = child
+                continue
+            if common == prefix:
+                # ``prefix`` sits on the compressed edge above ``child``.
+                middle = TrieNode(prefix)
+                middle.mark(next_hop)
+                middle.children[child.prefix.bit(prefix.length)] = child
+                node.children[bit] = middle
+                self._size += 1
+                return middle
+            # Split the edge at the longest common prefix.
+            fork = TrieNode(common)
+            leaf = TrieNode(prefix)
+            leaf.mark(next_hop)
+            fork.children[child.prefix.bit(common.length)] = child
+            fork.children[prefix.bit(common.length)] = leaf
+            node.children[bit] = fork
+            self._size += 1
+            return leaf
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove a prefix, re-contracting one-way vertices.  True if found."""
+        path: List[TrieNode] = []
+        node = self.root
+        while node.prefix != prefix:
+            if not node.prefix.is_prefix_of(prefix):
+                return False
+            if node.prefix.length >= prefix.length:
+                return False
+            child = node.children.get(prefix.bit(node.prefix.length))
+            if child is None or not child.prefix.is_prefix_of(prefix):
+                return False
+            path.append(node)
+            node = child
+        if not node.marked:
+            return False
+        node.unmark()
+        self._size -= 1
+        self._contract(path, node)
+        return True
+
+    def _contract(self, path: List[TrieNode], node: TrieNode) -> None:
+        """Restore the Patricia invariant after ``node`` was unmarked."""
+        if node is self.root:
+            return
+        parent = path[-1]
+        bit = node.prefix.bit(parent.prefix.length)
+        if not node.children:
+            del parent.children[bit]
+            # The parent may now be an unmarked one-way internal vertex.
+            if (
+                parent is not self.root
+                and not parent.marked
+                and len(parent.children) == 1
+            ):
+                (orphan,) = parent.children.values()
+                grand = path[-2]
+                grand_bit = parent.prefix.bit(grand.prefix.length)
+                grand.children[grand_bit] = orphan
+        elif len(node.children) == 1:
+            (child,) = node.children.values()
+            parent.children[bit] = child
+
+    # ------------------------------------------------------------------
+    # location
+    # ------------------------------------------------------------------
+    def find_node(self, prefix: Prefix) -> Optional[TrieNode]:
+        """The vertex whose prefix is exactly ``prefix``, if present."""
+        node = self.root
+        while True:
+            if node.prefix == prefix:
+                return node
+            if node.prefix.length >= prefix.length:
+                return None
+            child = node.children.get(prefix.bit(node.prefix.length))
+            if child is None or not child.prefix.is_prefix_of(prefix):
+                if child is not None and prefix.is_prefix_of(child.prefix):
+                    return None
+                return None
+            node = child
+
+    def locate(self, prefix: Prefix) -> Tuple[TrieNode, Optional[TrieNode]]:
+        """Locate ``prefix`` in the compressed structure.
+
+        Returns ``(below, above)`` where ``below`` is the deepest vertex
+        whose prefix is a prefix of (or equals) ``prefix`` and ``above`` is
+        the vertex hanging under ``below`` whose prefix *extends* ``prefix``
+        (i.e. ``prefix`` sits on the compressed edge ``below``→``above``),
+        or None when no such vertex exists.  When ``prefix`` is an exact
+        vertex, ``below.prefix == prefix`` and ``above`` is None.
+        """
+        node = self.root
+        while True:
+            if node.prefix == prefix:
+                return node, None
+            child = node.children.get(prefix.bit(node.prefix.length))
+            if child is None:
+                return node, None
+            if child.prefix.is_prefix_of(prefix):
+                node = child
+                continue
+            if prefix.is_prefix_of(child.prefix):
+                return node, child
+            return node, None
+
+    def contains(self, prefix: Prefix) -> bool:
+        """True if ``prefix`` is a marked vertex."""
+        node = self.find_node(prefix)
+        return node is not None and node.marked
+
+    # ------------------------------------------------------------------
+    # walks
+    # ------------------------------------------------------------------
+    def walk(self, address: Address, start: Optional[TrieNode] = None) -> Iterator[TrieNode]:
+        """Vertices visited by a lookup of ``address`` from ``start``.
+
+        Every yielded vertex costs one memory reference; the final yielded
+        vertex may fail the prefix check (the classical Patricia overshoot)
+        and callers must test ``node.prefix.matches(address)`` before
+        treating it as a match.
+        """
+        node = self.root if start is None else start
+        yield node
+        while node.prefix.matches(address):
+            if node.prefix.length >= self.width:
+                return
+            child = node.children.get(address.bit(node.prefix.length))
+            if child is None:
+                return
+            yield child
+            node = child
+
+    def longest_match(self, address: Address) -> Optional[TrieNode]:
+        """The vertex of the longest marked prefix matching ``address``."""
+        best = None
+        for node in self.walk(address):
+            if node.marked and node.prefix.matches(address):
+                best = node
+        return best
+
+    def best_prefix(self, address: Address) -> Optional[Prefix]:
+        """The longest marked prefix matching ``address`` (or None)."""
+        node = self.longest_match(address)
+        return node.prefix if node else None
+
+    # ------------------------------------------------------------------
+    # iteration / stats
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[TrieNode]:
+        """All vertices, pre-order."""
+        return self.root.subtree()
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """All marked prefixes, pre-order."""
+        for node in self.nodes():
+            if node.marked:
+                yield node.prefix
+
+    def entries(self) -> Iterator[Tuple[Prefix, object]]:
+        """All ``(prefix, next_hop)`` pairs, pre-order."""
+        for node in self.nodes():
+            if node.marked:
+                yield node.prefix, node.next_hop
+
+    def node_count(self) -> int:
+        """Total number of vertices in the compressed structure."""
+        return sum(1 for _ in self.nodes())
+
+    def check_invariant(self) -> bool:
+        """Verify the Patricia contraction invariant on every vertex."""
+        for node in self.nodes():
+            if node is self.root:
+                continue
+            if not node.marked and len(node.children) == 1:
+                return False
+            if not node.marked and not node.children:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.contains(prefix)
+
+    def __repr__(self) -> str:
+        return "PatriciaTrie(%d prefixes, width=%d)" % (self._size, self.width)

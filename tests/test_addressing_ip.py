@@ -1,0 +1,318 @@
+"""Unit tests for the addressing layer."""
+
+import pytest
+
+from repro.addressing import (
+    Address,
+    AddressParseError,
+    Prefix,
+    PrefixLengthError,
+    WidthMismatchError,
+    clue_field_width,
+    format_ipv4,
+    format_ipv6,
+    longest_common_prefix,
+    parse_ipv4,
+    parse_ipv6,
+    sort_key,
+)
+
+
+class TestParseIPv4:
+    def test_parses_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parses_all_ones(self):
+        assert parse_ipv4("255.255.255.255") == (1 << 32) - 1
+
+    def test_parses_mixed(self):
+        assert parse_ipv4("10.1.2.3") == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    def test_rejects_three_octets(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv4("10.1.2")
+
+    def test_rejects_out_of_range_octet(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv4("10.1.2.256")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv4("10.one.2.3")
+
+    def test_rejects_negative(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv4("10.-1.2.3")
+
+
+class TestFormatIPv4:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+
+class TestParseIPv6:
+    def test_parses_full_form(self):
+        value = parse_ipv6("2001:db8:0:0:0:0:0:1")
+        assert value >> 112 == 0x2001
+
+    def test_parses_compressed(self):
+        assert parse_ipv6("2001:db8::1") == parse_ipv6("2001:db8:0:0:0:0:0:1")
+
+    def test_parses_loopback(self):
+        assert parse_ipv6("::1") == 1
+
+    def test_parses_all_zero(self):
+        assert parse_ipv6("::") == 0
+
+    def test_rejects_double_compression(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv6("2001::db8::1")
+
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv6("1:2:3:4:5:6:7:8:9")
+
+    def test_rejects_wide_group(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv6("12345::1")
+
+    def test_format_roundtrip(self):
+        value = parse_ipv6("2001:db8::42")
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestAddress:
+    def test_parse_dispatches_ipv4(self):
+        assert Address.parse("10.0.0.1").width == 32
+
+    def test_parse_dispatches_ipv6(self):
+        assert Address.parse("2001:db8::1").width == 128
+
+    def test_bit_msb_first(self):
+        address = Address.parse("128.0.0.1")
+        assert address.bit(0) == 1
+        assert address.bit(1) == 0
+        assert address.bit(31) == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Address.parse("10.0.0.1").bit(32)
+
+    def test_leading_bits(self):
+        address = Address.parse("192.0.0.0")
+        assert address.leading_bits(2) == 0b11
+        assert address.leading_bits(0) == 0
+
+    def test_prefix_of_address(self):
+        assert Address.parse("10.1.2.3").prefix(8) == Prefix.parse("10.0.0.0/8")
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(AddressParseError):
+            Address(1 << 32, 32)
+
+    def test_equality_and_hash(self):
+        a = Address.parse("10.0.0.1")
+        b = Address.parse("10.0.0.1")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Address.parse("10.0.0.2")
+
+    def test_str_ipv4(self):
+        assert str(Address.parse("10.0.0.1")) == "10.0.0.1"
+
+    def test_invalid_width(self):
+        with pytest.raises(WidthMismatchError):
+            Address(0, 64)
+
+
+class TestPrefixConstruction:
+    def test_root(self):
+        root = Prefix.root()
+        assert root.length == 0
+        assert root.bits == 0
+
+    def test_parse_slash(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.length == 8
+        assert prefix.bits == 10
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressParseError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_parse_rejects_missing_length(self):
+        with pytest.raises(AddressParseError):
+            Prefix.parse("10.0.0.0")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(AddressParseError):
+            Prefix.parse("10.0.0.0/x")
+
+    def test_parse_rejects_overlong(self):
+        with pytest.raises(PrefixLengthError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_parse_ipv6_prefix(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert prefix.width == 128
+        assert prefix.length == 32
+
+    def test_from_bitstring(self):
+        prefix = Prefix.from_bitstring("1010")
+        assert prefix.bits == 0b1010
+        assert prefix.length == 4
+
+    def test_from_bitstring_empty(self):
+        assert Prefix.from_bitstring("") == Prefix.root()
+
+    def test_from_bitstring_rejects_non_binary(self):
+        with pytest.raises(AddressParseError):
+            Prefix.from_bitstring("10a1")
+
+    def test_bits_must_fit(self):
+        with pytest.raises(AddressParseError):
+            Prefix(0b100, 2)
+
+    def test_length_bounds(self):
+        with pytest.raises(PrefixLengthError):
+            Prefix(0, 33)
+
+
+class TestPrefixOperations:
+    def test_bit(self):
+        prefix = Prefix.from_bitstring("101")
+        assert [prefix.bit(i) for i in range(3)] == [1, 0, 1]
+
+    def test_bitstring_roundtrip(self):
+        prefix = Prefix.from_bitstring("0110")
+        assert prefix.bitstring() == "0110"
+
+    def test_bitstring_preserves_leading_zeros(self):
+        assert Prefix.from_bitstring("0001").bitstring() == "0001"
+
+    def test_child(self):
+        assert Prefix.from_bitstring("10").child(1) == Prefix.from_bitstring("101")
+
+    def test_child_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            Prefix.root().child(2)
+
+    def test_child_rejects_full_width(self):
+        with pytest.raises(PrefixLengthError):
+            Prefix(0, 32).child(0)
+
+    def test_parent(self):
+        assert Prefix.from_bitstring("101").parent() == Prefix.from_bitstring("10")
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(PrefixLengthError):
+            Prefix.root().parent()
+
+    def test_truncate(self):
+        assert Prefix.from_bitstring("10110").truncate(2) == Prefix.from_bitstring("10")
+
+    def test_truncate_identity(self):
+        prefix = Prefix.from_bitstring("10110")
+        assert prefix.truncate(5) == prefix
+
+    def test_truncate_rejects_longer(self):
+        with pytest.raises(PrefixLengthError):
+            Prefix.from_bitstring("10").truncate(3)
+
+    def test_is_prefix_of_self(self):
+        prefix = Prefix.from_bitstring("101")
+        assert prefix.is_prefix_of(prefix)
+
+    def test_is_prefix_of_descendant(self):
+        assert Prefix.from_bitstring("10").is_prefix_of(
+            Prefix.from_bitstring("10110")
+        )
+
+    def test_is_prefix_of_rejects_sibling(self):
+        assert not Prefix.from_bitstring("10").is_prefix_of(
+            Prefix.from_bitstring("11")
+        )
+
+    def test_is_prefix_of_rejects_longer(self):
+        assert not Prefix.from_bitstring("101").is_prefix_of(
+            Prefix.from_bitstring("10")
+        )
+
+    def test_is_prefix_of_width_mismatch(self):
+        with pytest.raises(WidthMismatchError):
+            Prefix.root(32).is_prefix_of(Prefix.root(128))
+
+    def test_matches_address(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.matches(Address.parse("10.200.3.4"))
+        assert not prefix.matches(Address.parse("11.0.0.0"))
+
+    def test_root_matches_everything(self):
+        assert Prefix.root().matches(Address.parse("255.255.255.255"))
+
+    def test_common_with(self):
+        a = Prefix.from_bitstring("1010")
+        b = Prefix.from_bitstring("1001")
+        assert a.common_with(b) == Prefix.from_bitstring("10")
+
+    def test_common_with_disjoint(self):
+        a = Prefix.from_bitstring("0")
+        b = Prefix.from_bitstring("1")
+        assert a.common_with(b) == Prefix.root()
+
+    def test_longest_common_prefix_helper(self):
+        a = Prefix.from_bitstring("110")
+        b = Prefix.from_bitstring("111")
+        assert longest_common_prefix(a, b) == Prefix.from_bitstring("11")
+
+    def test_network_and_broadcast(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert str(prefix.network_address()) == "10.0.0.0"
+        assert str(prefix.broadcast_address()) == "10.255.255.255"
+
+    def test_address_range(self):
+        low, high = Prefix.parse("10.0.0.0/8").address_range()
+        assert low == 10 << 24
+        assert high == ((10 << 24) | 0xFFFFFF)
+
+    def test_ancestors(self):
+        prefix = Prefix.from_bitstring("101")
+        ancestors = list(prefix.ancestors())
+        assert ancestors == [
+            Prefix.from_bitstring("10"),
+            Prefix.from_bitstring("1"),
+            Prefix.root(),
+        ]
+
+    def test_random_address_is_covered(self, rng):
+        prefix = Prefix.parse("10.32.0.0/11")
+        for _ in range(20):
+            assert prefix.matches(prefix.random_address(rng))
+
+    def test_ordering(self):
+        assert Prefix.from_bitstring("1") < Prefix.from_bitstring("01")
+        assert Prefix.from_bitstring("01") < Prefix.from_bitstring("10")
+
+    def test_sort_key(self):
+        prefixes = [Prefix.from_bitstring(s) for s in ("11", "0", "101")]
+        ordered = sorted(prefixes, key=sort_key)
+        assert [p.bitstring() for p in ordered] == ["0", "11", "101"]
+
+    def test_str_ipv4(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_str_ipv6(self):
+        assert str(Prefix.parse("2001:db8::/32")).endswith("/32")
+
+
+class TestClueFieldWidth:
+    def test_ipv4_needs_5_bits(self):
+        assert clue_field_width(32) == 5
+
+    def test_ipv6_needs_7_bits(self):
+        assert clue_field_width(128) == 7
+
+    def test_rejects_other_widths(self):
+        with pytest.raises(WidthMismatchError):
+            clue_field_width(64)

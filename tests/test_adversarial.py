@@ -1,0 +1,155 @@
+"""Adversarial structures: worst cases for each piece of the machinery.
+
+These tests construct the pathological inputs a reviewer would ask about:
+a clue whose subtree is a full binary carpet of receiver prefixes, deep
+one-way chains, clue/table disagreements, and the non-prefix-clue guard.
+"""
+
+import math
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core import (
+    AdvanceMethod,
+    ClueAssistedLookup,
+    ReceiverState,
+    SimpleMethod,
+)
+from repro.lookup import BASELINES, MemoryCounter
+from repro.trie import BinaryTrie
+from tests.conftest import p
+
+
+def addr(bits: str) -> Address:
+    return Address(int(bits, 2) << (32 - len(bits)), 32)
+
+
+class TestCarpetBelowClue:
+    """The sender has one aggregate; the receiver a full /k carpet below."""
+
+    DEPTH = 6  # 64 receiver prefixes under the clue
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        clue = p("1")
+        sender = [(clue, "s")]
+        receiver = [(clue, "r")] + [
+            (Prefix((1 << self.DEPTH) | bits, self.DEPTH + 1, 32), bits)
+            for bits in range(1 << self.DEPTH)
+        ]
+        return sender, receiver, clue
+
+    def test_every_destination_correct(self, pair, rng):
+        sender, receiver, clue = pair
+        receiver_state = ReceiverState(receiver)
+        for technique in ("regular", "patricia", "binary", "logw"):
+            method = AdvanceMethod(
+                BinaryTrie.from_prefixes(sender), receiver_state, technique
+            )
+            lookup = ClueAssistedLookup(
+                BASELINES[technique](receiver), method.build_table()
+            )
+            for _ in range(50):
+                destination = clue.random_address(rng)
+                expected, _ = receiver_state.best_match(destination)
+                assert lookup.lookup(destination, clue).prefix == expected
+
+    def test_binary_continuation_cost_is_logarithmic(self, pair, rng):
+        sender, receiver, clue = pair
+        receiver_state = ReceiverState(receiver)
+        method = AdvanceMethod(
+            BinaryTrie.from_prefixes(sender), receiver_state, "binary"
+        )
+        lookup = ClueAssistedLookup(BASELINES["binary"](receiver), method.build_table())
+        carpet = 1 << self.DEPTH
+        bound = 1 + math.ceil(math.log2(2 * carpet)) + 1
+        for _ in range(30):
+            destination = clue.random_address(rng)
+            counter = MemoryCounter()
+            lookup.lookup(destination, clue, counter)
+            assert counter.accesses <= bound
+
+    def test_trie_continuation_bounded_by_depth(self, pair, rng):
+        sender, receiver, clue = pair
+        receiver_state = ReceiverState(receiver)
+        method = AdvanceMethod(
+            BinaryTrie.from_prefixes(sender), receiver_state, "regular"
+        )
+        lookup = ClueAssistedLookup(
+            BASELINES["regular"](receiver), method.build_table()
+        )
+        for _ in range(30):
+            destination = clue.random_address(rng)
+            counter = MemoryCounter()
+            lookup.lookup(destination, clue, counter)
+            # clue-table probe + at most DEPTH+1 vertices below the clue.
+            assert counter.accesses <= 1 + self.DEPTH + 1
+
+
+class TestDeepChain:
+    """A 32-deep one-way chain: the regular trie's worst case."""
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return [(Prefix((1 << k) - 1, k, 32), k) for k in range(1, 33)]
+
+    def test_common_regular_pays_full_depth(self, chain):
+        lookup = BASELINES["regular"](chain)
+        result = lookup.lookup(Address((1 << 32) - 1, 32))
+        assert result.prefix.length == 32
+        assert result.accesses == 33  # root + 32 vertices
+
+    def test_advance_collapses_the_chain(self, chain):
+        receiver_state = ReceiverState(chain)
+        method = AdvanceMethod(
+            BinaryTrie.from_prefixes(chain), receiver_state, "regular"
+        )
+        lookup = ClueAssistedLookup(BASELINES["regular"](chain), method.build_table())
+        destination = Address((1 << 32) - 1, 32)
+        clue = destination.prefix(32)
+        counter = MemoryCounter()
+        result = lookup.lookup(destination, clue, counter)
+        assert result.prefix.length == 32
+        assert counter.accesses == 1
+
+    def test_mid_chain_clue(self, chain):
+        receiver_state = ReceiverState(chain)
+        method = AdvanceMethod(
+            BinaryTrie.from_prefixes(chain), receiver_state, "regular"
+        )
+        lookup = ClueAssistedLookup(BASELINES["regular"](chain), method.build_table())
+        # Destination diverges after 16 ones: BMP everywhere is /16.
+        destination = Address(((1 << 16) - 1) << 16, 32)
+        clue = destination.prefix(16)
+        counter = MemoryCounter()
+        result = lookup.lookup(destination, clue, counter)
+        assert result.prefix.length == 16
+        assert counter.accesses <= 3
+
+
+class TestClueGuard:
+    def test_non_prefix_clue_is_ignored(self, tiny_sender_trie, tiny_receiver):
+        method = AdvanceMethod(tiny_sender_trie, tiny_receiver, "patricia")
+        lookup = ClueAssistedLookup(
+            BASELINES["patricia"](tiny_receiver.entries), method.build_table()
+        )
+        destination = addr("0010")
+        bogus = p("11")  # in the table, but NOT a prefix of the destination
+        expected, _ = tiny_receiver.best_match(destination)
+        assert lookup.lookup(destination, bogus).prefix == expected
+
+    def test_simple_with_every_possible_field_value(
+        self, tiny_sender_trie, tiny_receiver
+    ):
+        """Sweep all 33 header-field values for one destination."""
+        destination = addr("00101")
+        simple = SimpleMethod(tiny_receiver, "regular")
+        expected, _ = tiny_receiver.best_match(destination)
+        for field in range(33):
+            clue = destination.prefix(field)
+            lookup = ClueAssistedLookup(
+                BASELINES["regular"](tiny_receiver.entries),
+                simple.build_table([clue]),
+            )
+            assert lookup.lookup(destination, clue).prefix == expected, field

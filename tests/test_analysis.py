@@ -1,0 +1,92 @@
+"""Unit tests for the table-structure analysis module."""
+
+import pytest
+
+from repro.analysis import (
+    containment,
+    histogram_distance,
+    jaccard,
+    length_histogram,
+    nesting_profile,
+    pair_report,
+)
+from repro.cli import main
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+from tests.conftest import p
+
+
+ENTRIES_A = [(p("0"), "x"), (p("00"), "x"), (p("01"), "x"), (p("1"), "x")]
+ENTRIES_B = [(p("0"), "y"), (p("00"), "y"), (p("11"), "y")]
+
+
+class TestSetMetrics:
+    def test_jaccard(self):
+        assert jaccard(ENTRIES_A, ENTRIES_B) == pytest.approx(2 / 5)
+
+    def test_jaccard_identical(self):
+        assert jaccard(ENTRIES_A, ENTRIES_A) == 1.0
+
+    def test_jaccard_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_containment_directional(self):
+        assert containment(ENTRIES_B, ENTRIES_A) == pytest.approx(2 / 3)
+        assert containment(ENTRIES_A, ENTRIES_B) == pytest.approx(2 / 4)
+
+    def test_containment_empty_inner(self):
+        assert containment([], ENTRIES_A) == 1.0
+
+
+class TestNestingProfile:
+    def test_covered_fraction(self):
+        profile = nesting_profile(ENTRIES_A)
+        # 00 and 01 sit under 0: two of four covered.
+        assert profile["covered_fraction"] == pytest.approx(0.5)
+        assert profile["max_nesting_depth"] == 1.0
+
+    def test_flat_table(self):
+        profile = nesting_profile([(p("00"), "x"), (p("01"), "x"), (p("10"), "x")])
+        assert profile["covered_fraction"] == 0.0
+
+    def test_deep_chain(self):
+        entries = [(p("1" * i), "x") for i in range(1, 5)]
+        profile = nesting_profile(entries)
+        assert profile["max_nesting_depth"] == 3.0
+
+
+class TestHistograms:
+    def test_length_histogram_normalised(self):
+        histogram = length_histogram(ENTRIES_A)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+        assert histogram[1] == pytest.approx(0.5)
+        assert histogram[2] == pytest.approx(0.5)
+
+    def test_distance_zero_for_identical(self):
+        histogram = length_histogram(ENTRIES_A)
+        assert histogram_distance(histogram, histogram) == 0.0
+
+    def test_distance_one_for_disjoint(self):
+        assert histogram_distance({8: 1.0}, {24: 1.0}) == 1.0
+
+
+class TestPairReport:
+    def test_generated_pair_is_in_paper_regime(self):
+        sender = generate_table(600, seed=91)
+        receiver = derive_neighbor(sender, NeighborProfile(), seed=92)
+        report = pair_report(sender, receiver)
+        assert report["jaccard"] > 0.9
+        assert report["claim1_fraction"] > 0.95
+        assert report["length_histogram_distance"] < 0.05
+        assert report["receiver_covered_fraction"] > 0.2
+
+    def test_dissimilar_pair_detected(self):
+        left = generate_table(300, seed=93)
+        right = generate_table(300, seed=994)
+        report = pair_report(left, right)
+        assert report["jaccard"] < 0.5
+
+    def test_cli_analyze(self, capsys):
+        assert main(["analyze", "--synthetic", "--count", "200", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "claim1_fraction" in out
+        assert "jaccard" in out

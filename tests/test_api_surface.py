@@ -1,0 +1,129 @@
+"""Coverage of the remaining public-API surface and repr contracts."""
+
+import pytest
+
+import repro
+from repro.addressing import Address, Prefix
+from repro.core import ClueEntry, ClueTable, ReceiverState
+from repro.experiments import PairComparison
+from repro.lookup import LookupResult, MemoryCounter
+from repro.netsim import HopRecord, Packet
+from repro.netsim.router import Router
+from repro.trie import BinaryTrie, PatriciaTrie, TrieOverlay
+from tests.conftest import p
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.addressing
+        import repro.analysis
+        import repro.classify
+        import repro.core
+        import repro.experiments
+        import repro.lookup
+        import repro.netsim
+        import repro.routing
+        import repro.tablegen
+        import repro.trie
+
+        for module in (
+            repro.addressing, repro.analysis, repro.classify, repro.core,
+            repro.experiments, repro.lookup, repro.netsim, repro.routing,
+            repro.tablegen, repro.trie,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestReprs:
+    """Reprs must be informative — they end up in failure messages."""
+
+    def test_prefix_and_address(self):
+        assert "10.0.0.0/8" in repr(Prefix.parse("10.0.0.0/8"))
+        assert "10.1.2.3" in repr(Address.parse("10.1.2.3"))
+
+    def test_tries(self):
+        trie = BinaryTrie.from_prefixes([(p("1"), "x")])
+        assert "1 prefixes" in repr(trie)
+        patricia = PatriciaTrie.from_prefixes([(p("1"), "x")])
+        assert "1 prefixes" in repr(patricia)
+
+    def test_overlay(self):
+        overlay = TrieOverlay(
+            BinaryTrie.from_prefixes([(p("1"), "x")]),
+            BinaryTrie.from_prefixes([(p("1"), "y")]),
+        )
+        assert "1+1" in repr(overlay)
+
+    def test_clue_table(self):
+        table = ClueTable()
+        table.insert(ClueEntry(p("1"), p("1"), "h"))
+        assert "1 entries" in repr(table)
+        assert "empty" in repr(table.probe(p("1")))
+
+    def test_lookup_result_and_counter(self):
+        assert "accesses=3" in repr(LookupResult(p("1"), "h", 3))
+        counter = MemoryCounter()
+        counter.touch(2)
+        assert "2" in repr(counter)
+
+    def test_packet_and_hop_record(self):
+        packet = Packet(Address.parse("10.0.0.1"))
+        assert "10.0.0.1" in repr(packet)
+        record = HopRecord("r1", 3, p("1"), None)
+        assert "r1" in repr(record)
+
+    def test_receiver_state(self):
+        receiver = ReceiverState([(p("1"), "h")])
+        assert "1 prefixes" in repr(receiver)
+
+
+class TestAbstractContracts:
+    def test_router_base_is_abstract(self):
+        router = Router("base")
+        with pytest.raises(NotImplementedError):
+            router.process(Packet(Address.parse("10.0.0.1")))
+
+    def test_lookup_algorithm_table_copy(self):
+        from repro.lookup import PatriciaLookup
+
+        entries = [(p("1"), "h")]
+        lookup = PatriciaLookup(entries)
+        table = lookup.table()
+        table.append((p("0"), "evil"))
+        assert lookup.size() == 1  # internal state untouched
+
+    def test_pair_comparison_speedup_infinite_on_zero(self):
+        comparison = PairComparison(
+            "a", "b", 1,
+            {("patricia", "common"): 5.0, ("patricia", "advance"): 0.0},
+            0, {},
+        )
+        assert comparison.speedup("patricia") == float("inf")
+
+
+class TestIPv6DeriveNeighbor:
+    def test_extras_stay_in_family(self):
+        from repro.tablegen import (
+            DEFAULT_IPV6_HISTOGRAM,
+            NeighborProfile,
+            derive_neighbor,
+            generate_table,
+        )
+
+        base = generate_table(
+            200, seed=3, histogram=DEFAULT_IPV6_HISTOGRAM, width=128
+        )
+        neighbor = derive_neighbor(
+            base, NeighborProfile(add=0.05), seed=4, width=128
+        )
+        assert all(prefix.width == 128 for prefix, _ in neighbor)
+        shared = {q for q, _ in base} & {q for q, _ in neighbor}
+        assert len(shared) / len(base) > 0.9

@@ -1,0 +1,204 @@
+"""Unit tests for the §7 packet-classification-with-clues extension."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.classify import (
+    ClassifierWithClues,
+    FlowKey,
+    PacketFilter,
+    RuleSet,
+    classification_experiment,
+    derive_neighbor_ruleset,
+    generate_ruleset,
+    sample_matching_flow,
+)
+from repro.lookup import MemoryCounter
+
+
+def pf(src, dst, priority, **kwargs):
+    return PacketFilter(
+        Prefix.parse(src), Prefix.parse(dst), priority, **kwargs
+    )
+
+
+@pytest.fixture
+def web_flow():
+    return FlowKey(
+        src=Address.parse("10.1.2.3"),
+        dst=Address.parse("192.168.7.9"),
+        protocol=6,
+        src_port=40000,
+        dst_port=80,
+    )
+
+
+class TestPacketFilter:
+    def test_matches_all_dimensions(self, web_flow):
+        rule = pf("10.0.0.0/8", "192.168.0.0/16", 1, protocol=6, dst_ports=(80, 80))
+        assert rule.matches(web_flow)
+
+    def test_src_prefix_mismatch(self, web_flow):
+        assert not pf("11.0.0.0/8", "192.168.0.0/16", 1).matches(web_flow)
+
+    def test_protocol_mismatch(self, web_flow):
+        assert not pf("10.0.0.0/8", "192.168.0.0/16", 1, protocol=17).matches(web_flow)
+
+    def test_port_mismatch(self, web_flow):
+        rule = pf("10.0.0.0/8", "192.168.0.0/16", 1, dst_ports=(443, 443))
+        assert not rule.matches(web_flow)
+
+    def test_wildcard_protocol_matches(self, web_flow):
+        assert pf("10.0.0.0/8", "192.168.0.0/16", 1, protocol=None).matches(web_flow)
+
+    def test_intersects_nested_prefixes(self):
+        a = pf("10.0.0.0/8", "192.168.0.0/16", 1)
+        b = pf("10.1.0.0/16", "192.168.0.0/16", 2)
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_disjoint_sources_do_not_intersect(self):
+        a = pf("10.0.0.0/8", "192.168.0.0/16", 1)
+        b = pf("11.0.0.0/8", "192.168.0.0/16", 2)
+        assert not a.intersects(b)
+
+    def test_disjoint_ports_do_not_intersect(self):
+        a = pf("10.0.0.0/8", "192.168.0.0/16", 1, dst_ports=(80, 80))
+        b = pf("10.0.0.0/8", "192.168.0.0/16", 2, dst_ports=(443, 443))
+        assert not a.intersects(b)
+
+    def test_different_protocols_do_not_intersect(self):
+        a = pf("10.0.0.0/8", "192.168.0.0/16", 1, protocol=6)
+        b = pf("10.0.0.0/8", "192.168.0.0/16", 2, protocol=17)
+        assert not a.intersects(b)
+
+    def test_intersection_is_sound(self, rng):
+        """If some flow matches both filters, intersects() must be True."""
+        rules = list(generate_ruleset(60, seed=5))
+        for _ in range(400):
+            a = rules[rng.randrange(len(rules))]
+            b = rules[rng.randrange(len(rules))]
+            flow = sample_matching_flow(RuleSet([a]), rng)
+            if a.matches(flow) and b.matches(flow):
+                assert a.intersects(b)
+
+    def test_equality_and_hash(self):
+        a = pf("10.0.0.0/8", "192.168.0.0/16", 1)
+        b = pf("10.0.0.0/8", "192.168.0.0/16", 1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pf("10.0.0.0/8", "192.168.0.0/16", -1)
+        with pytest.raises(ValueError):
+            pf("10.0.0.0/8", "192.168.0.0/16", 1, dst_ports=(100, 50))
+
+
+class TestRuleSet:
+    def test_first_match_wins(self, web_flow):
+        broad = pf("0.0.0.0/0", "0.0.0.0/0", 5, action="deny")
+        narrow = pf("10.0.0.0/8", "192.168.0.0/16", 2, action="permit")
+        ruleset = RuleSet([broad, narrow])
+        assert ruleset.classify(web_flow).action == "permit"
+
+    def test_counts_one_reference_per_rule_examined(self, web_flow):
+        rules = [
+            pf("11.0.0.0/8", "192.168.0.0/16", 0),
+            pf("12.0.0.0/8", "192.168.0.0/16", 1),
+            pf("10.0.0.0/8", "192.168.0.0/16", 2),
+        ]
+        counter = MemoryCounter()
+        RuleSet(rules).classify(web_flow, counter)
+        assert counter.accesses == 3
+
+    def test_no_match_returns_none(self, web_flow):
+        ruleset = RuleSet([pf("99.0.0.0/8", "0.0.0.0/0", 0)])
+        assert ruleset.classify(web_flow) is None
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSet([
+                pf("10.0.0.0/8", "0.0.0.0/0", 1),
+                pf("11.0.0.0/8", "0.0.0.0/0", 1),
+            ])
+
+    def test_generate_is_deterministic(self):
+        a = generate_ruleset(50, seed=3)
+        b = generate_ruleset(50, seed=3)
+        assert list(a) == list(b)
+
+    def test_sample_matching_flow_matches(self, rng):
+        ruleset = generate_ruleset(40, seed=4)
+        for _ in range(50):
+            flow = sample_matching_flow(ruleset, rng)
+            assert ruleset.classify(flow) is not None
+
+    def test_derive_neighbor_mostly_shared(self):
+        base = generate_ruleset(200, seed=6)
+        neighbor = derive_neighbor_ruleset(base, seed=7)
+        shared = set(base.filters) & set(neighbor.filters)
+        assert len(shared) / len(base) > 0.9
+
+
+class TestClassifierWithClues:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        sender = generate_ruleset(150, seed=8)
+        receiver = derive_neighbor_ruleset(sender, seed=9)
+        return sender, receiver
+
+    def test_truthful_clue_preserves_classification(self, pair, rng):
+        sender, receiver = pair
+        classifier = ClassifierWithClues(sender, receiver)
+        for _ in range(300):
+            flow = sample_matching_flow(sender, rng)
+            clue = sender.classify(flow)
+            if clue is None:
+                continue
+            expected = receiver.classify(flow)
+            assert classifier.classify(flow, clue) == expected
+
+    def test_candidate_lists_are_small(self, pair):
+        sender, receiver = pair
+        classifier = ClassifierWithClues(sender, receiver)
+        histogram = classifier.candidate_histogram()
+        average = sum(size * count for size, count in histogram.items()) / sum(
+            histogram.values()
+        )
+        assert average < len(receiver) / 4
+
+    def test_clue_reduces_references(self, pair):
+        sender, receiver = pair
+        plain, clued, mismatches = classification_experiment(
+            sender, receiver, flows=300, seed=10
+        )
+        assert mismatches == 0
+        assert clued < plain / 2
+
+    def test_unknown_clue_falls_back(self, pair, rng):
+        sender, receiver = pair
+        classifier = ClassifierWithClues(sender, receiver)
+        foreign = pf("203.0.113.0/24", "198.51.100.0/24", 9999)
+        flow = sample_matching_flow(sender, rng)
+        assert classifier.classify(flow, foreign) == receiver.classify(flow)
+
+    def test_no_clue_falls_back(self, pair, rng):
+        sender, receiver = pair
+        classifier = ClassifierWithClues(sender, receiver)
+        flow = sample_matching_flow(sender, rng)
+        assert classifier.classify(flow, None) == receiver.classify(flow)
+
+    def test_shared_higher_priority_rules_discarded(self):
+        shared_hi = pf("10.0.0.0/8", "0.0.0.0/0", 0)
+        clue = pf("10.0.0.0/8", "0.0.0.0/0", 5, dst_ports=(80, 80))
+        private = pf("10.0.0.0/8", "0.0.0.0/0", 3)
+        sender = RuleSet([shared_hi, clue])
+        receiver = RuleSet([shared_hi, clue, private])
+        classifier = ClassifierWithClues(sender, receiver)
+        entry = classifier.entry_for(clue)
+        # The shared higher-priority rule is pruned (the sender would have
+        # chosen it); the private rule must stay.
+        assert shared_hi not in entry.candidates
+        assert private in entry.candidates
+        assert clue in entry.candidates

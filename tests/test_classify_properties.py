@@ -1,0 +1,107 @@
+"""Property-based tests for the classification extension."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.classify import (
+    ClassifierWithClues,
+    FlowKey,
+    PacketFilter,
+    RuleSet,
+)
+
+
+@st.composite
+def filters(draw, priority):
+    src_len = draw(st.integers(min_value=0, max_value=12))
+    dst_len = draw(st.integers(min_value=0, max_value=12))
+    src = Prefix(
+        draw(st.integers(min_value=0, max_value=(1 << src_len) - 1)) if src_len else 0,
+        src_len,
+        32,
+    )
+    dst = Prefix(
+        draw(st.integers(min_value=0, max_value=(1 << dst_len) - 1)) if dst_len else 0,
+        dst_len,
+        32,
+    )
+    protocol = draw(st.sampled_from([None, 6, 17]))
+    port_low = draw(st.integers(min_value=0, max_value=65530))
+    port_high = draw(st.integers(min_value=port_low, max_value=65535))
+    return PacketFilter(
+        src, dst, priority, protocol=protocol, dst_ports=(port_low, port_high)
+    )
+
+
+@st.composite
+def rulesets(draw, max_size=15):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    return RuleSet([draw(filters(priority)) for priority in range(size)])
+
+
+@st.composite
+def flows(draw):
+    return FlowKey(
+        src=Address(draw(st.integers(min_value=0, max_value=(1 << 32) - 1)), 32),
+        dst=Address(draw(st.integers(min_value=0, max_value=(1 << 32) - 1)), 32),
+        protocol=draw(st.sampled_from([6, 17])),
+        src_port=draw(st.integers(min_value=0, max_value=65535)),
+        dst_port=draw(st.integers(min_value=0, max_value=65535)),
+    )
+
+
+@given(rulesets(), flows())
+@settings(max_examples=200, deadline=None)
+def test_intersects_is_necessary_for_joint_match(ruleset, flow):
+    matching = [rule for rule in ruleset if rule.matches(flow)]
+    for first in matching:
+        for second in matching:
+            assert first.intersects(second)
+
+
+@given(rulesets(), flows())
+@settings(max_examples=200, deadline=None)
+def test_classify_returns_highest_priority_match(ruleset, flow):
+    result = ruleset.classify(flow)
+    matching = [rule for rule in ruleset if rule.matches(flow)]
+    if not matching:
+        assert result is None
+    else:
+        assert result is min(matching, key=lambda rule: rule.priority)
+
+
+@given(rulesets(), rulesets(), flows())
+@settings(max_examples=150, deadline=None)
+def test_clue_classification_matches_plain(sender_rules, receiver_rules, flow):
+    """For any pair of rule sets, a truthful clue never changes the verdict.
+
+    Shared rules must share priorities for the Claim 1 analogue to apply;
+    hypothesis generates disjoint sets here, which is the adversarial
+    case (no pruning help, but also no pruning damage).
+    """
+    classifier = ClassifierWithClues(sender_rules, receiver_rules)
+    clue = sender_rules.classify(flow)
+    if clue is None:
+        return
+    assert classifier.classify(flow, clue) == receiver_rules.classify(flow)
+
+
+@given(rulesets(), flows(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_clue_classification_with_shared_rules(ruleset, flow, data):
+    """The receiver = sender plus/minus a few rules: verdicts preserved."""
+    drop = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=len(ruleset.filters) - 1),
+            max_size=3,
+        )
+    )
+    receiver_rules = RuleSet(
+        [rule for index, rule in enumerate(ruleset.filters) if index not in drop]
+        or ruleset.filters[:1]
+    )
+    classifier = ClassifierWithClues(ruleset, receiver_rules)
+    clue = ruleset.classify(flow)
+    if clue is None:
+        return
+    assert classifier.classify(flow, clue) == receiver_rules.classify(flow)

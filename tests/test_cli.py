@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_to_stdout(self, capsys):
+        assert main(["generate", "--count", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 20
+        assert "/" in lines[0]
+
+    def test_writes_to_file(self, tmp_path, capsys):
+        target = tmp_path / "table.txt"
+        assert main(["generate", "--count", "10", "--output", str(target)]) == 0
+        assert len(target.read_text().splitlines()) == 10
+
+    def test_generated_file_feeds_stats(self, tmp_path, capsys):
+        sender = tmp_path / "a.txt"
+        receiver = tmp_path / "b.txt"
+        main(["generate", "--count", "200", "--seed", "3", "--output", str(sender)])
+        main(["generate", "--count", "200", "--seed", "3", "--output", str(receiver)])
+        capsys.readouterr()
+        assert main(["stats", "--sender", str(sender), "--receiver", str(receiver)]) == 0
+        out = capsys.readouterr().out
+        assert "problematic_clues" in out
+
+
+class TestStats:
+    def test_synthetic_pair(self, capsys):
+        assert main(["stats", "--synthetic", "--count", "300", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "equal_prefixes" in out
+        assert "claim1 holds for" in out
+
+    def test_requires_tables(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+
+class TestCompare:
+    def test_synthetic_pair(self, capsys):
+        assert main([
+            "compare", "--synthetic", "--count", "300", "--packets", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "patricia+advance" in out
+
+
+class TestFigure1:
+    def test_prints_profile(self, capsys):
+        assert main(["figure1", "--background", "100", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "BMP length" in out
+        assert "r0" in out
+
+
+class TestParseRib:
+    def test_roundtrip(self, tmp_path, capsys):
+        dump = tmp_path / "rib.txt"
+        dump.write_text("B 10.0.0.0/8 via 192.0.2.1\n192.168.0.0/16\n")
+        assert main(["parse-rib", str(dump)]) == 0
+        captured = capsys.readouterr()
+        assert "10.0.0.0/8" in captured.out
+        assert "parsed 2 unique prefixes" in captured.err
+
+    def test_strict_mode_fails_on_garbage(self, tmp_path):
+        dump = tmp_path / "bad.txt"
+        dump.write_text("this is not a route\n")
+        with pytest.raises(Exception):
+            main(["parse-rib", str(dump), "--strict"])
+
+
+class TestSpace:
+    def test_prints_model(self, capsys):
+        assert main(["space", "--entries", "60000", "--pointer-fraction", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "kilobytes" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

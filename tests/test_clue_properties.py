@@ -1,0 +1,86 @@
+"""Property-based tests for clue encoding and learning equivalence."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.core import (
+    AdvanceMethod,
+    ClueHeader,
+    LearningClueLookup,
+    ReceiverState,
+    decode_clue,
+    encode_clue,
+)
+from repro.lookup import BASELINES
+from repro.trie import BinaryTrie
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+@given(addresses, lengths)
+def test_encode_decode_roundtrip(value, length):
+    address = Address(value, 32)
+    field = encode_clue(length)
+    prefix = decode_clue(address, field)
+    assert prefix.length == length
+    assert prefix.matches(address)
+
+
+@given(addresses, lengths)
+def test_decoded_clue_is_address_prefix(value, length):
+    address = Address(value, 32)
+    assert decode_clue(address, length) == address.prefix(length)
+
+
+@given(lengths, st.one_of(st.none(), st.integers(min_value=0, max_value=65535)))
+def test_header_truncation_idempotent(length, index):
+    header = ClueHeader(length=length, index=index)
+    header.truncate(16)
+    first = (header.length, header.index)
+    header.truncate(16)
+    assert (header.length, header.index) == first
+    assert header.length is None or header.length <= 16
+
+
+@st.composite
+def small_pairs(draw):
+    size = draw(st.integers(min_value=2, max_value=15))
+    prefixes = set()
+    for _ in range(size):
+        length = draw(st.integers(min_value=1, max_value=10))
+        bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+        prefixes.add(Prefix(bits, length, 32))
+    sender = [(prefix, "s") for prefix in sorted(prefixes)]
+    keep = draw(st.sets(st.integers(min_value=0, max_value=len(sender) - 1)))
+    receiver = [entry for index, entry in enumerate(sender) if index not in keep]
+    if not receiver:
+        receiver = sender[:1]
+    return sender, receiver
+
+
+@given(small_pairs(), st.lists(addresses, min_size=1, max_size=15))
+@settings(max_examples=100, deadline=None)
+def test_learning_converges_to_preprocessed_behavior(pair, values):
+    """After seeing a clue once, the learned path equals the prebuilt one."""
+    sender, receiver = pair
+    sender_trie = BinaryTrie.from_prefixes(sender)
+    receiver_state = ReceiverState(receiver)
+    builder = AdvanceMethod(sender_trie, receiver_state, "binary")
+    base = BASELINES["binary"](receiver)
+    learning = LearningClueLookup(base, builder)
+    prebuilt_table = builder.build_table()
+
+    for value in values:
+        destination = Address(value, 32)
+        clue = sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        learning.lookup(destination, clue)  # possibly a learning miss
+        learned_result = learning.lookup(destination, clue)
+        learned_entry = learning.table.probe(clue)
+        prebuilt_entry = prebuilt_table.probe(clue)
+        assert learned_entry.final_decision() == prebuilt_entry.final_decision()
+        assert learned_entry.pointer_empty() == prebuilt_entry.pointer_empty()
+        expected, _ = receiver_state.best_match(destination)
+        assert learned_result.prefix == expected

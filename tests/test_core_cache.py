@@ -1,0 +1,86 @@
+"""Unit tests for the LRU clue-table cache (§3.5)."""
+
+import pytest
+
+from repro.core import CachedClueTable, ClueEntry, ClueTable
+from repro.lookup import MemoryCounter
+from tests.conftest import p
+
+
+@pytest.fixture
+def backing():
+    table = ClueTable()
+    for bits in ("0", "00", "01", "1", "10", "11"):
+        table.insert(ClueEntry(p(bits), p(bits), "hop-" + bits))
+    return table
+
+
+class TestCachedClueTable:
+    def test_validation(self, backing):
+        with pytest.raises(ValueError):
+            CachedClueTable(backing, capacity=0)
+        with pytest.raises(ValueError):
+            CachedClueTable(backing, capacity=4, miss_penalty=-1)
+
+    def test_miss_pays_penalty(self, backing):
+        cache = CachedClueTable(backing, capacity=4, miss_penalty=2)
+        counter = MemoryCounter()
+        entry = cache.probe(p("0"), counter)
+        assert entry is not None
+        assert counter.accesses == 3  # 1 fast + 2 slow
+        assert cache.misses == 1
+
+    def test_hit_costs_one(self, backing):
+        cache = CachedClueTable(backing, capacity=4)
+        cache.probe(p("0"))
+        counter = MemoryCounter()
+        assert cache.probe(p("0"), counter) is not None
+        assert counter.accesses == 1
+        assert cache.hits == 1
+
+    def test_unknown_clue_is_a_miss(self, backing):
+        cache = CachedClueTable(backing, capacity=4)
+        assert cache.probe(p("0000")) is None
+        assert cache.misses == 1
+        assert cache.occupancy() == 0
+
+    def test_lru_eviction(self, backing):
+        cache = CachedClueTable(backing, capacity=2)
+        cache.probe(p("0"))
+        cache.probe(p("1"))
+        cache.probe(p("0"))  # refresh 0: LRU is now 1
+        cache.probe(p("00"))  # evicts 1
+        assert cache.evictions == 1
+        counter = MemoryCounter()
+        cache.probe(p("1"), counter)
+        assert counter.accesses == 2  # it was evicted: a miss again
+        counter = MemoryCounter()
+        cache.probe(p("0"), counter)
+        assert counter.accesses == 2  # "0" was evicted when "1" returned
+
+    def test_invalidate(self, backing):
+        cache = CachedClueTable(backing, capacity=4)
+        cache.probe(p("0"))
+        cache.invalidate(p("0"))
+        counter = MemoryCounter()
+        cache.probe(p("0"), counter)
+        assert counter.accesses == 2
+
+    def test_deactivated_record_misses_in_cache(self, backing):
+        cache = CachedClueTable(backing, capacity=4)
+        entry = cache.probe(p("0"))
+        entry.deactivate()
+        counter = MemoryCounter()
+        assert cache.probe(p("0"), counter) is None
+        assert counter.accesses == 2
+
+    def test_hit_rate_under_skewed_traffic(self, backing, rng):
+        cache = CachedClueTable(backing, capacity=2)
+        clues = [p("0"), p("1")]
+        for _ in range(200):
+            # 90% of probes go to two clues, the rest elsewhere.
+            if rng.random() < 0.9:
+                cache.probe(clues[rng.randrange(2)])
+            else:
+                cache.probe(p("11"))
+        assert cache.hit_rate() > 0.6

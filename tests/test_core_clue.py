@@ -1,0 +1,93 @@
+"""Unit tests for clue encoding and the header field."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core import ClueEncodingError, ClueHeader, decode_clue, encode_clue
+from repro.core.clue import MAX_CLUE_INDEX
+
+
+class TestEncodeClue:
+    def test_identity_for_valid_lengths(self):
+        for length in (0, 1, 16, 31, 32):
+            assert encode_clue(length) == length
+
+    def test_ipv6_lengths(self):
+        assert encode_clue(128, width=128) == 128
+
+    def test_rejects_negative(self):
+        with pytest.raises(ClueEncodingError):
+            encode_clue(-1)
+
+    def test_rejects_too_long(self):
+        with pytest.raises(ClueEncodingError):
+            encode_clue(33)
+
+    def test_fits_five_bits_ipv4(self):
+        # every legal IPv4 clue value fits the paper's 5-bit field
+        for length in range(33):
+            assert encode_clue(length) < (1 << 5) or length == 32
+
+
+class TestDecodeClue:
+    def test_recovers_prefix(self):
+        address = Address.parse("10.1.2.3")
+        assert decode_clue(address, 16) == Prefix.parse("10.1.0.0/16")
+
+    def test_zero_gives_root(self):
+        assert decode_clue(Address.parse("10.1.2.3"), 0) == Prefix.root()
+
+    def test_full_width(self):
+        address = Address.parse("10.1.2.3")
+        prefix = decode_clue(address, 32)
+        assert prefix.length == 32
+        assert prefix.matches(address)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ClueEncodingError):
+            decode_clue(Address.parse("10.1.2.3"), 40)
+
+    def test_clue_is_always_prefix_of_destination(self):
+        address = Address.parse("192.0.2.77")
+        for length in range(33):
+            assert decode_clue(address, length).matches(address)
+
+
+class TestClueHeader:
+    def test_starts_empty(self):
+        header = ClueHeader()
+        assert not header.carries_clue()
+        assert header.clue_prefix(Address.parse("10.0.0.1")) is None
+
+    def test_carries_clue(self):
+        header = ClueHeader(length=8)
+        assert header.carries_clue()
+        assert header.clue_prefix(Address.parse("10.9.9.9")) == Prefix.parse(
+            "10.0.0.0/8"
+        )
+
+    def test_clear(self):
+        header = ClueHeader(length=8, index=5)
+        header.clear()
+        assert header.length is None and header.index is None
+
+    def test_truncate_shortens(self):
+        header = ClueHeader(length=24, index=7)
+        header.truncate(16)
+        assert header.length == 16
+        assert header.index is None  # the index no longer names this clue
+
+    def test_truncate_noop_when_shorter(self):
+        header = ClueHeader(length=8, index=7)
+        header.truncate(16)
+        assert header.length == 8
+        assert header.index == 7
+
+    def test_index_field_bounds(self):
+        ClueHeader(length=8, index=MAX_CLUE_INDEX)
+        with pytest.raises(ClueEncodingError):
+            ClueHeader(length=8, index=MAX_CLUE_INDEX + 1)
+
+    def test_equality(self):
+        assert ClueHeader(8, 1) == ClueHeader(8, 1)
+        assert ClueHeader(8) != ClueHeader(9)

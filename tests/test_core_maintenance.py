@@ -1,0 +1,133 @@
+"""Unit and randomized tests for incremental clue-table maintenance."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core import ClueAssistedLookup, MaintainedClueTable
+from repro.lookup import BASELINES, MemoryCounter
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+from tests.conftest import p
+
+
+def behavior_fingerprint(maintained, destinations):
+    """What the clue data path answers for a set of probes."""
+    base = BASELINES["patricia"](maintained.receiver.entries)
+    lookup = ClueAssistedLookup(base, maintained.table)
+    answers = []
+    for destination in destinations:
+        clue = maintained.sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        result = lookup.lookup(destination, clue)
+        answers.append((str(destination), result.prefix))
+    return answers
+
+
+def oracle_fingerprint(maintained, destinations):
+    answers = []
+    for destination in destinations:
+        clue = maintained.sender_trie.best_prefix(destination)
+        if clue is None:
+            continue
+        expected, _ = maintained.receiver.best_match(destination)
+        answers.append((str(destination), expected))
+    return answers
+
+
+class TestReceiverUpdates:
+    @pytest.fixture
+    def maintained(self, tiny_sender_entries, tiny_receiver_entries):
+        return MaintainedClueTable(
+            tiny_sender_entries, tiny_receiver_entries, technique="binary"
+        )
+
+    def test_adding_a_specific_dirties_covering_clues(self, maintained):
+        dirty = maintained.apply_receiver_update(add=[(p("1101"), "new")])
+        # Clues 1 and 1100... 1100 is not comparable with 1101; clue "1" is.
+        assert p("1") in dirty
+        assert p("1100") not in dirty
+
+    def test_entry_reflects_new_specific(self, maintained):
+        before = maintained.table.probe(p("1"))
+        assert before.pointer_empty()
+        maintained.apply_receiver_update(add=[(p("1101"), "new")])
+        after = maintained.table.probe(p("1"))
+        assert not after.pointer_empty()  # now problematic
+
+    def test_removal_updates_fd(self, maintained):
+        maintained.apply_receiver_update(remove=[p("0010")])
+        entry = maintained.table.probe(p("00"))
+        assert entry.pointer_empty()
+        assert entry.final_decision() == (p("00"), "r-a")
+
+    def test_untouched_entries_not_rebuilt(self, maintained):
+        maintained.rebuilt_entries = 0
+        maintained.apply_receiver_update(add=[(p("1101"), "new")])
+        assert maintained.rebuilt_entries <= 2
+
+
+class TestSenderUpdates:
+    @pytest.fixture
+    def maintained(self, tiny_sender_entries, tiny_receiver_entries):
+        return MaintainedClueTable(
+            tiny_sender_entries, tiny_receiver_entries, technique="binary"
+        )
+
+    def test_new_clue_gets_an_entry(self, maintained):
+        maintained.apply_sender_update(add=[(p("0011"), "s-new")])
+        assert maintained.table.probe(p("0011")) is not None
+
+    def test_withdrawn_clue_deactivated_not_removed(self, maintained):
+        maintained.apply_sender_update(remove=[p("1100")])
+        # §3.4: the record stays but probes miss it.
+        assert p("1100") in maintained.table
+        assert maintained.table.probe(p("1100")) is None
+
+    def test_new_sender_specific_resolves_claim1(self, maintained):
+        # The sender learns 0010 too: clue 00 stops being problematic.
+        assert not maintained.table.probe(p("00")).pointer_empty()
+        maintained.apply_sender_update(add=[(p("0010"), "s-new")])
+        assert maintained.table.probe(p("00")).pointer_empty()
+
+
+@pytest.mark.parametrize("technique", ["binary", "regular", "patricia"])
+class TestRandomizedEquivalence:
+    """Incremental maintenance must behave like a from-scratch rebuild."""
+
+    def test_random_update_sequences(self, technique):
+        rng = random.Random(77)
+        sender = generate_table(300, seed=81)
+        receiver = derive_neighbor(sender, NeighborProfile(), seed=82)
+        maintained = MaintainedClueTable(sender, receiver, technique=technique)
+        pool = generate_table(120, seed=83)
+        probes = [
+            prefix.random_address(rng) for prefix, _ in sender[::9]
+        ] + [Address(rng.getrandbits(32), 32) for _ in range(30)]
+
+        for round_number in range(6):
+            receiver_prefixes = [q for q, _ in maintained.receiver.entries]
+            if rng.random() < 0.5:
+                add = [pool[rng.randrange(len(pool))]]
+                remove = [receiver_prefixes[rng.randrange(len(receiver_prefixes))]]
+                maintained.apply_receiver_update(add=add, remove=remove)
+            else:
+                sender_prefixes = list(maintained.sender_trie.prefixes())
+                add = [pool[rng.randrange(len(pool))]]
+                remove = [sender_prefixes[rng.randrange(len(sender_prefixes))]]
+                maintained.apply_sender_update(add=add, remove=remove)
+
+            # The data path must agree with the receiver's oracle...
+            assert behavior_fingerprint(maintained, probes) == oracle_fingerprint(
+                maintained, probes
+            ), (technique, round_number)
+        # ...and the incremental table must match a full rebuild in the
+        # Claim 1 classification of every live clue.
+        reference = maintained.reference_table()
+        for clue in maintained.sender_trie.prefixes():
+            live = maintained.table.probe(clue)
+            fresh = reference.probe(clue)
+            assert live is not None and fresh is not None, str(clue)
+            assert live.pointer_empty() == fresh.pointer_empty(), str(clue)
+            assert live.final_decision() == fresh.final_decision(), str(clue)

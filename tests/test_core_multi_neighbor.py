@@ -1,0 +1,160 @@
+"""Unit tests for shared clue tables across several neighbours (§3.4)."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address
+from repro.core import (
+    BitmapClueTable,
+    ReceiverState,
+    SubTablesClueTable,
+    UnionClueTable,
+)
+from repro.lookup import MemoryCounter
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+from repro.trie import BinaryTrie
+from tests.conftest import p
+
+
+def addr(bits: str) -> Address:
+    return Address(int(bits, 2) << (32 - len(bits)), 32)
+
+
+@pytest.fixture
+def two_senders(tiny_sender_entries):
+    """Two sender tables that disagree about clue "00".
+
+    Sender A lacks any prefix below 00 (clue 00 problematic), sender B has
+    0010 itself (clue 00 final for B).
+    """
+    sender_a = [(p("00"), "a1"), (p("1"), "a2"), (p("1100"), "a3")]
+    sender_b = [(p("00"), "b1"), (p("0010"), "b2"), (p("1"), "b3"), (p("1100"), "b4")]
+    return {
+        "A": BinaryTrie.from_prefixes(sender_a),
+        "B": BinaryTrie.from_prefixes(sender_b),
+    }
+
+
+@pytest.fixture
+def receiver(tiny_receiver_entries):
+    return ReceiverState(tiny_receiver_entries)
+
+
+class TestUnionClueTable:
+    def test_requires_senders(self, receiver):
+        with pytest.raises(ValueError):
+            UnionClueTable({}, receiver)
+
+    def test_clue_universe_is_union(self, two_senders, receiver):
+        union = UnionClueTable(two_senders, receiver)
+        assert p("0010") in union.table  # only sender B has it
+
+    def test_problematic_for_any_sender_keeps_pointer(self, two_senders, receiver):
+        union = UnionClueTable(two_senders, receiver)
+        entry = union.table.probe(p("00"))
+        # Sender A violates Claim 1 for 00, so the shared entry must keep
+        # the continuation even though B alone would not need it.
+        assert not entry.pointer_empty()
+
+    def test_correct_for_both_senders(self, two_senders, receiver, rng):
+        union = UnionClueTable(two_senders, receiver)
+        for name, trie in two_senders.items():
+            for _ in range(100):
+                destination = Address(rng.getrandbits(32), 32)
+                clue = trie.best_prefix(destination)
+                if clue is None:
+                    continue
+                expected, _ = receiver.best_match(destination)
+                result = union.lookup(destination, clue)
+                assert result.prefix == expected, (name, str(destination))
+
+
+class TestBitmapClueTable:
+    def test_bitmap_disagrees_per_sender(self, two_senders, receiver):
+        bitmap = BitmapClueTable(two_senders, receiver)
+        bits = bitmap.bitmap_of(p("00"))
+        assert bits["A"] is False  # must continue for A
+        assert bits["B"] is True  # final for B
+
+    def test_one_reference_when_final(self, two_senders, receiver):
+        bitmap = BitmapClueTable(two_senders, receiver)
+        counter = MemoryCounter()
+        result = bitmap.lookup(addr("00101"), p("00"), "B", counter)
+        # For B, 00 is final *because B itself holds 0010*: had the packet
+        # matched 0010, B would have sent that clue instead.
+        assert counter.accesses == 1
+        assert result.prefix == p("00")
+
+    def test_continuation_for_problematic_sender(self, two_senders, receiver):
+        bitmap = BitmapClueTable(two_senders, receiver)
+        result = bitmap.lookup(addr("00101"), p("00"), "A")
+        assert result.prefix == p("0010")
+
+    def test_unknown_clue_full_lookup(self, two_senders, receiver):
+        bitmap = BitmapClueTable(two_senders, receiver)
+        result = bitmap.lookup(addr("110000"), p("110000"), "A")
+        assert result.prefix == p("1100")
+
+
+class TestSubTablesClueTable:
+    def test_split_between_common_and_specific(self, two_senders, receiver):
+        tables = SubTablesClueTable(two_senders, receiver)
+        sizes = tables.sizes()
+        # "00" behaves differently per sender → in A's specific table; it
+        # is also in B's table, so it lands in B's specific table too.
+        assert sizes["common"] >= 1
+        assert sizes["A"] >= 1
+
+    def test_common_hit_costs_one(self, two_senders, receiver):
+        tables = SubTablesClueTable(two_senders, receiver)
+        counter = MemoryCounter()
+        result = tables.lookup(addr("10"), p("1"), "A", counter)
+        assert result.prefix == p("1")
+        assert counter.accesses == 1
+
+    def test_specific_hit_costs_two_probes(self, two_senders, receiver):
+        tables = SubTablesClueTable(two_senders, receiver)
+        counter = MemoryCounter()
+        result = tables.lookup(addr("00101"), p("00"), "A", counter)
+        assert result.prefix == p("0010")
+        assert counter.accesses >= 2
+
+    def test_correct_for_both_senders(self, two_senders, receiver, rng):
+        tables = SubTablesClueTable(two_senders, receiver)
+        for name, trie in two_senders.items():
+            for _ in range(100):
+                destination = Address(rng.getrandbits(32), 32)
+                clue = trie.best_prefix(destination)
+                if clue is None:
+                    continue
+                expected, _ = receiver.best_match(destination)
+                result = tables.lookup(destination, clue, name)
+                assert result.prefix == expected, (name, str(destination))
+
+
+class TestGeneratedMultiNeighbor:
+    def test_three_neighbors_all_schemes_agree(self):
+        base = generate_table(400, seed=55)
+        receiver_entries = derive_neighbor(base, NeighborProfile(), seed=56)
+        receiver = ReceiverState(receiver_entries)
+        senders = {
+            "n%d" % i: BinaryTrie.from_prefixes(
+                derive_neighbor(base, NeighborProfile(), seed=57 + i)
+            )
+            for i in range(3)
+        }
+        union = UnionClueTable(senders, receiver)
+        bitmap = BitmapClueTable(senders, receiver)
+        subtables = SubTablesClueTable(senders, receiver)
+        rng = random.Random(9)
+        for name, trie in senders.items():
+            for _ in range(60):
+                destination = Address(rng.getrandbits(32), 32)
+                clue = trie.best_prefix(destination)
+                if clue is None:
+                    continue
+                expected, _ = receiver.best_match(destination)
+                assert union.lookup(destination, clue).prefix == expected
+                assert bitmap.lookup(destination, clue, name).prefix == expected
+                assert subtables.lookup(destination, clue, name).prefix == expected

@@ -1,0 +1,151 @@
+"""Property-based tests for the clue scheme's core guarantees.
+
+Two invariants carry the whole paper:
+
+1. With a *truthful* clue (the sender's true BMP), both Simple and Advance
+   return exactly the receiver's local best match — the scheme never
+   changes routing, only its cost.
+2. The Simple method is correct for ANY clue that is a prefix of the
+   destination, truthful or not (this is what makes truncation and
+   staleness harmless for it).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.core import AdvanceMethod, ClueAssistedLookup, ReceiverState, SimpleMethod
+from repro.core.receiver import TECHNIQUES
+from repro.lookup import BASELINES
+from repro.trie import BinaryTrie
+
+
+@st.composite
+def table_pairs(draw):
+    """A (sender, receiver) pair of small related tables over 12-bit space."""
+    size = draw(st.integers(min_value=2, max_value=25))
+    prefixes = set()
+    for _ in range(size):
+        length = draw(st.integers(min_value=1, max_value=12))
+        bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+        prefixes.add(Prefix(bits, length, 32))
+    base = sorted(prefixes)
+    # The receiver drops a couple of entries and adds a couple of
+    # more-specifics, like a real neighbour.
+    drop = draw(st.sets(st.integers(min_value=0, max_value=len(base) - 1), max_size=3))
+    receiver = [p for i, p in enumerate(base) if i not in drop]
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        parent = base[draw(st.integers(min_value=0, max_value=len(base) - 1))]
+        extra = draw(st.integers(min_value=1, max_value=4))
+        if parent.length + extra <= 32:
+            bits = (parent.bits << extra) | draw(
+                st.integers(min_value=0, max_value=(1 << extra) - 1)
+            )
+            receiver.append(Prefix(bits, parent.length + extra, 32))
+    sender_entries = [(p, "s%d" % i) for i, p in enumerate(base)]
+    receiver_entries = [(p, "r%d" % i) for i, p in enumerate(sorted(set(receiver)))]
+    return sender_entries, receiver_entries
+
+
+technique_st = st.sampled_from(TECHNIQUES)
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@given(table_pairs(), technique_st, addresses)
+@settings(max_examples=120, deadline=None)
+def test_truthful_clue_preserves_routing(pair, technique, value):
+    sender_entries, receiver_entries = pair
+    destination = Address(value, 32)
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+    clue = sender_trie.best_prefix(destination)
+    if clue is None:
+        return
+    receiver = ReceiverState(receiver_entries)
+    expected, _ = receiver.best_match(destination)
+    base = BASELINES[technique](receiver_entries)
+
+    simple = SimpleMethod(receiver, technique)
+    simple_lookup = ClueAssistedLookup(
+        base, simple.build_table(sender_trie.prefixes())
+    )
+    assert simple_lookup.lookup(destination, clue).prefix == expected
+
+    advance = AdvanceMethod(sender_trie, receiver, technique)
+    advance_lookup = ClueAssistedLookup(base, advance.build_table())
+    assert advance_lookup.lookup(destination, clue).prefix == expected
+
+
+@given(table_pairs(), technique_st, addresses, st.integers(min_value=0, max_value=32))
+@settings(max_examples=120, deadline=None)
+def test_simple_correct_for_arbitrary_destination_prefix_clue(
+    pair, technique, value, clue_length
+):
+    """Simple must be right even when the clue is NOT the sender's BMP."""
+    _sender_entries, receiver_entries = pair
+    destination = Address(value, 32)
+    clue = destination.prefix(clue_length)
+    receiver = ReceiverState(receiver_entries)
+    expected, _ = receiver.best_match(destination)
+    simple = SimpleMethod(receiver, technique)
+    lookup = ClueAssistedLookup(
+        BASELINES[technique](receiver_entries),
+        simple.build_table([clue]),
+    )
+    assert lookup.lookup(destination, clue).prefix == expected
+
+
+@given(table_pairs())
+@settings(max_examples=80, deadline=None)
+def test_advance_pointer_subset_of_simple(pair):
+    """Advance leaves the Ptr empty at least as often as Simple."""
+    sender_entries, receiver_entries = pair
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+    receiver = ReceiverState(receiver_entries)
+    universe = list(sender_trie.prefixes())
+    simple_table = SimpleMethod(receiver, "binary").build_table(universe)
+    advance_table = AdvanceMethod(sender_trie, receiver, "binary").build_table(universe)
+    assert advance_table.pointer_count() <= simple_table.pointer_count()
+
+
+@given(table_pairs(), addresses)
+@settings(max_examples=80, deadline=None)
+def test_advance_never_costs_more_than_simple_plus_slack(pair, value):
+    """On truthful clues, Advance's references <= Simple's (trie walks)."""
+    sender_entries, receiver_entries = pair
+    destination = Address(value, 32)
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+    clue = sender_trie.best_prefix(destination)
+    if clue is None:
+        return
+    receiver = ReceiverState(receiver_entries)
+    base = BASELINES["regular"](receiver_entries)
+    simple_lookup = ClueAssistedLookup(
+        base, SimpleMethod(receiver, "regular").build_table(sender_trie.prefixes())
+    )
+    advance_lookup = ClueAssistedLookup(
+        base, AdvanceMethod(sender_trie, receiver, "regular").build_table()
+    )
+    simple_cost = simple_lookup.lookup(destination, clue).accesses
+    advance_cost = advance_lookup.lookup(destination, clue).accesses
+    assert advance_cost <= simple_cost
+
+
+@given(table_pairs(), addresses)
+@settings(max_examples=60, deadline=None)
+def test_potential_set_contains_any_longer_match(pair, value):
+    """Definition 1 really covers every achievable longer match."""
+    sender_entries, receiver_entries = pair
+    destination = Address(value, 32)
+    sender_trie = BinaryTrie.from_prefixes(sender_entries)
+    receiver_trie = BinaryTrie.from_prefixes(receiver_entries)
+    clue = sender_trie.best_prefix(destination)
+    if clue is None:
+        return
+    expected = receiver_trie.best_prefix(destination)
+    if expected is None or expected.length <= clue.length:
+        return
+    from repro.trie import TrieOverlay
+
+    overlay = TrieOverlay(sender_trie, receiver_trie)
+    assert expected in overlay.potential_set(clue)

@@ -1,0 +1,77 @@
+"""Unit tests for the §3.5 clue-table space model."""
+
+import pytest
+
+from repro.core import (
+    AdvanceMethod,
+    entry_bytes,
+    measured_table_bytes,
+    sdram_lines,
+    space_report,
+    table_bytes,
+)
+from repro.experiments.paperdata import SPACE_CLAIMS
+
+
+class TestEntryBytes:
+    def test_without_pointer(self):
+        assert entry_bytes(False) == 8
+
+    def test_with_pointer(self):
+        assert entry_bytes(True) == 12
+
+
+class TestTableBytes:
+    def test_all_pointers(self):
+        assert table_bytes(100, 1.0) == 1200
+
+    def test_no_pointers(self):
+        assert table_bytes(100, 0.0) == 800
+
+    def test_mixed(self):
+        assert table_bytes(100, 0.1) == 10 * 12 + 90 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            table_bytes(-1, 0.5)
+        with pytest.raises(ValueError):
+            table_bytes(10, 1.5)
+
+
+class TestSdramLines:
+    def test_rounds_up(self):
+        assert sdram_lines(33) == 2
+        assert sdram_lines(32) == 1
+        assert sdram_lines(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sdram_lines(-1)
+
+
+class TestPaperClaim:
+    def test_60k_table_lands_in_papers_band(self):
+        report = space_report(
+            int(SPACE_CLAIMS["entries"]), SPACE_CLAIMS["pointer_fraction_max"]
+        )
+        assert (
+            SPACE_CLAIMS["total_kilobytes_low"] * 0.9
+            <= report["kilobytes"]
+            <= SPACE_CLAIMS["total_kilobytes_high"]
+        )
+        # Roughly nine bytes per entry, per the abstract.
+        assert report["average_entry_bytes"] == pytest.approx(
+            SPACE_CLAIMS["average_entry_bytes"], rel=0.1
+        )
+
+    def test_measured_table(self, pair_structures):
+        sender_trie, receiver = pair_structures
+        table = AdvanceMethod(sender_trie, receiver, "binary").build_table()
+        measured = measured_table_bytes(table)
+        # Between the all-FD floor and the all-pointer ceiling.
+        assert table_bytes(len(table), 0.0) <= measured <= table_bytes(len(table), 1.0)
+
+    def test_empty_table(self):
+        from repro.core import ClueTable
+
+        assert measured_table_bytes(ClueTable()) == 0

@@ -1,0 +1,112 @@
+"""Unit tests for clue-table entries, the hash table and the indexed table."""
+
+import pytest
+
+from repro.core import ClueEntry, ClueTable, IndexedClueTable
+from repro.lookup import MemoryCounter, SetContinuation
+from tests.conftest import p
+
+
+@pytest.fixture
+def entry():
+    return ClueEntry(p("01"), p("0"), "hop-a")
+
+
+@pytest.fixture
+def entry_with_ptr():
+    continuation = SetContinuation([(p("0110"), "hop-c")], 32)
+    return ClueEntry(p("01"), p("01"), "hop-b", continuation)
+
+
+class TestClueEntry:
+    def test_pointer_empty(self, entry, entry_with_ptr):
+        assert entry.pointer_empty()
+        assert not entry_with_ptr.pointer_empty()
+
+    def test_final_decision(self, entry):
+        assert entry.final_decision() == (p("0"), "hop-a")
+
+    def test_deactivate(self, entry):
+        assert entry.active
+        entry.deactivate()
+        assert not entry.active
+
+
+class TestClueTable:
+    def test_probe_charges_one_reference(self, entry):
+        table = ClueTable()
+        table.insert(entry)
+        counter = MemoryCounter()
+        assert table.probe(p("01"), counter) is entry
+        assert counter.accesses == 1
+
+    def test_probe_miss(self):
+        table = ClueTable()
+        counter = MemoryCounter()
+        assert table.probe(p("01"), counter) is None
+        assert counter.accesses == 1  # a miss still reads the bucket
+
+    def test_inactive_entry_is_a_miss(self, entry):
+        table = ClueTable()
+        table.insert(entry)
+        entry.deactivate()
+        assert table.probe(p("01")) is None
+        assert p("01") in table  # still physically present (§3.4)
+
+    def test_insert_replaces(self, entry):
+        table = ClueTable()
+        table.insert(entry)
+        replacement = ClueEntry(p("01"), p("01"), "hop-z")
+        table.insert(replacement)
+        assert table.probe(p("01")) is replacement
+        assert len(table) == 1
+
+    def test_remove(self, entry):
+        table = ClueTable()
+        table.insert(entry)
+        assert table.remove(p("01"))
+        assert not table.remove(p("01"))
+        assert len(table) == 0
+
+    def test_pointer_count(self, entry, entry_with_ptr):
+        table = ClueTable()
+        table.insert(entry)
+        assert table.pointer_count() == 0
+        table.insert(entry_with_ptr)
+        assert table.pointer_count() == 1
+
+
+class TestIndexedClueTable:
+    def test_probe_hit(self, entry):
+        table = IndexedClueTable(capacity=16)
+        table.store(3, entry)
+        counter = MemoryCounter()
+        assert table.probe(3, p("01"), counter) is entry
+        assert counter.accesses == 1
+
+    def test_probe_disagreeing_clue_is_miss(self, entry):
+        table = IndexedClueTable(capacity=16)
+        table.store(3, entry)
+        assert table.probe(3, p("10")) is None
+
+    def test_probe_empty_slot(self):
+        table = IndexedClueTable(capacity=16)
+        assert table.probe(0, p("01")) is None
+
+    def test_overwrite_counted(self, entry):
+        table = IndexedClueTable(capacity=16)
+        table.store(3, entry)
+        table.store(3, ClueEntry(p("10"), None, None))
+        assert table.overwrites == 1
+        assert table.occupied() == 1
+
+    def test_index_bounds(self, entry):
+        table = IndexedClueTable(capacity=4)
+        with pytest.raises(IndexError):
+            table.probe(4, p("01"))
+        with pytest.raises(IndexError):
+            table.store(-1, entry)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            IndexedClueTable(capacity=0)

@@ -1,0 +1,167 @@
+"""Unit tests for the experiment harness (sampling, comparison, render)."""
+
+import pytest
+
+from repro.addressing import Prefix
+from repro.experiments import (
+    MODES,
+    SHAPE_CLAIMS,
+    compare_pair,
+    compare_pairs,
+    format_table,
+    paper_destination_sample,
+    render_comparison,
+    render_comparison_matrix,
+    render_paper_vs_measured,
+    uniform_destination_sample,
+    zipf_destination_sample,
+)
+from repro.experiments.scale import get_scale, scaled
+from repro.lookup import PAPER_BASELINES
+from repro.trie import BinaryTrie
+
+
+class TestSampling:
+    def test_paper_rule_enforced(self, pair_tables, pair_structures):
+        sender, _receiver = pair_tables
+        sender_trie, receiver = pair_structures
+        samples = paper_destination_sample(
+            sender, sender_trie, receiver.trie, 100, seed=1
+        )
+        assert len(samples) == 100
+        for destination, clue in samples:
+            assert sender_trie.best_prefix(destination) == clue
+            assert receiver.trie.find_node(clue) is not None
+
+    def test_empty_sender_rejected(self):
+        trie = BinaryTrie()
+        with pytest.raises(ValueError):
+            paper_destination_sample([], trie, trie, 10)
+
+    def test_dissimilar_tables_raise(self):
+        sender = [(Prefix.parse("10.0.0.0/8"), "a")]
+        receiver_trie = BinaryTrie.from_prefixes([(Prefix.parse("11.0.0.0/8"), "b")])
+        sender_trie = BinaryTrie.from_prefixes(sender)
+        with pytest.raises(RuntimeError):
+            paper_destination_sample(
+                sender, sender_trie, receiver_trie, 10, max_attempts_factor=3
+            )
+
+    def test_uniform_sampler_may_miss(self, pair_structures):
+        sender_trie, _ = pair_structures
+        samples = uniform_destination_sample(sender_trie, 50, seed=2)
+        assert len(samples) == 50
+
+    def test_zipf_sampler_skews(self, pair_tables, pair_structures):
+        sender, _ = pair_tables
+        sender_trie, _ = pair_structures
+        samples = zipf_destination_sample(sender, sender_trie, 300, seed=3, exponent=1.2)
+        counts = {}
+        for _dest, clue in samples:
+            counts[clue] = counts.get(clue, 0) + 1
+        top = max(counts.values())
+        assert top > 300 / len(counts)  # clearly non-uniform
+
+    def test_zipf_validation(self, pair_tables, pair_structures):
+        sender, _ = pair_tables
+        sender_trie, _ = pair_structures
+        with pytest.raises(ValueError):
+            zipf_destination_sample(sender, sender_trie, 10, exponent=-1)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def result(self, pair_tables):
+        sender, receiver = pair_tables
+        return compare_pair(sender, receiver, packets=400, seed=7)
+
+    def test_no_mismatches(self, result):
+        assert result.mismatches == 0
+
+    def test_matrix_complete(self, result):
+        for technique in PAPER_BASELINES:
+            for mode in MODES:
+                assert result.average(technique, mode) > 0
+
+    def test_advance_near_one(self, result):
+        for technique in PAPER_BASELINES:
+            assert result.average(technique, "advance") <= SHAPE_CLAIMS[
+                "advance_avg_max"
+            ], technique
+
+    def test_ordering_common_gt_simple_ge_advance(self, result):
+        for technique in PAPER_BASELINES:
+            common = result.average(technique, "common")
+            simple = result.average(technique, "simple")
+            advance = result.average(technique, "advance")
+            assert common > simple
+            assert simple >= advance
+
+    def test_speedup_shape_claims(self, result):
+        # Advance vs regular trie: the paper's ~22x (allow a wide band).
+        assert result.speedup("regular", "advance") > 10
+        # Simple also a large win.
+        assert result.speedup("regular", "simple") > 8
+
+    def test_compare_pairs_runs_multiple(self, pair_tables):
+        sender, receiver = pair_tables
+        results = compare_pairs(
+            {"A": sender, "B": receiver},
+            [("A", "B"), ("B", "A")],
+            packets=100,
+            seed=8,
+            techniques=("patricia",),
+        )
+        assert len(results) == 2
+        assert results[0].sender_name == "A"
+        assert all(r.mismatches == 0 for r in results)
+
+
+class TestRender:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [[1, 2.5], ["xy", 3.25]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert "2.500" in text
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_render_comparison_contains_all_schemes(self, pair_tables):
+        sender, receiver = pair_tables
+        result = compare_pair(
+            sender, receiver, packets=50, seed=9, techniques=("patricia", "logw")
+        )
+        # Restrict rendering check to the techniques we ran.
+        text = render_comparison_matrix([result])
+        for token in ("patricia+advance", "logw+simple"):
+            assert token in text
+
+    def test_render_paper_vs_measured(self):
+        text = render_paper_vs_measured([("entries", 60000, 59999)])
+        assert "paper" in text and "60000" in text
+
+
+class TestScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() == 0.1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert get_scale() == 0.5
+
+    def test_invalid_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            get_scale()
+
+    def test_nonpositive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            get_scale()
+
+    def test_scaled_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(100, minimum=5) == 5

@@ -1,0 +1,51 @@
+"""Unit tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import ReproductionReport, run_reproduction
+
+
+class TestReproductionReport:
+    def test_render_structure(self):
+        report = ReproductionReport(scale=0.1, packets=100)
+        report.add("A section", "body text")
+        report.check("a check", True)
+        text = report.render()
+        assert "## A section" in text
+        assert "body text" in text
+        assert "- [x] a check" in text
+        assert "all shape checks hold" in text
+
+    def test_failed_check_reported(self):
+        report = ReproductionReport(scale=0.1, packets=100)
+        report.check("broken", False)
+        assert not report.passed()
+        assert "- [ ] broken" in report.render()
+        assert "FAILURES" in report.render()
+
+
+class TestRunReproduction:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_reproduction(scale=0.01, packets=80, seed=11)
+
+    def test_all_checks_pass(self, report):
+        assert report.passed(), report.checks
+
+    def test_covers_every_artifact(self, report):
+        titles = [title for title, _body in report.sections]
+        for token in ("Table 1", "Table 2", "Table 3", "Tables 4–9",
+                      "Figure 1", "Figure 8", "§3.5"):
+            assert any(token in title for title in titles), token
+
+    def test_cli_writes_report(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main([
+            "reproduce", "--scale", "0.01", "--packets", "60",
+            "--seed", "3", "--output", str(target),
+        ])
+        assert code == 0
+        text = target.read_text()
+        assert text.startswith("# Routing with a Clue")
+        assert "Shape checks" in text

@@ -1,0 +1,53 @@
+"""Unit tests for the parameter-sweep experiments."""
+
+import pytest
+
+from repro.experiments import scaling_sweep, similarity_sweep
+
+
+class TestSimilaritySweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return similarity_sweep(
+            [0.0, 0.05, 0.15], table_size=400, packets=150, seed=5
+        )
+
+    def test_one_point_per_fraction(self, points):
+        assert [point.parameter for point in points] == [0.0, 0.05, 0.15]
+
+    def test_problematic_fraction_tracks_dissimilarity(self, points):
+        fractions = [point.metrics["problematic_fraction"] for point in points]
+        assert fractions[0] < fractions[-1]
+
+    def test_advance_cost_degrades_gracefully(self, points):
+        costs = [point.metrics["advance"] for point in points]
+        assert costs[0] <= costs[-1]
+        assert costs[-1] < points[-1].metrics["clueless"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            similarity_sweep([-0.1], table_size=100, packets=10)
+
+
+class TestScalingSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return scaling_sweep([200, 800], packets=150, seed=6)
+
+    def test_advance_flat_across_sizes(self, points):
+        for point in points:
+            assert point.metrics["regular_advance"] < 1.3
+            assert point.metrics["logw_advance"] < 1.3
+
+    def test_metrics_present_per_technique(self, points):
+        for point in points:
+            assert set(point.metrics) == {
+                "regular_clueless",
+                "regular_advance",
+                "logw_clueless",
+                "logw_advance",
+            }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaling_sweep([5], packets=10)

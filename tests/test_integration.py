@@ -1,0 +1,113 @@
+"""Integration tests: routing protocol → clue network → forwarding,
+verified hop by hop against per-router oracles."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address
+from repro.core.receiver import ReceiverState
+from repro.netsim import Network, Packet
+from repro.routing import (
+    PathVectorRouting,
+    hierarchy_topology,
+    originate_prefixes,
+)
+
+
+@pytest.fixture(scope="module")
+def routed_network():
+    graph = hierarchy_topology(
+        backbone=3, regionals_per_backbone=2, stubs_per_regional=2, seed=11
+    )
+    originate_prefixes(graph, per_node=4, seed=11, roles=("stub", "regional"))
+    routing = PathVectorRouting(graph)
+    routing.run()
+    assert routing.converged()
+    network = Network.from_pathvector(routing)
+    return graph, routing, network
+
+
+class TestEndToEnd:
+    def test_all_destinations_delivered(self, routed_network):
+        graph, routing, network = routed_network
+        rng = random.Random(1)
+        stubs = [n for n in graph.nodes if graph.nodes[n]["role"] == "stub"]
+        for target in stubs[:6]:
+            for prefix in graph.nodes[target]["originated"][:2]:
+                destination = prefix.random_address(rng)
+                source = stubs[0] if target != stubs[0] else stubs[1]
+                report = network.send(destination, source)
+                assert report.delivered, (source, target, str(destination))
+                assert report.path[-1] == target
+
+    def test_paths_match_routing_protocol(self, routed_network):
+        graph, routing, network = routed_network
+        rng = random.Random(2)
+        stubs = [n for n in graph.nodes if graph.nodes[n]["role"] == "stub"]
+        source, target = stubs[0], stubs[-1]
+        prefix = graph.nodes[target]["originated"][0]
+        report = network.send(prefix.random_address(rng), source)
+        assert tuple(report.path) == routing.path_of(source, prefix)
+
+    def test_every_hop_bmp_matches_local_oracle(self, routed_network):
+        graph, routing, network = routed_network
+        rng = random.Random(3)
+        tables = routing.all_tables()
+        oracles = {name: ReceiverState(entries) for name, entries in tables.items()}
+        stubs = [n for n in graph.nodes if graph.nodes[n]["role"] == "stub"]
+        source, target = stubs[1], stubs[-2]
+        for prefix in graph.nodes[target]["originated"]:
+            destination = prefix.random_address(rng)
+            packet = Packet(destination)
+            report = network.forward(packet, source)
+            assert report.delivered
+            for record in packet.trace:
+                expected, _ = oracles[record.router].best_match(destination)
+                assert record.bmp == expected, record.router
+
+    def test_steady_state_downstream_cost_near_one(self, routed_network):
+        graph, routing, network = routed_network
+        rng = random.Random(4)
+        stubs = [n for n in graph.nodes if graph.nodes[n]["role"] == "stub"]
+        source, target = stubs[0], stubs[-1]
+        prefix = graph.nodes[target]["originated"][0]
+        destination = prefix.random_address(rng)
+        # Warm the learned clue tables along the path.
+        for _ in range(3):
+            network.send(destination, source)
+        packet = Packet(destination)
+        network.forward(packet, source)
+        downstream = packet.work_profile()[1:]
+        assert sum(downstream) / len(downstream) <= 2.0
+
+    def test_clue_lengths_never_shrink_unexpectedly(self, routed_network):
+        """On a converged network, hop BMPs only refine towards the origin."""
+        graph, routing, network = routed_network
+        rng = random.Random(5)
+        stubs = [n for n in graph.nodes if graph.nodes[n]["role"] == "stub"]
+        source, target = stubs[2], stubs[-1]
+        prefix = graph.nodes[target]["originated"][1]
+        packet = Packet(prefix.random_address(rng))
+        network.forward(packet, source)
+        lengths = [l for l in packet.bmp_lengths() if l is not None]
+        assert lengths == sorted(lengths)
+
+
+class TestLearningConvergence:
+    def test_hit_rate_rises_with_traffic(self, routed_network):
+        graph, routing, network = routed_network
+        rng = random.Random(6)
+        stubs = [n for n in graph.nodes if graph.nodes[n]["role"] == "stub"]
+        source = stubs[0]
+        targets = [n for n in stubs[1:5]]
+        for _round in range(3):
+            for target in targets:
+                for prefix in graph.nodes[target]["originated"]:
+                    network.send(prefix.random_address(rng), source)
+        # Inspect a backbone router's learned tables.
+        backbone = [n for n in graph.nodes if graph.nodes[n]["role"] == "backbone"][0]
+        router = network.routers[backbone]
+        lookups = [lk for lk in router._lookups.values() if lk.hits + lk.misses > 5]
+        assert lookups, "backbone saw no clue traffic"
+        assert any(lk.hit_rate() > 0.5 for lk in lookups)

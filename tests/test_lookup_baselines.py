@@ -1,0 +1,231 @@
+"""Unit tests for the five LPM baselines and the cost model."""
+
+import math
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.lookup import (
+    BASELINES,
+    BinaryRangeLookup,
+    LogWLookup,
+    LookupResult,
+    MemoryCounter,
+    MultiwayRangeLookup,
+    PatriciaLookup,
+    RegularTrieLookup,
+    reference_lookup,
+)
+from repro.lookup.binary_range import RangeTable
+from repro.lookup.logw import LengthTables
+from tests.conftest import p
+
+SMALL_TABLE = [
+    (p("0"), "a"),
+    (p("01"), "b"),
+    (p("0110"), "c"),
+    (p("1"), "d"),
+    (p("10010"), "e"),
+]
+
+
+def addr(bits: str) -> Address:
+    """An address starting with the given bits, zero-padded."""
+    return Address(int(bits, 2) << (32 - len(bits)), 32)
+
+
+class TestMemoryCounter:
+    def test_starts_at_zero(self):
+        assert MemoryCounter().accesses == 0
+
+    def test_touch_accumulates(self):
+        counter = MemoryCounter()
+        counter.touch()
+        counter.touch(3)
+        assert counter.accesses == 4
+
+    def test_reset(self):
+        counter = MemoryCounter()
+        counter.touch(5)
+        counter.reset()
+        assert counter.accesses == 0
+
+    def test_lookup_result_equality(self):
+        a = LookupResult(p("0"), "a", 3)
+        b = LookupResult(p("0"), "a", 3)
+        assert a == b
+        assert a.matched()
+        assert not LookupResult(None, None, 1).matched()
+
+
+class TestRegular:
+    def test_finds_longest(self):
+        lookup = RegularTrieLookup(SMALL_TABLE)
+        result = lookup.lookup(addr("01101"))
+        assert result.prefix == p("0110")
+        assert result.next_hop == "c"
+
+    def test_counts_vertices_visited(self):
+        lookup = RegularTrieLookup(SMALL_TABLE)
+        # Walking 0110...: root, 0, 01, 011, 0110 = 5 vertices.
+        result = lookup.lookup(addr("01100"))
+        assert result.accesses == 5
+
+    def test_miss_returns_none(self):
+        lookup = RegularTrieLookup([(p("11"), "x")])
+        result = lookup.lookup(addr("00"))
+        assert result.prefix is None
+
+    def test_counter_is_shared(self):
+        lookup = RegularTrieLookup(SMALL_TABLE)
+        counter = MemoryCounter()
+        lookup.lookup(addr("1"), counter)
+        lookup.lookup(addr("1"), counter)
+        # Each walk visits root, "1", "10", "100" (stops: no "1000" child).
+        assert counter.accesses == 8
+
+
+class TestPatricia:
+    def test_finds_longest(self):
+        lookup = PatriciaLookup(SMALL_TABLE)
+        assert lookup.lookup(addr("10010")).prefix == p("10010")
+
+    def test_compressed_walk_costs_less(self):
+        regular = RegularTrieLookup(SMALL_TABLE)
+        patricia = PatriciaLookup(SMALL_TABLE)
+        address = addr("10010")
+        assert patricia.lookup(address).accesses < regular.lookup(address).accesses
+
+    def test_overshoot_not_matched(self):
+        lookup = PatriciaLookup(SMALL_TABLE)
+        # 10011... walks into the 10010 node but must settle for "1".
+        assert lookup.lookup(addr("10011")).prefix == p("1")
+
+
+class TestRangeTable:
+    def test_segment_count(self):
+        table = RangeTable(SMALL_TABLE)
+        # Segments are maximal runs with constant BMP.
+        assert table.segment_count() >= len(SMALL_TABLE)
+
+    def test_answers_constant_within_segment(self, rng):
+        table = RangeTable(SMALL_TABLE)
+        for start, answer in zip(table.starts, table.answers):
+            expected, _ = reference_lookup(SMALL_TABLE, Address(start, 32))
+            assert answer[0] == expected
+
+    def test_binary_probe_count_is_logarithmic(self):
+        entries = [(Prefix(i, 16, 32), i) for i in range(0, 4096, 3)]
+        table = RangeTable(entries)
+        counter = MemoryCounter()
+        table.locate_binary(Address(123 << 16, 32), counter)
+        assert counter.accesses <= math.ceil(math.log2(table.segment_count())) + 1
+
+    def test_multiway_probe_count_beats_binary(self):
+        entries = [(Prefix(i, 16, 32), i) for i in range(0, 4096, 3)]
+        table = RangeTable(entries)
+        b_counter, m_counter = MemoryCounter(), MemoryCounter()
+        address = Address(123 << 16, 32)
+        table.locate_binary(address, b_counter)
+        table.locate_multiway(address, m_counter, 6)
+        assert m_counter.accesses < b_counter.accesses
+
+    def test_multiway_rejects_bad_branching(self):
+        table = RangeTable(SMALL_TABLE)
+        with pytest.raises(ValueError):
+            table.locate_multiway(addr("0"), MemoryCounter(), 1)
+
+    def test_single_segment_costs_one(self):
+        table = RangeTable([(Prefix.root(), "d")])
+        counter = MemoryCounter()
+        prefix, hop = table.locate_binary(addr("1"), counter)
+        assert prefix == Prefix.root()
+        assert counter.accesses == 1
+
+
+class TestBinaryAndMultiway:
+    @pytest.mark.parametrize("cls", [BinaryRangeLookup, MultiwayRangeLookup])
+    def test_matches_reference(self, cls, rng):
+        entries = SMALL_TABLE
+        lookup = cls(entries)
+        for _ in range(200):
+            address = Address(rng.getrandbits(32), 32)
+            expected, _ = reference_lookup(entries, address)
+            assert lookup.lookup(address).prefix == expected
+
+    def test_multiway_branching_parameter(self):
+        entries = [(Prefix(i, 12, 32), i) for i in range(512)]
+        narrow = MultiwayRangeLookup(entries, branching=2)
+        wide = MultiwayRangeLookup(entries, branching=16)
+        address = Address(100 << 20, 32)
+        assert wide.lookup(address).accesses <= narrow.lookup(address).accesses
+
+
+class TestLogW:
+    def test_matches_reference(self, rng):
+        lookup = LogWLookup(SMALL_TABLE)
+        for _ in range(200):
+            address = Address(rng.getrandbits(32), 32)
+            expected, _ = reference_lookup(SMALL_TABLE, address)
+            assert lookup.lookup(address).prefix == expected
+
+    def test_probe_budget_bounds_accesses(self, rng):
+        entries = [(Prefix(rng.getrandbits(l), l, 32), l) for l in range(1, 25) for _ in range(4)]
+        entries = list({prefix: hop for prefix, hop in entries}.items())
+        lookup = LogWLookup(entries)
+        budget = lookup.levels.probe_budget()
+        for _ in range(100):
+            address = Address(rng.getrandbits(32), 32)
+            assert lookup.lookup(address).accesses <= budget
+
+    def test_markers_prevent_backtracking_misses(self):
+        # Classic marker trap: a long prefix forces the search down, where
+        # nothing matches; the answer must come from the marker's BMP.
+        entries = [
+            (p("1"), "short"),
+            (p("1010"), "mid"),
+            (p("10100000"), "long"),
+        ]
+        lookup = LogWLookup(entries)
+        # 1010 1111...: matches "1" and "1010" but not the /8.
+        result = lookup.lookup(addr("10101111"))
+        assert result.prefix == p("1010")
+
+    def test_marker_bmp_uses_table_wide_best(self):
+        # Marker for the long prefix lands at length 2 ("10"); its BMP must
+        # be "1", the best real prefix above it.
+        entries = [(p("1"), "short"), (p("1000"), "long")]
+        levels = LengthTables(entries)
+        assert 1 in levels.lengths and 4 in levels.lengths
+        result = levels.search(addr("1011"), MemoryCounter())
+        assert result[0] == p("1")
+
+    def test_default_route_found(self):
+        lookup = LogWLookup([(Prefix.root(), "default"), (p("1"), "one")])
+        assert lookup.lookup(addr("0")).prefix == Prefix.root()
+
+
+class TestBaselineRegistry:
+    def test_contains_the_papers_five(self):
+        from repro.lookup import PAPER_BASELINES
+
+        assert set(PAPER_BASELINES) == {"regular", "patricia", "binary", "6way", "logw"}
+        assert "multibit" in BASELINES
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RegularTrieLookup([(Prefix.root(128), "x")], width=32)
+
+    def test_all_agree_on_random_tables(self, pair_tables, rng):
+        sender, _ = pair_tables
+        entries = sender[:400]
+        lookups = {name: cls(entries) for name, cls in BASELINES.items()}
+        for _ in range(150):
+            prefix, _hop = entries[rng.randrange(len(entries))]
+            address = prefix.random_address(rng)
+            results = {
+                name: lookup.lookup(address).prefix
+                for name, lookup in lookups.items()
+            }
+            assert len(set(results.values())) == 1, results

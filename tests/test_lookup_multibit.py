@@ -1,0 +1,145 @@
+"""Unit tests for the stride-k multibit trie baseline ([24])."""
+
+import math
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core import AdvanceMethod, ClueAssistedLookup, ReceiverState, SimpleMethod
+from repro.lookup import (
+    MemoryCounter,
+    MultibitContinuation,
+    MultibitTrie,
+    MultibitTrieLookup,
+    reference_lookup,
+)
+from repro.trie import BinaryTrie
+from tests.conftest import p
+
+SMALL_TABLE = [
+    (p("0"), "a"),
+    (p("01"), "b"),
+    (p("0110"), "c"),
+    (p("1"), "d"),
+    (p("10010"), "e"),
+]
+
+
+def addr(bits: str) -> Address:
+    return Address(int(bits, 2) << (32 - len(bits)), 32)
+
+
+class TestMultibitTrie:
+    def test_stride_must_divide_width(self):
+        with pytest.raises(ValueError):
+            MultibitTrie(stride=5, width=32)
+        with pytest.raises(ValueError):
+            MultibitTrie(stride=0)
+
+    def test_lookup_matches_reference(self, rng):
+        lookup = MultibitTrieLookup(SMALL_TABLE)
+        for _ in range(300):
+            address = Address(rng.getrandbits(32), 32)
+            expected, _ = reference_lookup(SMALL_TABLE, address)
+            assert lookup.lookup(address).prefix == expected
+
+    def test_cost_bounded_by_width_over_stride(self, rng):
+        lookup = MultibitTrieLookup(SMALL_TABLE, stride=4)
+        bound = math.ceil(32 / 4)
+        for _ in range(50):
+            address = Address(rng.getrandbits(32), 32)
+            assert lookup.lookup(address).accesses <= bound
+
+    def test_bigger_stride_costs_fewer_references(self, pair_tables, rng):
+        sender, _ = pair_tables
+        entries = sender[:500]
+        narrow = MultibitTrieLookup(entries, stride=2)
+        wide = MultibitTrieLookup(entries, stride=8)
+        totals = [0, 0]
+        for _ in range(100):
+            prefix, _hop = entries[rng.randrange(len(entries))]
+            address = prefix.random_address(rng)
+            assert narrow.lookup(address).prefix == wide.lookup(address).prefix
+            totals[0] += narrow.lookup(address).accesses
+            totals[1] += wide.lookup(address).accesses
+        assert totals[1] < totals[0]
+
+    def test_default_route(self):
+        lookup = MultibitTrieLookup([(Prefix.root(), "default")] + SMALL_TABLE)
+        assert lookup.lookup(addr("1111")).prefix == Prefix.root().child(1)
+
+    def test_agrees_with_binary_trie_on_generated(self, pair_tables, rng):
+        sender, _ = pair_tables
+        binary = BinaryTrie.from_prefixes(sender)
+        lookup = MultibitTrieLookup(sender)
+        for _ in range(300):
+            address = Address(rng.getrandbits(32), 32)
+            assert lookup.lookup(address).prefix == binary.best_prefix(address)
+
+
+class TestMultibitContinuation:
+    def test_finds_longer_match_only(self):
+        trie = MultibitTrie(stride=4)
+        for prefix, hop in sorted(SMALL_TABLE, key=lambda e: e[0].length):
+            trie.insert(prefix, hop)
+        cont = MultibitContinuation(trie, p("01"))
+        # 0110...: the only strictly-longer match is 0110.
+        assert cont.search(addr("01100"), MemoryCounter()) == (p("0110"), "c")
+        # 0111...: nothing longer than the clue.
+        assert cont.search(addr("01110"), MemoryCounter()) is None
+
+    def test_cheaper_than_full_walk(self):
+        trie = MultibitTrie(stride=4)
+        deep = [(Prefix(0b1 << 23 | i, 24, 32), i) for i in range(4)]
+        for prefix, hop in deep:
+            trie.insert(prefix, hop)
+        full = MemoryCounter()
+        trie.lookup_from(Address(deep[0][0].bits << 8, 32), full)
+        cont = MultibitContinuation(trie, Prefix(0b1 << 15 | 0, 16, 32))
+        resumed = MemoryCounter()
+        cont.search(Address(deep[0][0].bits << 8, 32), resumed)
+        assert resumed.accesses < full.accesses
+
+
+class TestMultibitWithClueMethods:
+    @pytest.mark.parametrize("method_name", ["simple", "advance"])
+    def test_correct_against_oracle(self, method_name, pair_tables, rng):
+        sender, receiver_entries = pair_tables
+        sender_trie = BinaryTrie.from_prefixes(sender[:600])
+        receiver = ReceiverState(receiver_entries[:600])
+        if method_name == "simple":
+            table = SimpleMethod(receiver, "multibit").build_table(
+                sender_trie.prefixes()
+            )
+        else:
+            table = AdvanceMethod(sender_trie, receiver, "multibit").build_table()
+        lookup = ClueAssistedLookup(
+            MultibitTrieLookup(receiver.entries), table
+        )
+        for _ in range(300):
+            prefix, _hop = sender[rng.randrange(600)]
+            destination = prefix.random_address(rng)
+            clue = sender_trie.best_prefix(destination)
+            if clue is None:
+                continue
+            expected, _ = receiver.best_match(destination)
+            assert lookup.lookup(destination, clue).prefix == expected
+
+    def test_advance_multibit_near_one_reference(self, pair_structures, rng):
+        sender_trie, receiver = pair_structures
+        table = AdvanceMethod(sender_trie, receiver, "multibit").build_table()
+        lookup = ClueAssistedLookup(MultibitTrieLookup(receiver.entries), table)
+        entries = list(sender_trie.entries())
+        total, measured = 0, 0
+        for _ in range(400):
+            prefix, _hop = entries[rng.randrange(len(entries))]
+            destination = prefix.random_address(rng)
+            clue = sender_trie.best_prefix(destination)
+            if clue is None or receiver.trie.find_node(clue) is None:
+                continue
+            counter = MemoryCounter()
+            lookup.lookup(destination, clue, counter)
+            total += counter.accesses
+            measured += 1
+        assert total / measured < 1.5

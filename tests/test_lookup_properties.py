@@ -1,0 +1,68 @@
+"""Property-based tests: every lookup algorithm against the oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.lookup import BASELINES, MemoryCounter, SmallTableLookup, reference_lookup
+
+
+@st.composite
+def entry_sets(draw, max_size=30, depth=14):
+    """Small random tables over a narrow slice of the space."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    prefixes = set()
+    for _ in range(size):
+        length = draw(st.integers(min_value=1, max_value=depth))
+        bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+        prefixes.add(Prefix(bits, length, 32))
+    return [(prefix, "h%d" % i) for i, prefix in enumerate(sorted(prefixes))]
+
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+technique = st.sampled_from(sorted(BASELINES))
+
+
+@given(entry_sets(), addresses, technique)
+@settings(max_examples=250, deadline=None)
+def test_every_baseline_matches_reference(entries, value, name):
+    address = Address(value, 32)
+    expected, expected_hop = reference_lookup(entries, address)
+    result = BASELINES[name](entries).lookup(address)
+    assert result.prefix == expected
+    if expected is not None:
+        assert result.next_hop == expected_hop
+
+
+@given(entry_sets(), addresses)
+@settings(max_examples=150, deadline=None)
+def test_smalltable_matches_reference(entries, value):
+    address = Address(value, 32)
+    expected, _ = reference_lookup(entries, address)
+    assert SmallTableLookup(entries).lookup(address).prefix == expected
+
+
+@given(entry_sets(), addresses, technique)
+@settings(max_examples=120, deadline=None)
+def test_accesses_are_positive_and_bounded(entries, value, name):
+    address = Address(value, 32)
+    counter = MemoryCounter()
+    BASELINES[name](entries).lookup(address, counter)
+    assert counter.accesses >= 1
+    # No algorithm may exceed the naive full-scan budget.
+    assert counter.accesses <= max(len(entries) * 2, 64)
+
+
+@given(entry_sets(), st.integers(min_value=0, max_value=(1 << 14) - 1))
+@settings(max_examples=120, deadline=None)
+def test_matching_destination_always_found(entries, suffix):
+    """An address drawn under a table prefix always resolves."""
+    prefix, _hop = entries[0]
+    host_bits = 32 - prefix.length
+    address = Address(
+        (prefix.bits << host_bits) | (suffix & ((1 << host_bits) - 1)), 32
+    )
+    for name in BASELINES:
+        result = BASELINES[name](entries).lookup(address)
+        assert result.prefix is not None
+        assert result.prefix.matches(address)
+        assert result.prefix.length >= prefix.length

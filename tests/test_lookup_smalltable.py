@@ -1,0 +1,116 @@
+"""Unit tests for the bitmap-compressed small-table baseline ([6])."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.lookup import MemoryCounter, reference_lookup
+from repro.lookup.smalltable import CompressedChunk, SmallTableLookup
+from tests.conftest import p
+
+
+def addr(bits: str) -> Address:
+    return Address(int(bits, 2) << (32 - len(bits)), 32)
+
+
+SMALL_TABLE = [
+    (Prefix.parse("10.0.0.0/8"), "a"),
+    (Prefix.parse("10.1.0.0/16"), "b"),
+    (Prefix.parse("10.1.2.0/24"), "c"),
+    (Prefix.parse("10.1.2.128/25"), "d"),
+    (Prefix.parse("192.168.0.0/16"), "e"),
+]
+
+
+class TestCompressedChunk:
+    def test_run_length_compression(self):
+        values = ["x", "x", "y", "y", "y", "z", "x", "x"]
+        chunk = CompressedChunk(values, {})
+        assert chunk.packed_size() == 4  # x y z x
+        for index, value in enumerate(values):
+            assert chunk.value_at(index) == value
+
+    def test_single_run(self):
+        chunk = CompressedChunk(["only"] * 16, {})
+        assert chunk.packed_size() == 1
+        assert chunk.value_at(7) == "only"
+
+
+class TestSmallTableLookup:
+    def test_rejects_non_ipv4(self):
+        with pytest.raises(ValueError):
+            SmallTableLookup([(Prefix.root(128), "x")], width=128)
+
+    def test_level1_hit_costs_two(self):
+        lookup = SmallTableLookup(SMALL_TABLE)
+        result = lookup.lookup(Address.parse("10.200.1.1"))
+        assert result.prefix == Prefix.parse("10.0.0.0/8")
+        assert result.accesses == 2
+
+    def test_level2_hit_costs_four(self):
+        lookup = SmallTableLookup(SMALL_TABLE)
+        result = lookup.lookup(Address.parse("10.1.250.1"))
+        assert result.prefix == Prefix.parse("10.1.0.0/16")
+        assert result.accesses == 4
+
+    def test_level3_hit_costs_six(self):
+        lookup = SmallTableLookup(SMALL_TABLE)
+        result = lookup.lookup(Address.parse("10.1.2.200"))
+        assert result.prefix == Prefix.parse("10.1.2.128/25")
+        assert result.accesses == 6
+
+    def test_miss(self):
+        lookup = SmallTableLookup(SMALL_TABLE)
+        assert lookup.lookup(Address.parse("99.0.0.1")).prefix is None
+
+    def test_leaf_pushing_keeps_shorter_match_visible(self):
+        lookup = SmallTableLookup(SMALL_TABLE)
+        # Inside 10.1.2.0/24 but outside the /25: the /24 must win.
+        result = lookup.lookup(Address.parse("10.1.2.5"))
+        assert result.prefix == Prefix.parse("10.1.2.0/24")
+
+    def test_matches_reference_on_generated_tables(self, pair_tables, rng):
+        sender, _ = pair_tables
+        entries = sender[:700]
+        lookup = SmallTableLookup(entries)
+        for _ in range(400):
+            prefix, _hop = entries[rng.randrange(len(entries))]
+            address = prefix.random_address(rng)
+            expected, _ = reference_lookup(entries, address)
+            assert lookup.lookup(address).prefix == expected, str(address)
+
+    def test_matches_reference_on_random_addresses(self, pair_tables, rng):
+        sender, _ = pair_tables
+        entries = sender[:700]
+        lookup = SmallTableLookup(entries)
+        for _ in range(400):
+            address = Address(rng.getrandbits(32), 32)
+            expected, _ = reference_lookup(entries, address)
+            assert lookup.lookup(address).prefix == expected, str(address)
+
+    def test_cost_bounded_by_six(self, pair_tables, rng):
+        sender, _ = pair_tables
+        lookup = SmallTableLookup(sender[:500])
+        for _ in range(100):
+            address = Address(rng.getrandbits(32), 32)
+            assert lookup.lookup(address).accesses <= 6
+
+    def test_compression_actually_compresses(self, pair_tables):
+        sender, _ = pair_tables
+        lookup = SmallTableLookup(sender)
+        report = lookup.compression_report()
+        assert report["packed_runs"] < report["slots"] / 4
+
+    def test_nested_ends_at_chunk_boundary(self):
+        # A /16 and a /24 in the same /16 slot: the /16 ends exactly at the
+        # level-1 boundary and must still be found outside the /24.
+        entries = [
+            (Prefix.parse("10.1.0.0/16"), "b"),
+            (Prefix.parse("10.1.2.0/24"), "c"),
+        ]
+        lookup = SmallTableLookup(entries)
+        assert lookup.lookup(Address.parse("10.1.3.1")).prefix == Prefix.parse(
+            "10.1.0.0/16"
+        )
+        assert lookup.lookup(Address.parse("10.1.2.1")).prefix == Prefix.parse(
+            "10.1.2.0/24"
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for the flow-level scheme comparison."""
+
+import pytest
+
+from repro.netsim import FlowExperiment, pareto_flow_sizes
+
+
+class TestParetoSizes:
+    def test_count_and_bounds(self):
+        sizes = pareto_flow_sizes(200, seed=1, max_size=500)
+        assert len(sizes) == 200
+        assert all(1 <= size <= 500 for size in sizes)
+
+    def test_heavy_tail_is_mostly_small(self):
+        sizes = pareto_flow_sizes(2000, seed=2)
+        small = sum(1 for size in sizes if size <= 3)
+        assert small / len(sizes) > 0.5
+
+    def test_deterministic(self):
+        assert pareto_flow_sizes(50, seed=3) == pareto_flow_sizes(50, seed=3)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            pareto_flow_sizes(10, alpha=0)
+
+
+class TestFlowExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return FlowExperiment(hops=4, table_size=400, seed=5)
+
+    def test_hops_validation(self):
+        with pytest.raises(ValueError):
+            FlowExperiment(hops=1)
+
+    def test_single_packet_flows_favor_clues(self, experiment):
+        """A one-packet UDP flow never amortises a label setup."""
+        schemes = experiment.run([1] * 100, seed=6)
+        assert schemes["clue"].per_packet() < schemes["tag"].per_packet()
+        assert schemes["clue"].setup_messages == 0
+        assert schemes["tag"].setup_messages > 0
+        assert schemes["tag"].first_packet_delay_hops > 0
+
+    def test_long_flows_amortise_tag_setup(self, experiment):
+        schemes = experiment.run([500] * 10, seed=7)
+        # Both clue and tag are near one reference per hop for elephants.
+        assert schemes["tag"].per_packet() <= schemes["clue"].per_packet() + 0.5
+        assert schemes["clue"].per_packet() < schemes["ip"].per_packet() / 3
+
+    def test_clue_beats_ip_always(self, experiment):
+        schemes = experiment.run(pareto_flow_sizes(100, seed=8), seed=9)
+        assert schemes["clue"].per_packet() < schemes["ip"].per_packet()
+
+    def test_clue_never_delays_first_packet(self, experiment):
+        schemes = experiment.run([1, 5, 10], seed=10)
+        assert schemes["clue"].first_packet_delay_hops == 0
+        assert schemes["ip"].first_packet_delay_hops == 0
+
+    def test_packet_accounting_consistent(self, experiment):
+        sizes = [2, 3, 4]
+        schemes = experiment.run(sizes, seed=11)
+        for cost in schemes.values():
+            assert cost.packets == sum(sizes)
+
+
+class TestCrossover:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return FlowExperiment(hops=4, table_size=400, seed=5)
+
+    def test_crossover_is_positive_and_finite(self, experiment):
+        crossover = experiment.crossover_flow_size(samples=60, seed=12)
+        assert 1 < crossover < 1000
+
+    def test_crossover_predicts_the_simulation(self, experiment):
+        """Flows shorter than the crossover favour clues; longer, tags."""
+        crossover = experiment.crossover_flow_size(samples=60, seed=13)
+        short = max(int(crossover / 3), 1)
+        long = int(crossover * 5) + 2
+        short_run = experiment.run([short] * 30, seed=14)
+        long_run = experiment.run([long] * 30, seed=14)
+        assert short_run["clue"].per_packet() < short_run["tag"].per_packet()
+        assert long_run["tag"].per_packet() < long_run["clue"].per_packet()
+
+    def test_average_path_costs_keys(self, experiment):
+        costs = experiment.average_path_costs(samples=40, seed=15)
+        assert set(costs) == {"ip", "clue", "tag_steady"}
+        assert costs["clue"] < costs["ip"]
+
+    def test_cli_flows_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["flows", "--count", "200", "--flows", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "flow economics" in out
+        assert "overtakes" in out

@@ -1,0 +1,82 @@
+"""Unit tests for the §7 multicast clue support."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.lookup import MemoryCounter
+from repro.netsim.multicast import (
+    MULTICAST_BLOCK,
+    MulticastForwarder,
+    derive_neighbor_groups,
+    generate_group_table,
+)
+
+
+class TestGroupTable:
+    def test_groups_inside_class_d(self):
+        table = generate_group_table(200, seed=1)
+        for prefix, oifs in table:
+            assert MULTICAST_BLOCK.is_prefix_of(prefix)
+            assert len(oifs) >= 1
+
+    def test_requested_count(self):
+        assert len(generate_group_table(150, seed=2)) == 150
+
+    def test_deterministic(self):
+        assert generate_group_table(50, seed=3) == generate_group_table(50, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_group_table(-1)
+
+    def test_neighbor_mostly_shared(self):
+        base = generate_group_table(300, seed=4)
+        neighbor = derive_neighbor_groups(base, seed=5)
+        base_prefixes = {prefix for prefix, _ in base}
+        shared = sum(1 for prefix, _ in neighbor if prefix in base_prefixes)
+        assert shared / len(neighbor) > 0.95
+
+
+class TestMulticastForwarder:
+    @pytest.fixture(scope="class")
+    def forwarder(self):
+        upstream = generate_group_table(400, seed=6)
+        local = derive_neighbor_groups(upstream, seed=7)
+        return MulticastForwarder(upstream, local)
+
+    def test_rejects_unicast_prefixes(self):
+        with pytest.raises(ValueError):
+            MulticastForwarder([(Prefix.parse("10.0.0.0/8"), frozenset({"if0"}))], [])
+
+    def test_clue_preserves_interface_sets(self, forwarder, rng):
+        checked = 0
+        while checked < 200:
+            group = MULTICAST_BLOCK.random_address(rng)
+            clue = forwarder.upstream_clue(group)
+            if clue is None:
+                continue
+            assert forwarder.forward(group, clue) == forwarder.oracle(group)
+            checked += 1
+
+    def test_clue_lookup_near_one_reference(self, forwarder, rng):
+        total, checked = 0, 0
+        while checked < 200:
+            group = MULTICAST_BLOCK.random_address(rng)
+            clue = forwarder.upstream_clue(group)
+            if clue is None:
+                continue
+            counter = MemoryCounter()
+            forwarder.forward(group, clue, counter)
+            total += counter.accesses
+            checked += 1
+        assert total / checked < 1.6
+
+    def test_prune_state_returns_none(self, forwarder):
+        # An address outside every group prefix: no outgoing interfaces.
+        outside = Address.parse("239.255.255.255")
+        if forwarder.oracle(outside) is None:
+            assert forwarder.forward(outside, forwarder.upstream_clue(outside)) is None
+
+    def test_clueless_fallback(self, forwarder, rng):
+        group = MULTICAST_BLOCK.random_address(rng)
+        assert forwarder.forward(group, None) == forwarder.oracle(group)

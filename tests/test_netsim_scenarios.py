@@ -1,0 +1,245 @@
+"""Unit tests for the scenario modules: Figure 1, MPLS, deployment,
+load balancing and robustness."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.netsim import (
+    AggregationScenario,
+    ChainScenario,
+    MplsRouter,
+    build_neighbor_chain,
+    deployment_sweep,
+    rehop,
+    shape_sender_table,
+    shaping_report,
+    stale_table_experiment,
+    truncated_clue_experiment,
+    withheld_clue_experiment,
+)
+from repro.lookup import MemoryCounter
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+from repro.trie import BinaryTrie, TrieOverlay
+from tests.conftest import p
+
+
+class TestChainScenario:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return ChainScenario(background=120, seed=3).profile()
+
+    def test_bmp_lengths_follow_profile(self, profile):
+        assert profile.bmp_lengths == list(ChainScenario().length_profile)
+
+    def test_clue_work_is_roughly_the_derivative(self, profile):
+        # Flat backbone hops cost ~1 reference; rising hops cost more.
+        deltas = profile.derivative()
+        for delta, work in list(zip(deltas, profile.clue_work))[1:]:
+            if delta == 0:
+                assert work <= 2
+
+    def test_backbone_is_least_loaded(self, profile):
+        middle = profile.clue_work[3:5]
+        assert max(middle) <= min(profile.clue_work[0], profile.clue_work[-1]) + 1
+
+    def test_clue_beats_legacy_everywhere_after_first_hop(self, profile):
+        for clue_work, legacy_work in list(
+            zip(profile.clue_work, profile.legacy_work)
+        )[1:]:
+            assert clue_work <= legacy_work
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ChainScenario(length_profile=(8,))
+        with pytest.raises(ValueError):
+            ChainScenario(length_profile=(8, 40))
+
+    def test_custom_profile_respected(self):
+        scenario = ChainScenario(length_profile=(4, 8, 16), background=60, seed=9)
+        profile = scenario.profile()
+        assert profile.bmp_lengths == [4, 8, 16]
+
+    def test_rows_align(self, profile):
+        rows = profile.rows()
+        assert len(rows) == len(profile.routers)
+        assert rows[0][0] == "r0"
+
+
+class TestMpls:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        fec = Prefix.parse("10.0.0.0/16")
+        specifics = [
+            (Prefix.parse("10.0.1.0/24"), "east"),
+            (Prefix.parse("10.0.2.0/24"), "west"),
+        ]
+        background = [
+            (prefix, hop)
+            for prefix, hop in generate_table(200, seed=9)
+            if not fec.is_prefix_of(prefix)
+        ]
+        return AggregationScenario(fec, specifics, background)
+
+    def test_specifics_must_extend_fec(self):
+        with pytest.raises(ValueError):
+            AggregationScenario(
+                Prefix.parse("10.0.0.0/16"),
+                [(Prefix.parse("11.0.0.0/24"), "x")],
+                [],
+            )
+
+    def test_r4_is_aggregation_point(self, scenario):
+        assert scenario.routers["R4"].is_aggregation_point(13)
+        assert not scenario.routers["R2"].is_aggregation_point(11)
+
+    def test_label_switching_costs_one(self, scenario):
+        counter = MemoryCounter()
+        next_hop, out_label = scenario.routers["R2"].switch(11, counter)
+        assert (next_hop, out_label) == ("R3", 12)
+        assert counter.accesses == 1
+
+    def test_unknown_label(self, scenario):
+        assert scenario.routers["R2"].switch(99, MemoryCounter()) == (None, None)
+
+    def test_measure_destination_outside_fec_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.measure(Address.parse("11.0.0.1"))
+
+    def test_mpls_switches_but_pays_at_aggregation(self, scenario):
+        series = scenario.measure(Address.parse("10.0.1.7"))
+        # R2/R3 cost exactly one under MPLS.
+        assert series["mpls"][1] == series["mpls"][2] == 1
+        # The aggregation point pays a full lookup under plain MPLS...
+        assert series["mpls"][3] > 3
+        # ...but ~1 reference with the clue integration.
+        assert series["mpls+clue"][3] <= 3
+
+    def test_clue_lookup_correct_at_aggregation(self, scenario):
+        rng = random.Random(3)
+        router = scenario.routers["R4"]
+        for _ in range(100):
+            destination = Prefix.parse("10.0.0.0/16").random_address(rng)
+            expected, _ = router.receiver.best_match(destination)
+            prefix, _hop = router.clue_lookup(13, destination, MemoryCounter())
+            assert prefix == expected
+
+    def test_setup_cost_reported(self, scenario):
+        assert scenario.setup_messages == 3
+
+    def test_clue_lookup_without_enable_falls_back(self):
+        router = MplsRouter("X", [(p("0001"), "out")])
+        router.bind_label(5, p("0001"), "X", None)
+        prefix, _ = router.clue_lookup(
+            5, Address(0b00011 << 27, 32), MemoryCounter()
+        )
+        assert prefix == p("0001")
+
+
+class TestHeterogeneous:
+    def test_rehop(self):
+        entries = [(p("0"), "x"), (p("1"), "y")]
+        assert rehop(entries, "z") == [(p("0"), "z"), (p("1"), "z")]
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            build_neighbor_chain(1, 100)
+
+    def test_sweep_monotone_decreasing(self):
+        tables = build_neighbor_chain(5, 250, seed=4)
+        points = deployment_sweep(
+            tables, [0.0, 0.5, 1.0], packets=40, warmup=10, seed=5
+        )
+        assert points[0].avg_per_hop > points[-1].avg_per_hop
+        # Full deployment: everything after the first hop is ~1 reference.
+        assert points[-1].avg_per_hop < points[0].avg_per_hop / 2
+
+    def test_fraction_validation(self):
+        tables = build_neighbor_chain(3, 100, seed=6)
+        with pytest.raises(ValueError):
+            deployment_sweep(tables, [1.5], packets=5, warmup=0)
+
+    def test_stripping_legacy_hurts(self):
+        tables = build_neighbor_chain(6, 250, seed=7)
+        relaying = deployment_sweep(
+            tables, [0.5], packets=40, warmup=10, seed=8, relay_clues=True
+        )
+        stripping = deployment_sweep(
+            tables, [0.5], packets=40, warmup=10, seed=8, relay_clues=False
+        )
+        assert stripping[0].avg_per_hop >= relaying[0].avg_per_hop
+
+
+class TestLoadBalance:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        sender = generate_table(600, seed=21)
+        receiver = derive_neighbor(
+            sender, NeighborProfile(add_specifics=0.03), seed=22
+        )
+        return sender, receiver
+
+    def test_shaping_eliminates_problematic_clues(self, pair):
+        sender, receiver = pair
+        shaped = shape_sender_table(sender, receiver)
+        overlay = TrieOverlay(
+            BinaryTrie.from_prefixes(shaped), BinaryTrie.from_prefixes(receiver)
+        )
+        assert overlay.problematic_clues() == []
+
+    def test_shaping_only_adds(self, pair):
+        sender, receiver = pair
+        shaped = dict(shape_sender_table(sender, receiver))
+        for prefix, hop in sender:
+            assert shaped[prefix] == hop
+
+    def test_report_reaches_one_reference(self, pair):
+        sender, receiver = pair
+        report = shaping_report(sender, receiver, packets=300, seed=23)
+        assert report.problematic_after == 0
+        assert report.receiver_work_after == pytest.approx(1.0)
+        assert report.receiver_work_before >= report.receiver_work_after
+        assert report.sender_growth() >= 0
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        sender = generate_table(500, seed=31)
+        receiver = derive_neighbor(
+            sender, NeighborProfile(add_specifics=0.02), seed=32
+        )
+        return sender, receiver
+
+    def test_truncation_always_correct(self, pair):
+        sender, receiver = pair
+        points = truncated_clue_experiment(
+            sender, receiver, [8, 16, 32], packets=200, seed=33
+        )
+        for point in points:
+            assert point.correct_rate == 1.0
+        # Cost degrades gracefully as clues get shorter.
+        assert points[0].avg_accesses >= points[-1].avg_accesses
+
+    def test_stale_simple_is_immune(self, pair):
+        sender, receiver = pair
+        new_sender = derive_neighbor(sender, NeighborProfile(), seed=34)
+        outcome = stale_table_experiment(
+            sender, new_sender, receiver, packets=200, seed=35
+        )
+        assert outcome["simple"].correct_rate == 1.0
+        assert outcome["advance"].correct_rate >= 0.95
+
+    def test_withheld_clues_correct_but_slower(self, pair):
+        sender, receiver = pair
+        points = withheld_clue_experiment(
+            sender, receiver, [0.0, 1.0], packets=200, seed=36
+        )
+        assert all(point.correct_rate == 1.0 for point in points)
+        assert points[1].avg_accesses > points[0].avg_accesses
+
+    def test_fraction_validation(self, pair):
+        sender, receiver = pair
+        with pytest.raises(ValueError):
+            withheld_clue_experiment(sender, receiver, [-0.1], packets=10)

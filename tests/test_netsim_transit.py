@@ -1,0 +1,74 @@
+"""Unit tests for the §5.2 BGP-over-OSPF transit scenario."""
+
+import random
+
+import pytest
+
+from repro.netsim.transit import TransitScenario
+from repro.routing.twopass import RecursiveNextHop
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return TransitScenario(interior_hops=2, table_size=500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sample(scenario):
+    rng = random.Random(9)
+    destination = None
+    while destination is None:
+        destination = scenario.sample_destination(rng)
+    return destination
+
+
+class TestTransit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitScenario(interior_hops=-1)
+
+    def test_border_does_two_passes(self, scenario, sample):
+        reports = scenario.route(sample)
+        border = reports[1]
+        assert border.router == "B1"
+        assert border.passes == 2
+
+    def test_clue_is_first_bmp_not_egress(self, scenario, sample):
+        reports = scenario.route(sample)
+        border = reports[1]
+        # The BMP recorded (and forwarded as the clue) matches the
+        # destination, not the IGP egress route.
+        assert border.bmp is not None
+        assert border.bmp.matches(sample)
+
+    def test_interior_benefits_from_clue(self, scenario, sample):
+        reports = scenario.route(sample)
+        for report in reports[2:]:
+            assert report.accesses <= 3, report
+
+    def test_bgp_routes_are_recursive(self, scenario):
+        recursive = [
+            hop
+            for _prefix, hop in scenario.tables["B1"]
+            if isinstance(hop, RecursiveNextHop)
+        ]
+        assert len(recursive) > 0
+        assert all(
+            hop.egress_address == scenario.egress_address for hop in recursive
+        )
+
+    def test_every_hop_finds_a_route(self, scenario, sample):
+        for report in scenario.route(sample):
+            assert report.bmp is not None
+
+    def test_average_costs_shape(self, scenario):
+        costs = scenario.average_costs(packets=80, seed=11)
+        # The external sender pays a full lookup; the border pays the
+        # clue-assisted first pass plus a full IGP pass; the interior and
+        # far border run at clue speed.
+        assert costs["R0"] > 5
+        assert costs["B1"] > 2  # at least the second pass
+        for name in ("I1", "I2", "B2"):
+            assert costs[name] < 2.5, (name, costs[name])
+        # The border beats the external sender despite doing two passes.
+        assert costs["B1"] < costs["R0"] + 2

@@ -1,0 +1,123 @@
+"""Property-based tests for the overlay: Claim 1 semantics and the
+incremental update path."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Prefix
+from repro.trie import BinaryTrie, TrieOverlay
+
+
+@st.composite
+def prefix_lists(draw, max_size=20, depth=10):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    prefixes = set()
+    for _ in range(size):
+        length = draw(st.integers(min_value=1, max_value=depth))
+        bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+        prefixes.add(Prefix(bits, length, 32))
+    return sorted(prefixes)
+
+
+def build_overlay(sender_prefixes, receiver_prefixes):
+    sender = BinaryTrie.from_prefixes((p, "s") for p in sender_prefixes)
+    receiver = BinaryTrie.from_prefixes((p, "r") for p in receiver_prefixes)
+    return sender, receiver, TrieOverlay(sender, receiver)
+
+
+def brute_force_problematic(sender, receiver, clue):
+    """Claim 1's inverse, straight from Figure 6's condition."""
+    for node in receiver.marked_in_subtree(clue):
+        candidate = node.prefix
+        if candidate.length <= clue.length:
+            continue
+        probe = candidate
+        blocked = False
+        while probe.length > clue.length:
+            if sender.contains(probe):
+                blocked = True
+                break
+            probe = probe.parent()
+        if not blocked:
+            return True
+    return False
+
+
+@given(prefix_lists(), prefix_lists())
+@settings(max_examples=120, deadline=None)
+def test_claim1_matches_brute_force(sender_prefixes, receiver_prefixes):
+    sender, receiver, overlay = build_overlay(sender_prefixes, receiver_prefixes)
+    for clue in sender_prefixes:
+        assert overlay.is_problematic(clue) == brute_force_problematic(
+            sender, receiver, clue
+        ), str(clue)
+
+
+@given(prefix_lists(), prefix_lists())
+@settings(max_examples=100, deadline=None)
+def test_potential_set_members_satisfy_condition_c1(
+    sender_prefixes, receiver_prefixes
+):
+    sender, receiver, overlay = build_overlay(sender_prefixes, receiver_prefixes)
+    for clue in sender_prefixes[:6]:
+        for candidate in overlay.potential_set(clue):
+            assert clue.is_prefix_of(candidate)
+            assert candidate.length > clue.length
+            assert receiver.contains(candidate)
+            probe = candidate
+            while probe.length > clue.length:
+                assert not sender.contains(probe)
+                probe = probe.parent()
+
+
+@given(prefix_lists(), prefix_lists(), prefix_lists())
+@settings(max_examples=80, deadline=None)
+def test_incremental_receiver_updates_match_fresh_overlay(
+    sender_prefixes, receiver_prefixes, updates
+):
+    """set_receiver_mark must agree with rebuilding the overlay."""
+    sender, receiver, overlay = build_overlay(sender_prefixes, receiver_prefixes)
+    live = set(receiver_prefixes)
+    for prefix in updates:
+        if prefix in live:
+            live.discard(prefix)
+            receiver.remove(prefix)
+            overlay.set_receiver_mark(prefix, False)
+        else:
+            live.add(prefix)
+            receiver.insert(prefix, "r")
+            overlay.set_receiver_mark(prefix, True)
+    fresh = TrieOverlay(sender, receiver)
+    for clue in sender_prefixes:
+        assert overlay.is_problematic(clue) == fresh.is_problematic(clue), str(clue)
+        assert overlay.potential_set(clue) == fresh.potential_set(clue), str(clue)
+
+
+@given(prefix_lists(), prefix_lists(), prefix_lists())
+@settings(max_examples=80, deadline=None)
+def test_incremental_sender_updates_match_fresh_overlay(
+    sender_prefixes, receiver_prefixes, updates
+):
+    sender, receiver, overlay = build_overlay(sender_prefixes, receiver_prefixes)
+    live = set(sender_prefixes)
+    for prefix in updates:
+        if prefix in live:
+            live.discard(prefix)
+            sender.remove(prefix)
+            overlay.set_sender_mark(prefix, False)
+        else:
+            live.add(prefix)
+            sender.insert(prefix, "s")
+            overlay.set_sender_mark(prefix, True)
+    fresh = TrieOverlay(sender, receiver)
+    for clue in sorted(live):
+        assert overlay.is_problematic(clue) == fresh.is_problematic(clue), str(clue)
+        assert overlay.potential_set(clue) == fresh.potential_set(clue), str(clue)
+
+
+@given(prefix_lists(), prefix_lists())
+@settings(max_examples=60, deadline=None)
+def test_stop_booleans_consistent_with_claim1(sender_prefixes, receiver_prefixes):
+    _sender, _receiver, overlay = build_overlay(sender_prefixes, receiver_prefixes)
+    stops = overlay.stop_booleans()
+    for prefix, stop in stops.items():
+        assert stop == overlay.claim1_holds(prefix)

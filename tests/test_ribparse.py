@@ -1,0 +1,103 @@
+"""Unit tests for the RIB text-dump parser."""
+
+import pytest
+
+from repro.addressing import Prefix
+from repro.tablegen import (
+    RibParseError,
+    mask_to_length,
+    parse_line,
+    parse_rib,
+    parse_rib_file,
+)
+
+
+class TestMaskToLength:
+    def test_common_masks(self):
+        assert mask_to_length("255.0.0.0") == 8
+        assert mask_to_length("255.255.255.0") == 24
+        assert mask_to_length("255.255.255.255") == 32
+        assert mask_to_length("0.0.0.0") == 0
+
+    def test_rejects_non_contiguous(self):
+        with pytest.raises(RibParseError):
+            mask_to_length("255.0.255.0")
+
+
+class TestParseLine:
+    def test_plain_slash_form(self):
+        prefix, hop = parse_line("10.24.0.0/13 via 192.205.31.165")
+        assert prefix == Prefix.parse("10.24.0.0/13")
+        assert hop == "192.205.31.165"
+
+    def test_cisco_form(self):
+        prefix, hop = parse_line("B  10.24.0.0/13 [20/0] via 192.205.31.165, 3d01h")
+        assert prefix == Prefix.parse("10.24.0.0/13")
+        assert hop == "192.205.31.165"
+
+    def test_bare_prefix(self):
+        prefix, hop = parse_line("192.168.0.0/16")
+        assert prefix == Prefix.parse("192.168.0.0/16")
+        assert hop is None
+
+    def test_netmask_form(self):
+        prefix, hop = parse_line("10.0.0.0 255.0.0.0 192.0.2.1 (metric 10)")
+        assert prefix == Prefix.parse("10.0.0.0/8")
+
+    def test_host_bits_canonicalised(self):
+        prefix, _ = parse_line("10.1.2.3/8")
+        assert prefix == Prefix.parse("10.0.0.0/8")
+
+    def test_blank_and_comment_lines(self):
+        assert parse_line("") is None
+        assert parse_line("   ") is None
+        assert parse_line("# a comment") is None
+        assert parse_line("! cisco comment") is None
+
+    def test_header_line_skipped(self):
+        assert parse_line("Codes: C - connected, S - static") is None
+
+    def test_overlong_length_rejected(self):
+        with pytest.raises(RibParseError):
+            parse_line("10.0.0.0/40 via 192.0.2.1")
+
+
+class TestParseRib:
+    DUMP = """\
+# snapshot
+Codes: C - connected, B - BGP
+B  10.24.0.0/13 via 192.205.31.165
+B  10.24.0.0/13 via 10.0.0.99
+   192.168.0.0/16
+   172.16.0.0 255.240.0.0 192.0.2.7
+"""
+
+    def test_parses_and_dedups(self):
+        entries = parse_rib(self.DUMP.splitlines())
+        prefixes = {prefix for prefix, _ in entries}
+        assert prefixes == {
+            Prefix.parse("10.24.0.0/13"),
+            Prefix.parse("192.168.0.0/16"),
+            Prefix.parse("172.16.0.0/12"),
+        }
+
+    def test_first_next_hop_wins(self):
+        entries = dict(parse_rib(self.DUMP.splitlines()))
+        assert entries[Prefix.parse("10.24.0.0/13")] == "192.205.31.165"
+
+    def test_strict_raises_on_garbage(self):
+        with pytest.raises(RibParseError):
+            parse_rib(["not a route at all"], strict=True)
+
+    def test_lenient_skips_garbage(self):
+        assert parse_rib(["not a route at all"]) == []
+
+    def test_sorted_output(self):
+        entries = parse_rib(self.DUMP.splitlines())
+        keys = [(prefix.length, prefix.bits) for prefix, _ in entries]
+        assert keys == sorted(keys)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "rib.txt"
+        path.write_text(self.DUMP)
+        assert parse_rib_file(str(path)) == parse_rib(self.DUMP.splitlines())

@@ -1,0 +1,53 @@
+"""Fuzz tests: the RIB parser must never crash in lenient mode and must
+round-trip everything the library itself prints."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Prefix
+from repro.tablegen import generate_table, parse_line, parse_rib
+
+printable_lines = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=120
+)
+
+
+@given(printable_lines)
+@settings(max_examples=300, deadline=None)
+def test_parse_line_never_crashes_lenient(line):
+    try:
+        result = parse_line(line)
+    except ValueError:
+        # Structured-but-invalid routes (e.g. /40) may raise ValueError;
+        # anything else would be a bug.
+        return
+    if result is not None:
+        prefix, _hop = result
+        assert isinstance(prefix, Prefix)
+
+
+@given(st.lists(printable_lines, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_parse_rib_lenient_never_crashes(lines):
+    entries = parse_rib(lines)
+    prefixes = [prefix for prefix, _ in entries]
+    assert len(prefixes) == len(set(prefixes))
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_generated_tables(seed, count):
+    """Printing a generated table and re-parsing it is the identity."""
+    table = generate_table(count, seed=seed)
+    text = ["%s via 192.0.2.1" % prefix for prefix, _hop in table]
+    parsed = parse_rib(text)
+    assert [prefix for prefix, _ in parsed] == [prefix for prefix, _ in table]
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1), st.integers(min_value=0, max_value=32))
+@settings(max_examples=200, deadline=None)
+def test_prefix_text_roundtrip(value, length):
+    masked = (value >> (32 - length)) << (32 - length) if length else 0
+    prefix = Prefix(masked >> (32 - length) if length else 0, length, 32)
+    parsed = parse_line(str(prefix))
+    assert parsed is not None
+    assert parsed[0] == prefix

@@ -1,0 +1,208 @@
+"""Unit tests for the routing substrate (topologies, path-vector, OSPF)."""
+
+import networkx as nx
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.routing import (
+    LinkStateRouting,
+    PathVectorRouting,
+    RecursiveNextHop,
+    TwoPassLookup,
+    chain_topology,
+    hierarchy_topology,
+    mesh_topology,
+    originate_prefixes,
+    recursive_fraction,
+)
+from repro.lookup import MemoryCounter, PatriciaLookup
+from repro.trie import BinaryTrie, TrieOverlay
+from tests.conftest import p
+
+
+class TestTopologies:
+    def test_chain_shape(self):
+        graph = chain_topology(5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert graph.nodes["r0"]["role"] == "edge"
+        assert graph.nodes["r2"]["role"] == "backbone"
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError):
+            chain_topology(1)
+
+    def test_hierarchy_connected(self):
+        graph = hierarchy_topology(backbone=3, seed=1)
+        assert nx.is_connected(graph)
+        roles = {graph.nodes[n]["role"] for n in graph.nodes}
+        assert roles == {"backbone", "regional", "stub"}
+
+    def test_mesh_connected(self):
+        graph = mesh_topology(12, degree=3, seed=2)
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 12
+
+    def test_originate_prefixes_assigns(self):
+        graph = hierarchy_topology(backbone=2, seed=3)
+        assignment = originate_prefixes(graph, per_node=2, seed=3, roles=("stub",))
+        for name, prefixes in assignment.items():
+            assert graph.nodes[name]["role"] == "stub"
+            assert graph.nodes[name]["originated"] == prefixes
+        total = sum(len(v) for v in assignment.values())
+        assert total == 2 * len(assignment)
+
+
+class TestPathVector:
+    @pytest.fixture
+    def routed_chain(self):
+        graph = chain_topology(4)
+        graph.nodes["r3"]["originated"] = [p("0001"), p("00010001")]
+        graph.nodes["r0"]["originated"] = [p("1111")]
+        routing = PathVectorRouting(graph)
+        routing.run()
+        return routing
+
+    def test_converges(self, routed_chain):
+        assert routed_chain.converged()
+        assert routed_chain.iterations() <= 5
+
+    def test_tables_before_run_rejected(self):
+        routing = PathVectorRouting(chain_topology(3))
+        with pytest.raises(RuntimeError):
+            routing.forwarding_table("r0")
+
+    def test_every_router_learns_every_prefix(self, routed_chain):
+        for name in ("r0", "r1", "r2", "r3"):
+            prefixes = {prefix for prefix, _ in routed_chain.forwarding_table(name)}
+            assert prefixes == {p("0001"), p("00010001"), p("1111")}
+
+    def test_next_hops_point_along_the_chain(self, routed_chain):
+        table = dict(routed_chain.forwarding_table("r0"))
+        assert table[p("0001")] == "r1"
+        assert table[p("1111")] == "r0"  # originated locally
+
+    def test_path_is_shortest(self, routed_chain):
+        assert routed_chain.path_of("r0", p("0001")) == ("r0", "r1", "r2", "r3")
+
+    def test_aggregation_point_truncates_exports(self):
+        graph = chain_topology(3)
+        graph.nodes["r2"]["originated"] = [p("00010001"), p("00010010")]
+        routing = PathVectorRouting(graph, aggregation_points={"r2": 4})
+        routing.run()
+        r0 = {prefix for prefix, _ in routing.forwarding_table("r0")}
+        assert r0 == {p("0001")}
+
+    def test_export_filter_hides_routes(self):
+        graph = chain_topology(3)
+        graph.nodes["r2"]["originated"] = [p("0001"), p("1110")]
+        routing = PathVectorRouting(
+            graph,
+            export_filter=lambda exporter, importer, prefix: prefix != p("1110"),
+        )
+        routing.run()
+        r0 = {prefix for prefix, _ in routing.forwarding_table("r0")}
+        assert p("1110") not in r0
+        assert p("0001") in r0
+
+    def test_neighboring_tables_are_similar(self):
+        """The paper's premise, derived from first principles."""
+        graph = hierarchy_topology(backbone=3, regionals_per_backbone=2, seed=4)
+        originate_prefixes(graph, per_node=5, seed=4)
+        routing = PathVectorRouting(graph)
+        routing.run()
+        tables = routing.all_tables()
+        name = "bb0"
+        neighbor = next(iter(graph.neighbors(name)))
+        overlay = TrieOverlay(
+            BinaryTrie.from_prefixes(tables[name]),
+            BinaryTrie.from_prefixes(tables[neighbor]),
+        )
+        stats = overlay.statistics()
+        assert stats["equal_prefixes"] / stats["sender_prefixes"] > 0.95
+
+
+class TestLinkState:
+    @pytest.fixture
+    def routing(self):
+        graph = chain_topology(4)
+        routing = LinkStateRouting(graph)
+        routing.run()
+        return routing
+
+    def test_next_hop_along_chain(self, routing):
+        assert routing.next_hop("r0", "r3") == "r1"
+        assert routing.next_hop("r3", "r0") == "r2"
+
+    def test_next_hop_to_self(self, routing):
+        assert routing.next_hop("r0", "r0") is None
+
+    def test_path(self, routing):
+        assert routing.path("r0", "r2") == ["r0", "r1", "r2"]
+
+    def test_requires_run(self):
+        routing = LinkStateRouting(chain_topology(3))
+        with pytest.raises(RuntimeError):
+            routing.next_hop("r0", "r1")
+
+    def test_forwarding_table(self, routing):
+        table = routing.forwarding_table(
+            "r0", {"r3": [p("0001")], "r0": [p("1111")]}
+        )
+        entries = dict(table)
+        assert entries[p("0001")] == "r1"
+        assert entries[p("1111")] == "r0"
+
+    def test_respects_weights(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=10)
+        graph.add_edge("a", "c", weight=1)
+        graph.add_edge("c", "b", weight=1)
+        routing = LinkStateRouting(graph)
+        routing.run()
+        assert routing.next_hop("a", "b") == "c"
+
+
+class TestTwoPass:
+    def test_direct_next_hop_single_pass(self):
+        entries = [(p("0001"), "port-1")]
+        lookup = TwoPassLookup(PatriciaLookup(entries))
+        result = lookup.lookup(Address(0b0001 << 28, 32))
+        assert result.passes == 1
+        assert result.next_hop == "port-1"
+        assert result.egress_prefix is None
+
+    def test_recursive_next_hop_two_passes(self):
+        egress = Address.parse("192.0.2.1")
+        entries = [
+            (p("0001"), RecursiveNextHop(egress)),
+            (Prefix.parse("192.0.2.0/24"), "port-9"),
+        ]
+        lookup = TwoPassLookup(PatriciaLookup(entries))
+        counter = MemoryCounter()
+        result = lookup.lookup(Address(0b0001 << 28, 32), counter)
+        assert result.passes == 2
+        assert result.next_hop == "port-9"
+        assert result.egress_prefix == Prefix.parse("192.0.2.0/24")
+        # Two table walks were charged.
+        assert counter.accesses > 2
+
+    def test_clue_is_first_bmp(self):
+        egress = Address.parse("192.0.2.1")
+        entries = [
+            (p("0001"), RecursiveNextHop(egress)),
+            (Prefix.parse("192.0.2.0/24"), "port-9"),
+        ]
+        lookup = TwoPassLookup(PatriciaLookup(entries))
+        result = lookup.lookup(Address(0b0001 << 28, 32))
+        # §5.2: the clue on the packet is the *destination's* BMP, not the
+        # egress route.
+        assert result.clue_prefix() == p("0001")
+
+    def test_recursive_fraction(self):
+        entries = [
+            (p("0001"), RecursiveNextHop(Address.parse("192.0.2.1"))),
+            (p("0010"), "port-1"),
+        ]
+        assert recursive_fraction(entries) == pytest.approx(0.5)
+        assert recursive_fraction([]) == 0.0

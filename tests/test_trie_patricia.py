@@ -1,0 +1,154 @@
+"""Unit tests for the Patricia (path-compressed) trie."""
+
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.trie import BinaryTrie, PatriciaTrie
+from tests.conftest import p
+
+
+@pytest.fixture
+def trie():
+    trie = PatriciaTrie()
+    trie.insert(p("0"), "a")
+    trie.insert(p("01"), "b")
+    trie.insert(p("0110"), "c")
+    trie.insert(p("1"), "d")
+    trie.insert(p("10010"), "e")
+    return trie
+
+
+class TestInvariant:
+    def test_invariant_after_inserts(self, trie):
+        assert trie.check_invariant()
+
+    def test_compressed_edge_skips_unmarked(self, trie):
+        # 011 is never materialised: 01 connects straight to 0110.
+        assert trie.find_node(p("011")) is None
+        node = trie.find_node(p("01"))
+        assert node.children[1].prefix == p("0110")
+
+    def test_split_creates_fork(self):
+        trie = PatriciaTrie()
+        trie.insert(p("0000"), "x")
+        trie.insert(p("0011"), "y")
+        # The fork at 00 exists but is unmarked with two children.
+        fork = trie.root.children[0]
+        assert fork.prefix == p("00")
+        assert not fork.marked
+        assert len(fork.children) == 2
+        assert trie.check_invariant()
+
+    def test_insert_on_edge(self):
+        trie = PatriciaTrie()
+        trie.insert(p("0000"), "x")
+        trie.insert(p("00"), "mid")
+        node = trie.find_node(p("00"))
+        assert node is not None and node.marked
+        assert node.children[0].prefix == p("0000")
+        assert trie.check_invariant()
+
+
+class TestSize:
+    def test_len(self, trie):
+        assert len(trie) == 5
+
+    def test_reinsert_keeps_len(self, trie):
+        trie.insert(p("01"), "b2")
+        assert len(trie) == 5
+
+    def test_node_count_smaller_than_binary(self, pair_tables):
+        sender, _ = pair_tables
+        patricia = PatriciaTrie.from_prefixes(sender)
+        binary = BinaryTrie.from_prefixes(sender)
+        assert patricia.node_count() < binary.node_count()
+
+
+class TestRemove:
+    def test_remove_leaf(self, trie):
+        assert trie.remove(p("0110"))
+        assert p("0110") not in trie
+        assert trie.check_invariant()
+
+    def test_remove_recontracts(self):
+        trie = PatriciaTrie()
+        trie.insert(p("0000"), "x")
+        trie.insert(p("0011"), "y")
+        trie.remove(p("0011"))
+        # The unmarked fork at 00 must have been contracted away.
+        assert trie.find_node(p("00")) is None
+        assert trie.root.children[0].prefix == p("0000")
+        assert trie.check_invariant()
+
+    def test_remove_marked_internal(self):
+        trie = PatriciaTrie()
+        trie.insert(p("00"), "mid")
+        trie.insert(p("0000"), "x")
+        trie.remove(p("00"))
+        assert trie.find_node(p("00")) is None
+        assert trie.contains(p("0000"))
+        assert trie.check_invariant()
+
+    def test_remove_missing(self, trie):
+        assert not trie.remove(p("11111"))
+        assert not trie.remove(p("011"))
+
+
+class TestLocate:
+    def test_locate_exact(self, trie):
+        below, above = trie.locate(p("01"))
+        assert below.prefix == p("01")
+        assert above is None
+
+    def test_locate_on_edge(self, trie):
+        below, above = trie.locate(p("011"))
+        assert below.prefix == p("01")
+        assert above.prefix == p("0110")
+
+    def test_locate_off_trie(self, trie):
+        below, above = trie.locate(p("0100"))
+        assert below.prefix == p("01")
+        assert above is None
+
+    def test_locate_root(self, trie):
+        below, above = trie.locate(Prefix.root())
+        assert below is trie.root
+        assert above is None
+
+
+class TestLookup:
+    def test_longest_match(self, trie):
+        rng = random.Random(0)
+        assert trie.best_prefix(p("0110").random_address(rng)) == p("0110")
+
+    def test_overshoot_rejected(self, trie):
+        # 100 11... walks to the 10010 node but must not match it.
+        address = Address(0b10011 << 27, 32)
+        assert trie.best_prefix(address) == p("1")
+
+    def test_walk_counts_are_compressed(self, trie):
+        rng = random.Random(1)
+        address = p("10010").random_address(rng)
+        visited = list(trie.walk(address))
+        # root -> 1 -> 10010 : three vertices despite a depth-5 prefix.
+        assert [node.prefix.length for node in visited] == [0, 1, 5]
+
+    def test_agrees_with_binary_trie(self, pair_tables, rng):
+        sender, _ = pair_tables
+        patricia = PatriciaTrie.from_prefixes(sender)
+        binary = BinaryTrie.from_prefixes(sender)
+        for _ in range(300):
+            address = Address(rng.getrandbits(32), 32)
+            assert patricia.best_prefix(address) == binary.best_prefix(address)
+
+
+class TestIteration:
+    def test_prefixes(self, trie):
+        assert set(trie.prefixes()) == {
+            p("0"), p("01"), p("0110"), p("1"), p("10010"),
+        }
+
+    def test_entries(self, trie):
+        assert dict(trie.entries())[p("10010")] == "e"

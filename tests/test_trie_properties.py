@@ -1,0 +1,108 @@
+"""Property-based tests for the trie structures (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.lookup.base import reference_lookup
+from repro.trie import BinaryTrie, PatriciaTrie
+
+
+@st.composite
+def prefix_sets(draw, max_size=40, width=16):
+    """Small random prefix sets over a narrow slice of the space.
+
+    A 16-bit-deep universe keeps collisions (nesting, siblings) frequent,
+    which is where trie bugs live.
+    """
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    prefixes = set()
+    for _ in range(size):
+        length = draw(st.integers(min_value=1, max_value=width))
+        bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+        prefixes.add(Prefix(bits, length, 32))
+    return [(prefix, "hop-%d" % index) for index, prefix in enumerate(sorted(prefixes))]
+
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@given(prefix_sets(), addresses)
+@settings(max_examples=150)
+def test_binary_trie_matches_reference(entries, value):
+    trie = BinaryTrie.from_prefixes(entries)
+    address = Address(value, 32)
+    expected, _ = reference_lookup(entries, address)
+    assert trie.best_prefix(address) == expected
+
+
+@given(prefix_sets(), addresses)
+@settings(max_examples=150)
+def test_patricia_matches_reference(entries, value):
+    trie = PatriciaTrie.from_prefixes(entries)
+    address = Address(value, 32)
+    expected, _ = reference_lookup(entries, address)
+    assert trie.best_prefix(address) == expected
+
+
+@given(prefix_sets())
+@settings(max_examples=100)
+def test_patricia_invariant_after_build(entries):
+    trie = PatriciaTrie.from_prefixes(entries)
+    assert trie.check_invariant()
+    assert set(trie.prefixes()) == {prefix for prefix, _ in entries}
+
+
+@given(prefix_sets(), st.randoms(use_true_random=False))
+@settings(max_examples=60)
+def test_patricia_survives_random_removals(entries, rnd):
+    trie = PatriciaTrie.from_prefixes(entries)
+    order = [prefix for prefix, _ in entries]
+    rnd.shuffle(order)
+    remaining = {prefix for prefix, _ in entries}
+    for prefix in order[: len(order) // 2]:
+        assert trie.remove(prefix)
+        remaining.discard(prefix)
+        assert trie.check_invariant()
+    assert set(trie.prefixes()) == remaining
+
+
+@given(prefix_sets(), st.randoms(use_true_random=False))
+@settings(max_examples=60)
+def test_binary_trie_removals_keep_leaves_marked(entries, rnd):
+    trie = BinaryTrie.from_prefixes(entries)
+    order = [prefix for prefix, _ in entries]
+    rnd.shuffle(order)
+    for prefix in order[: len(order) // 2]:
+        assert trie.remove(prefix)
+    for node in trie.nodes():
+        if node.is_leaf() and node.prefix.length:
+            assert node.marked
+
+
+@given(prefix_sets(), addresses)
+@settings(max_examples=100)
+def test_binary_and_patricia_agree(entries, value):
+    address = Address(value, 32)
+    binary = BinaryTrie.from_prefixes(entries)
+    patricia = PatriciaTrie.from_prefixes(entries)
+    assert binary.best_prefix(address) == patricia.best_prefix(address)
+
+
+@given(prefix_sets())
+@settings(max_examples=100)
+def test_least_marked_ancestor_is_bmp_of_prefix_address(entries):
+    trie = BinaryTrie.from_prefixes(entries)
+    rng = random.Random(0)
+    for prefix, _hop in entries[:10]:
+        node = trie.least_marked_ancestor(prefix)
+        # The least marked ancestor equals the best match of any address
+        # under the prefix, restricted to lengths <= the prefix's.
+        address = prefix.random_address(rng)
+        best = None
+        for candidate, _ in entries:
+            if candidate.length <= prefix.length and candidate.matches(address):
+                if best is None or candidate.length > best.length:
+                    best = candidate
+        assert (node.prefix if node else None) == best
