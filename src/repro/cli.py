@@ -7,7 +7,9 @@ Subcommands mirror the common workflows:
 * ``compare``   — the §6 15-scheme comparison for a pair;
 * ``figure1``   — the per-hop work profile of a packet crossing a chain;
 * ``parse-rib`` — normalise a RIB text dump;
-* ``space``     — the §3.5 clue-table space model.
+* ``space``     — the §3.5 clue-table space model;
+* ``telemetry`` — run under full metrics/tracing and export the registry
+  as JSON or Prometheus text.
 
 Tables may come from files (one ``prefix next_hop`` per line, RIB style)
 or from the built-in synthetic pairs (``--synthetic``).
@@ -17,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments import (
     compare_pair,
@@ -41,7 +43,16 @@ def _write_table(entries: Sequence[Entry], stream) -> None:
         stream.write("%s %s\n" % (prefix, next_hop if next_hop is not None else "-"))
 
 
-def _load_pair(args) -> (list, list):
+def _sample_rate(text: str) -> float:
+    rate = float(text)
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            "sample rate must be within [0, 1], got %s" % text
+        )
+    return rate
+
+
+def _load_pair(args) -> Tuple[List[Entry], List[Entry]]:
     if args.synthetic:
         sender = generate_table(args.count, seed=args.seed)
         receiver = derive_neighbor(sender, NeighborProfile(), seed=args.seed + 1)
@@ -159,6 +170,57 @@ def _cmd_reproduce(args) -> int:
     return 0 if report.passed() else 1
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import (
+        LookupInstruments,
+        MetricsRegistry,
+        Tracer,
+        render_json,
+        render_prometheus,
+    )
+    from repro.telemetry.synthetic import synthetic_telemetry_run
+
+    if args.synthetic:
+        run = synthetic_telemetry_run(
+            packets=args.packets,
+            background=args.count,
+            seed=args.seed,
+            sample_rate=args.sample_rate,
+        )
+        print(run.render(args.format))
+        reconciliation = run.reconcile()
+        bad = [name for name, row in reconciliation.items() if not row["ok"]]
+        tracer = run.tracer
+        print(
+            "telemetry: %d packets, %d spans sampled (rate %g), "
+            "reconciliation %s"
+            % (
+                len(run.reports),
+                len(tracer.spans()) if tracer is not None else 0,
+                args.sample_rate,
+                "OK" if not bad else "FAILED for %s" % ", ".join(bad),
+            ),
+            file=sys.stderr,
+        )
+        return 0 if not bad else 1
+
+    # Pair mode: stream the §6 comparison matrix into a fresh registry.
+    sender, receiver = _load_pair(args)
+    instruments = LookupInstruments(
+        MetricsRegistry(), tracer=Tracer(rate=args.sample_rate, seed=args.seed)
+    )
+    compare_pair(
+        sender,
+        receiver,
+        packets=args.packets,
+        seed=args.seed,
+        instruments=instruments,
+    )
+    renderer = render_json if args.format == "json" else render_prometheus
+    print(renderer(instruments.registry))
+    return 0
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -230,6 +292,28 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--seed", type=int, default=42)
     reproduce.add_argument("--output", help="report file (default stdout)")
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="run under full metrics/tracing, export the registry",
+    )
+    add_pair_options(telemetry)
+    # Synthetic mode reuses --count as the chain's background-table size;
+    # the full-pair default of 2000 would make the smoke run needlessly slow.
+    telemetry.set_defaults(count=300)
+    telemetry.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="export format (default json)",
+    )
+    telemetry.add_argument(
+        "--sample-rate", type=_sample_rate, default=1.0,
+        help="trace-sampling probability in [0, 1] (default 1.0)",
+    )
+    telemetry.add_argument(
+        "--packets", type=int, default=16,
+        help="packets per chain (synthetic) or sampled lookups (pair)",
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

@@ -48,6 +48,7 @@ class AdvanceMethod:
         receiver: ReceiverState,
         technique: str = "patricia",
         overlay: Optional[TrieOverlay] = None,
+        telemetry=None,
     ):
         if technique not in TECHNIQUES:
             raise ValueError(
@@ -70,13 +71,19 @@ class AdvanceMethod:
             if technique in ("regular", "patricia")
             else None
         )
+        #: Optional per-router telemetry view
+        #: (:class:`repro.telemetry.RouterInstruments`).
+        self.telemetry = telemetry
 
     def build_entry(self, clue: Prefix) -> ClueEntry:
         """Pre-compute the clue's FD and (usually empty) Ptr."""
         fd_prefix, fd_next_hop = self.receiver.fd_for_clue(clue)
         continuation = None
-        if self.overlay.is_problematic(clue):
+        problematic = self.overlay.is_problematic(clue)
+        if problematic:
             continuation = self._continuation(clue)
+        if self.telemetry is not None:
+            self.telemetry.record_entry_built(self.method_name, problematic)
         return ClueEntry(clue, fd_prefix, fd_next_hop, continuation)
 
     def build_table(self, clues: Optional[Iterable[Prefix]] = None) -> ClueTable:

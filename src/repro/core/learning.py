@@ -25,7 +25,14 @@ from repro.core.advance import AdvanceMethod
 from repro.core.simple import SimpleMethod
 from repro.core.table import ClueTable, IndexedClueTable
 from repro.lookup.base import LookupAlgorithm
-from repro.lookup.counters import LookupResult, MemoryCounter
+from repro.lookup.counters import (
+    METHOD_CLUE_MISS,
+    METHOD_FD_IMMEDIATE,
+    METHOD_FULL,
+    METHOD_RESUMED,
+    LookupResult,
+    MemoryCounter,
+)
 
 Builder = Union[SimpleMethod, AdvanceMethod]
 
@@ -49,25 +56,36 @@ class LearningClueLookup:
         """Route one packet, learning the clue on a miss."""
         counter = counter if counter is not None else MemoryCounter()
         if clue is None:
-            return self.base.lookup(address, counter)
+            counter.method = METHOD_FULL
+            result = self.base.lookup(address, counter)
+            result.method = METHOD_FULL
+            return result
         entry = self.table.probe(clue, counter)
         if entry is None:
             # Never saw this clue: route by a full lookup, then build the
             # record off the fast path ("Call procedure new-clue(c)").
             self.misses += 1
+            counter.method = METHOD_CLUE_MISS
             result = self.base.lookup(address, counter)
+            result.method = METHOD_CLUE_MISS
             self.table.insert(self.builder.build_entry(clue))
             return result
         self.hits += 1
         if entry.pointer_empty():
+            counter.method = METHOD_FD_IMMEDIATE
             prefix, next_hop = entry.final_decision()
-            return LookupResult(prefix, next_hop, counter.accesses)
+            return LookupResult(
+                prefix, next_hop, counter.accesses, METHOD_FD_IMMEDIATE
+            )
+        counter.method = METHOD_RESUMED
         match = entry.continuation.search(address, counter)
         if match is None:
             prefix, next_hop = entry.final_decision()
-            return LookupResult(prefix, next_hop, counter.accesses)
+            return LookupResult(
+                prefix, next_hop, counter.accesses, METHOD_RESUMED
+            )
         prefix, next_hop = match
-        return LookupResult(prefix, next_hop, counter.accesses)
+        return LookupResult(prefix, next_hop, counter.accesses, METHOD_RESUMED)
 
     def hit_rate(self) -> float:
         """Fraction of clue-carrying packets that hit a learned record."""
@@ -122,23 +140,34 @@ class IndexedClueLookup:
         """Route one packet; a disagreeing slot is overwritten in place."""
         counter = counter if counter is not None else MemoryCounter()
         if clue is None or index is None:
-            return self.base.lookup(address, counter)
+            counter.method = METHOD_FULL
+            result = self.base.lookup(address, counter)
+            result.method = METHOD_FULL
+            return result
         entry = self.table.probe(index, clue, counter)
         if entry is None:
             self.misses += 1
+            counter.method = METHOD_CLUE_MISS
             result = self.base.lookup(address, counter)
+            result.method = METHOD_CLUE_MISS
             self.table.store(index, self.builder.build_entry(clue))
             return result
         self.hits += 1
         if entry.pointer_empty():
+            counter.method = METHOD_FD_IMMEDIATE
             prefix, next_hop = entry.final_decision()
-            return LookupResult(prefix, next_hop, counter.accesses)
+            return LookupResult(
+                prefix, next_hop, counter.accesses, METHOD_FD_IMMEDIATE
+            )
+        counter.method = METHOD_RESUMED
         match = entry.continuation.search(address, counter)
         if match is None:
             prefix, next_hop = entry.final_decision()
-            return LookupResult(prefix, next_hop, counter.accesses)
+            return LookupResult(
+                prefix, next_hop, counter.accesses, METHOD_RESUMED
+            )
         prefix, next_hop = match
-        return LookupResult(prefix, next_hop, counter.accesses)
+        return LookupResult(prefix, next_hop, counter.accesses, METHOD_RESUMED)
 
     def hit_rate(self) -> float:
         """Fraction of indexed packets that hit an agreeing slot."""

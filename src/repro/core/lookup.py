@@ -24,7 +24,14 @@ from repro.addressing import Address, Prefix
 from repro.core.entry import ClueEntry
 from repro.core.table import ClueTable
 from repro.lookup.base import LookupAlgorithm
-from repro.lookup.counters import LookupResult, MemoryCounter
+from repro.lookup.counters import (
+    METHOD_CLUE_MISS,
+    METHOD_FD_IMMEDIATE,
+    METHOD_FULL,
+    METHOD_RESUMED,
+    LookupResult,
+    MemoryCounter,
+)
 
 
 class ClueAssistedLookup:
@@ -59,11 +66,16 @@ class ClueAssistedLookup:
             # buggy caller and is treated as no clue at all.
             clue = None
         if clue is None:
-            return self.base.lookup(address, counter)
+            counter.method = METHOD_FULL
+            result = self.base.lookup(address, counter)
+            result.method = METHOD_FULL
+            return result
         entry = self.table.probe(clue, counter)
         if entry is None:
             self.unknown_clues += 1
+            counter.method = METHOD_CLUE_MISS
             result = self.base.lookup(address, counter)
+            result.method = METHOD_CLUE_MISS
             if self.on_unknown_clue is not None:
                 self.on_unknown_clue(clue)
             return result
@@ -74,16 +86,22 @@ class ClueAssistedLookup:
     ) -> LookupResult:
         if entry.pointer_empty():
             self.fd_used += 1
+            counter.method = METHOD_FD_IMMEDIATE
             prefix, next_hop = entry.final_decision()
-            return LookupResult(prefix, next_hop, counter.accesses)
+            return LookupResult(
+                prefix, next_hop, counter.accesses, METHOD_FD_IMMEDIATE
+            )
         self.pointer_followed += 1
+        counter.method = METHOD_RESUMED
         match = entry.continuation.search(address, counter)
         if match is None:
             self.fd_used += 1
             prefix, next_hop = entry.final_decision()
-            return LookupResult(prefix, next_hop, counter.accesses)
+            return LookupResult(
+                prefix, next_hop, counter.accesses, METHOD_RESUMED
+            )
         prefix, next_hop = match
-        return LookupResult(prefix, next_hop, counter.accesses)
+        return LookupResult(prefix, next_hop, counter.accesses, METHOD_RESUMED)
 
     def __repr__(self) -> str:
         return "ClueAssistedLookup(base=%s, table=%r)" % (

@@ -31,7 +31,12 @@ class SimpleMethod:
 
     method_name = "simple"
 
-    def __init__(self, receiver: ReceiverState, technique: str = "patricia"):
+    def __init__(
+        self,
+        receiver: ReceiverState,
+        technique: str = "patricia",
+        telemetry=None,
+    ):
         if technique not in TECHNIQUES:
             raise ValueError(
                 "unknown technique %r (expected one of %s)"
@@ -39,11 +44,19 @@ class SimpleMethod:
             )
         self.receiver = receiver
         self.technique = technique
+        #: Optional per-router telemetry view
+        #: (:class:`repro.telemetry.RouterInstruments`); record-building
+        #: is off the fast path, so the hook costs nothing when unset.
+        self.telemetry = telemetry
 
     def build_entry(self, clue: Prefix) -> ClueEntry:
         """Pre-compute the clue's FD and (possibly empty) Ptr."""
         fd_prefix, fd_next_hop = self.receiver.fd_for_clue(clue)
         continuation = self._continuation(clue)
+        if self.telemetry is not None:
+            # Simple cannot see the sender's trie, so "problematic" is
+            # unknowable; only Advance charges problematic_clues_total.
+            self.telemetry.record_entry_built(self.method_name, False)
         return ClueEntry(clue, fd_prefix, fd_next_hop, continuation)
 
     def build_table(self, clues: Iterable[Prefix]) -> ClueTable:

@@ -22,7 +22,7 @@ from repro.core.receiver import ReceiverState
 from repro.core.simple import SimpleMethod
 from repro.experiments.sampling import paper_destination_sample
 from repro.lookup import BASELINES, PAPER_BASELINES
-from repro.lookup.counters import MemoryCounter
+from repro.lookup.counters import METHOD_FULL, MemoryCounter
 from repro.tablegen.synthetic import Entry
 from repro.trie.binary_trie import BinaryTrie
 from repro.trie.overlay import TrieOverlay
@@ -79,8 +79,16 @@ def compare_pair(
     sender_name: str = "R1",
     receiver_name: str = "R2",
     width: int = 32,
+    instruments=None,
 ) -> PairComparison:
-    """Run the full matrix for one ordered pair."""
+    """Run the full matrix for one ordered pair.
+
+    ``instruments`` (a :class:`repro.telemetry.LookupInstruments`)
+    additionally streams every lookup into the registry, one series per
+    scheme labelled ``receiver:technique+mode`` — so the §6 benchmark
+    doubles as a telemetry source.  The default ``None`` keeps the inner
+    loop untouched (one predicted branch per lookup).
+    """
     techniques = tuple(techniques)
     receiver = ReceiverState(receiver_entries, width)
     sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
@@ -106,6 +114,16 @@ def compare_pair(
             algorithms[name], advance_table
         )
 
+    scheme_metrics = None
+    if instruments is not None:
+        scheme_metrics = {
+            (name, mode): instruments.bind_router(
+                "%s:%s+%s" % (receiver_name, name, mode)
+            )
+            for name in techniques
+            for mode in MODES
+        }
+
     totals: Dict[Tuple[str, str], int] = {
         (name, mode): 0 for name in techniques for mode in MODES
     }
@@ -118,12 +136,20 @@ def compare_pair(
             totals[(name, "common")] += counter.accesses
             if result.prefix != oracle_prefix:
                 mismatches += 1
+            if scheme_metrics is not None:
+                scheme_metrics[(name, "common")].record_lookup(
+                    METHOD_FULL, counter.accesses
+                )
             for mode in ("simple", "advance"):
                 counter = MemoryCounter()
                 result = lookups[(name, mode)].lookup(destination, clue, counter)
                 totals[(name, mode)] += counter.accesses
                 if result.prefix != oracle_prefix:
                     mismatches += 1
+                if scheme_metrics is not None:
+                    scheme_metrics[(name, mode)].record_lookup(
+                        counter.method, counter.accesses
+                    )
 
     averages = {key: total / packets for key, total in totals.items()}
     return PairComparison(

@@ -29,14 +29,40 @@ from repro.addressing import Prefix
 #: conservatively allow four packed 8-byte (prefix, hop) words).
 CACHE_LINE_PREFIXES = 4
 
+#: Resolution methods stamped on a counter/result by the lookup layers so
+#: telemetry can attribute each lookup's cost (see repro.telemetry):
+#:
+#: * ``full_lookup``   — no clue on the packet; the base algorithm ran.
+#: * ``clue_miss``     — a clue arrived but the table had no record; a
+#:   full lookup ran and (in learning mode) the record was built.
+#: * ``fd_immediate``  — clue-table hit, Ptr empty: the precomputed final
+#:   decision routed the packet in the one table reference.
+#: * ``resumed_search``— clue-table hit, Ptr present: the restricted
+#:   search below the clue ran (the FD fallback on a failed search is
+#:   still charged here — the search happened).
+METHOD_FULL = "full_lookup"
+METHOD_CLUE_MISS = "clue_miss"
+METHOD_FD_IMMEDIATE = "fd_immediate"
+METHOD_RESUMED = "resumed_search"
+
+#: Every method, in display order.
+METHODS = (METHOD_FULL, METHOD_CLUE_MISS, METHOD_FD_IMMEDIATE, METHOD_RESUMED)
+
 
 class MemoryCounter:
-    """Counts memory references charged by a lookup."""
+    """Counts memory references charged by a lookup.
 
-    __slots__ = ("accesses",)
+    Besides the access count the counter carries the *resolution method*
+    the lookup layer chose, so a caller holding only the counter (the
+    routers, the comparison harness) can attribute the cost to the right
+    telemetry series without widening every lookup signature.
+    """
+
+    __slots__ = ("accesses", "method")
 
     def __init__(self) -> None:
         self.accesses = 0
+        self.method: Optional[str] = None
 
     def touch(self, count: int = 1) -> None:
         """Charge ``count`` memory references."""
@@ -45,25 +71,33 @@ class MemoryCounter:
     def reset(self) -> None:
         """Zero the counter (reuse between lookups)."""
         self.accesses = 0
+        self.method = None
 
     def __repr__(self) -> str:
         return "MemoryCounter(%d)" % self.accesses
 
 
 class LookupResult:
-    """Outcome of one destination lookup."""
+    """Outcome of one destination lookup.
 
-    __slots__ = ("prefix", "next_hop", "accesses")
+    ``method`` mirrors the counter's resolution-method stamp for callers
+    that never see the counter; it is informational and excluded from
+    equality.
+    """
+
+    __slots__ = ("prefix", "next_hop", "accesses", "method")
 
     def __init__(
         self,
         prefix: Optional[Prefix],
         next_hop: Optional[object],
         accesses: int,
+        method: Optional[str] = None,
     ):
         self.prefix = prefix
         self.next_hop = next_hop
         self.accesses = accesses
+        self.method = method
 
     def matched(self) -> bool:
         """True if some prefix matched (i.e. not a no-route miss)."""

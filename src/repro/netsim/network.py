@@ -15,6 +15,8 @@ from repro.addressing import Address
 from repro.netsim.packet import Packet
 from repro.netsim.router import ClueRouter, Router
 from repro.routing.pathvector import PathVectorRouting
+from repro.telemetry.export import render_json, render_prometheus
+from repro.telemetry.instruments import LookupInstruments, default_instruments
 
 
 class DeliveryReport:
@@ -46,15 +48,32 @@ class DeliveryReport:
 
 
 class Network:
-    """A set of routers addressable by name."""
+    """A set of routers addressable by name.
 
-    def __init__(self) -> None:
+    A network constructed with explicit ``instruments`` imposes them on
+    every router added to it, so one registry observes the whole fabric;
+    without them, routers keep whatever instruments they were built with
+    (the process default, normally) and reports fall back to the default
+    registry.
+    """
+
+    def __init__(self, instruments: Optional[LookupInstruments] = None) -> None:
         self.routers: Dict[str, Router] = {}
+        self.instruments = instruments
+
+    def _effective_instruments(self) -> LookupInstruments:
+        return (
+            self.instruments
+            if self.instruments is not None
+            else default_instruments()
+        )
 
     def add_router(self, router: Router) -> None:
         """Register a router; names must be unique."""
         if router.name in self.routers:
             raise ValueError("duplicate router name %r" % router.name)
+        if self.instruments is not None:
+            router.set_instruments(self.instruments)
         self.routers[router.name] = router
 
     def forward(
@@ -63,28 +82,58 @@ class Network:
         """Forward the packet from ``start`` until delivery or failure."""
         if start not in self.routers:
             raise KeyError("unknown start router %r" % start)
+        instruments = self._effective_instruments()
+        instruments.begin_packet()
         limit = max_hops if max_hops is not None else packet.ttl
         current: Optional[str] = start
         previous: Optional[str] = None
         path: List[str] = []
+        report: Optional[DeliveryReport] = None
         for _hop in range(limit):
             router = self.routers[current]
             path.append(current)
             next_hop = router.process(packet, previous)
             if next_hop is None:
-                return DeliveryReport(packet, False, path, "no-route")
+                report = DeliveryReport(packet, False, path, "no-route")
+                break
             if next_hop == current:
-                return DeliveryReport(packet, True, path, "local")
+                report = DeliveryReport(packet, True, path, "local")
+                break
             if next_hop not in self.routers:
-                return DeliveryReport(packet, True, path, "egress")
+                report = DeliveryReport(packet, True, path, "egress")
+                break
             previous, current = current, next_hop
-        return DeliveryReport(packet, False, path, "ttl-exceeded")
+        if report is None:
+            report = DeliveryReport(packet, False, path, "ttl-exceeded")
+        instruments.record_delivery(report.exit_reason)
+        return report
 
     def send(
         self, destination: Address, start: str, max_hops: Optional[int] = None
     ) -> DeliveryReport:
         """Convenience: build a fresh packet for ``destination`` and forward."""
         return self.forward(Packet(destination), start, max_hops)
+
+    def metrics_report(
+        self, fmt: str = "json", refresh_gauges: bool = True
+    ) -> str:
+        """Render the fabric's registry (``fmt``: ``json`` or ``prom``).
+
+        ``refresh_gauges`` first publishes every clue router's learned
+        clue-table sizes, so the ``clue_table_size`` series reflect the
+        state at report time rather than at the last sync.
+        """
+        instruments = self._effective_instruments()
+        if refresh_gauges:
+            for router in self.routers.values():
+                sync = getattr(router, "sync_gauges", None)
+                if sync is not None:
+                    sync()
+        if fmt == "json":
+            return render_json(instruments.registry)
+        if fmt == "prom":
+            return render_prometheus(instruments.registry)
+        raise ValueError("unknown metrics format %r (json or prom)" % fmt)
 
     @classmethod
     def from_pathvector(
@@ -93,6 +142,7 @@ class Network:
         technique: str = "patricia",
         method: str = "advance",
         width: int = 32,
+        instruments: Optional[LookupInstruments] = None,
     ) -> "Network":
         """Build a clue-router network from a converged route computation.
 
@@ -101,7 +151,7 @@ class Network:
         construction from the routing exchange (§3.3.2).
         """
         tables = routing.all_tables()
-        network = cls()
+        network = cls(instruments=instruments)
         for name, entries in tables.items():
             network.add_router(
                 ClueRouter(name, entries, technique=technique, method=method, width=width)

@@ -16,7 +16,7 @@ from repro.core.clue import ClueHeader
 class HopRecord:
     """What one router did to the packet."""
 
-    __slots__ = ("router", "accesses", "bmp", "incoming_clue_length")
+    __slots__ = ("router", "accesses", "bmp", "incoming_clue_length", "method")
 
     def __init__(
         self,
@@ -24,11 +24,16 @@ class HopRecord:
         accesses: int,
         bmp: Optional[Prefix],
         incoming_clue_length: Optional[int],
+        method: Optional[str] = None,
     ):
         self.router = router
         self.accesses = accesses
         self.bmp = bmp
         self.incoming_clue_length = incoming_clue_length
+        #: Resolution method the router charged (one of
+        #: :data:`repro.lookup.counters.METHODS`), None for routers that
+        #: predate method tagging.
+        self.method = method
 
     def bmp_length(self) -> Optional[int]:
         """Length of the BMP found at this hop (None on a miss)."""
@@ -72,6 +77,10 @@ class Packet:
     def work_profile(self) -> List[int]:
         """Per-hop memory references (the Figure 1 lower curve)."""
         return [record.accesses for record in self.trace]
+
+    def methods(self) -> List[Optional[str]]:
+        """Per-hop resolution methods (for telemetry reconciliation)."""
+        return [record.method for record in self.trace]
 
     def __repr__(self) -> str:
         return "Packet(dest=%s, hops=%d, clue=%r)" % (

@@ -83,6 +83,7 @@ class ChainScenario:
         technique: str = "patricia",
         method: str = "advance",
         width: int = 32,
+        instruments=None,
     ):
         if len(length_profile) < 2:
             raise ValueError("the profile needs at least two hops")
@@ -92,6 +93,9 @@ class ChainScenario:
         self.width = width
         self.technique = technique
         self.method = method
+        #: Optional :class:`repro.telemetry.LookupInstruments` observing
+        #: both chains (clue-aware and legacy) through one registry.
+        self.instruments = instruments
         rng = random.Random(seed)
         self.destination = Address(rng.getrandbits(width), width)
         self.router_names = ["r%d" % i for i in range(len(length_profile))]
@@ -124,7 +128,7 @@ class ChainScenario:
         return tables
 
     def _build_network(self, clue_aware: bool) -> Network:
-        network = Network()
+        network = Network(instruments=self.instruments)
         for index, name in enumerate(self.router_names):
             if clue_aware:
                 router = ClueRouter(

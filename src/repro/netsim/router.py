@@ -22,18 +22,34 @@ from repro.core.learning import LearningClueLookup
 from repro.core.receiver import ReceiverState
 from repro.core.simple import SimpleMethod
 from repro.lookup import BASELINES
-from repro.lookup.counters import MemoryCounter
+from repro.lookup.counters import METHOD_FULL, MemoryCounter
 from repro.netsim.packet import HopRecord, Packet
+from repro.telemetry.instruments import LookupInstruments, default_instruments
 from repro.trie.binary_trie import BinaryTrie
 
 Entries = Iterable[Tuple[Prefix, object]]
 
 
 class Router:
-    """Base class: a named node that processes packets."""
+    """Base class: a named node that processes packets.
 
-    def __init__(self, name: str):
+    Every router reports through a :class:`LookupInstruments` — its own
+    if one was passed, otherwise the process-wide default — and reuses a
+    single :class:`MemoryCounter` across packets (allocating one per
+    packet measurably slows the hot path; see DESIGN.md "Telemetry").
+    """
+
+    def __init__(self, name: str, instruments: Optional[LookupInstruments] = None):
         self.name = name
+        self._counter = MemoryCounter()
+        self.set_instruments(
+            instruments if instruments is not None else default_instruments()
+        )
+
+    def set_instruments(self, instruments: LookupInstruments) -> None:
+        """Point this router at a (new) metric set, rebinding hot handles."""
+        self.instruments = instruments
+        self.metrics = instruments.bind_router(self.name)
 
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """Resolve the packet; append a trace record; return the next hop."""
@@ -56,8 +72,9 @@ class ClueRouter(Router):
         emit_clues: bool = True,
         truncate_clues_to: Optional[int] = None,
         preprocess: bool = False,
+        instruments: Optional[LookupInstruments] = None,
     ):
-        super().__init__(name)
+        super().__init__(name, instruments)
         if method not in ("simple", "advance"):
             raise ValueError("method must be 'simple' or 'advance'")
         self.receiver = ReceiverState(entries, width)
@@ -70,11 +87,22 @@ class ClueRouter(Router):
         #: table up front instead of learning it clue by clue.
         self.preprocess = preprocess
         self.base = BASELINES[technique](self.receiver.entries, width)
-        self._simple = SimpleMethod(self.receiver, technique)
+        self._simple = SimpleMethod(self.receiver, technique, telemetry=self.metrics)
         #: per-upstream clue lookup state, built lazily.
         self._lookups: Dict[Optional[str], LearningClueLookup] = {}
         #: upstream tables registered from the routing exchange.
         self._neighbor_tries: Dict[str, BinaryTrie] = {}
+
+    def set_instruments(self, instruments: LookupInstruments) -> None:
+        """Rebind this router (and its entry builders) to a metric set."""
+        super().set_instruments(instruments)
+        # __init__ calls this before the builders exist; later rebinds
+        # (e.g. Network.add_router) must repoint them too.
+        simple = getattr(self, "_simple", None)
+        if simple is not None:
+            simple.telemetry = self.metrics
+        for lookup in getattr(self, "_lookups", {}).values():
+            lookup.builder.telemetry = self.metrics
 
     # ------------------------------------------------------------------
     def register_neighbor(self, neighbor: str, entries: Entries) -> None:
@@ -96,6 +124,7 @@ class ClueRouter(Router):
                     self._neighbor_tries[from_router],
                     self.receiver,
                     self.technique,
+                    telemetry=self.metrics,
                 )
             else:
                 builder = self._simple
@@ -109,13 +138,17 @@ class ClueRouter(Router):
     # ------------------------------------------------------------------
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """The distributed-IP-lookup data path for one packet."""
-        counter = MemoryCounter()
+        counter = self._counter
+        counter.reset()
         incoming = packet.clue.length
         clue = packet.clue_prefix()
         lookup = self._lookup_for(from_router)
         result = lookup.lookup(packet.destination, clue, counter)
+        accesses = counter.accesses
+        method = counter.method
+        hop = len(packet.trace)
         packet.trace.append(
-            HopRecord(self.name, counter.accesses, result.prefix, incoming)
+            HopRecord(self.name, accesses, result.prefix, incoming, method)
         )
         if self.emit_clues and result.prefix is not None:
             packet.clue.length = result.prefix.length
@@ -124,6 +157,17 @@ class ClueRouter(Router):
                 packet.clue.truncate(self.truncate_clues_to)
         elif self.emit_clues:
             packet.clue.clear()
+        self.metrics.record_lookup(method, accesses)
+        tracer = self.instruments.tracer
+        if tracer is not None and tracer.active:
+            tracer.record(
+                self.name,
+                hop,
+                method if method is not None else METHOD_FULL,
+                accesses,
+                incoming,
+                packet.clue.length,
+            )
         return result.next_hop
 
     def clue_table_sizes(self) -> Dict[Optional[str], int]:
@@ -132,6 +176,11 @@ class ClueRouter(Router):
             upstream: len(lookup.table)
             for upstream, lookup in self._lookups.items()
         }
+
+    def sync_gauges(self) -> None:
+        """Publish the learned clue-table sizes to the registry gauges."""
+        for upstream, size in self.clue_table_sizes().items():
+            self.instruments.set_clue_table_size(self.name, upstream, size)
 
 
 class LegacyRouter(Router):
@@ -144,8 +193,9 @@ class LegacyRouter(Router):
         technique: str = "patricia",
         width: int = 32,
         relay_clues: bool = True,
+        instruments: Optional[LookupInstruments] = None,
     ):
-        super().__init__(name)
+        super().__init__(name, instruments)
         self.receiver = ReceiverState(entries, width)
         self.base = BASELINES[technique](self.receiver.entries, width)
         #: §5.3: a legacy router that leaves the options field alone still
@@ -155,12 +205,22 @@ class LegacyRouter(Router):
 
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """Plain full lookup; the clue is relayed or stripped, never used."""
-        counter = MemoryCounter()
+        counter = self._counter
+        counter.reset()
         incoming = packet.clue.length
         result = self.base.lookup(packet.destination, counter)
+        accesses = counter.accesses
+        hop = len(packet.trace)
         packet.trace.append(
-            HopRecord(self.name, counter.accesses, result.prefix, incoming)
+            HopRecord(self.name, accesses, result.prefix, incoming, METHOD_FULL)
         )
         if not self.relay_clues:
             packet.clue.clear()
+        self.metrics.record_lookup(METHOD_FULL, accesses)
+        tracer = self.instruments.tracer
+        if tracer is not None and tracer.active:
+            tracer.record(
+                self.name, hop, METHOD_FULL, accesses, incoming,
+                packet.clue.length,
+            )
         return result.next_hop

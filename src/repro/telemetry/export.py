@@ -1,0 +1,158 @@
+"""Render a metrics registry as JSON or Prometheus text exposition.
+
+Two formats, one data model:
+
+* **JSON** — a nested dict (``registry_to_dict``) serialised with sorted
+  samples, meant for experiment harnesses and the CLI's machine output;
+* **Prometheus text format 0.0.4** — ``# HELP`` / ``# TYPE`` headers,
+  one line per series, histograms exploded into cumulative ``_bucket``
+  series plus ``_sum`` and ``_count``, ready to be scraped or pushed.
+
+Both renderings are deterministic (insertion order for metrics, sorted
+label keys within a metric), so they can be golden-tested.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def _labels_dict(names: Sequence[str], values: Sequence[str]) -> Dict[str, str]:
+    return {name: str(value) for name, value in zip(names, values)}
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict:
+    """The registry as a plain JSON-serialisable dict."""
+    metrics: Dict[str, dict] = {}
+    for metric in registry.collect():
+        entry: dict = {
+            "type": metric.kind,
+            "help": metric.help,
+            "labels": list(metric.label_names),
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            entry["samples"] = [
+                {
+                    "labels": _labels_dict(metric.label_names, key),
+                    "value": value,
+                }
+                for key, value in metric.samples()
+            ]
+        elif isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["samples"] = [
+                {
+                    "labels": _labels_dict(metric.label_names, key),
+                    "counts": list(snapshot.counts),
+                    "sum": snapshot.sum,
+                    "count": snapshot.count,
+                }
+                for key, snapshot in metric.samples()
+            ]
+        metrics[metric.name] = entry
+    return {"metrics": metrics}
+
+
+def render_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """The registry as a JSON document."""
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def _label_pairs(
+    names: Sequence[str],
+    values: Sequence[str],
+    extra: Sequence[str] = (),
+) -> str:
+    pairs = [
+        '%s="%s"' % (name, _escape_label_value(str(value)))
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(pairs)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append("# HELP %s %s" % (metric.name, _escape_help(metric.help)))
+        lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in metric.samples():
+                lines.append(
+                    "%s%s %s"
+                    % (
+                        metric.name,
+                        _label_pairs(metric.label_names, key),
+                        _format_value(value),
+                    )
+                )
+        elif isinstance(metric, Histogram):
+            for key, snapshot in metric.samples():
+                cumulative = snapshot.cumulative()
+                bounds = [_format_bound(b) for b in snapshot.buckets] + ["+Inf"]
+                for bound, running in zip(bounds, cumulative):
+                    lines.append(
+                        "%s_bucket%s %d"
+                        % (
+                            metric.name,
+                            _label_pairs(
+                                metric.label_names,
+                                key,
+                                extra=('le="%s"' % bound,),
+                            ),
+                            running,
+                        )
+                    )
+                lines.append(
+                    "%s_sum%s %s"
+                    % (
+                        metric.name,
+                        _label_pairs(metric.label_names, key),
+                        _format_value(snapshot.sum),
+                    )
+                )
+                lines.append(
+                    "%s_count%s %d"
+                    % (
+                        metric.name,
+                        _label_pairs(metric.label_names, key),
+                        snapshot.count,
+                    )
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,271 @@
+"""The canonical metric set for distributed IP lookup.
+
+The paper's whole evaluation counts four things: clue-table hits, final
+decisions taken without any search, resumed (restricted) searches, and
+full lookups — all denominated in memory references.  This module pins
+those quantities down as named metrics, once, so the lookup hot path,
+the netsim fabric, and the experiment harnesses all report through the
+same series instead of each keeping private tallies.
+
+Catalogue (all living in one :class:`MetricsRegistry`):
+
+====================================  =========  =====================
+metric                                kind       labels
+====================================  =========  =====================
+``clue_hits_total``                   counter    router
+``clue_misses_total``                 counter    router
+``fd_immediate_total``                counter    router
+``resumed_search_total``              counter    router
+``full_lookups_total``                counter    router
+``clue_entries_built_total``          counter    router, method
+``problematic_clues_total``           counter    router
+``memory_accesses``                   histogram  router
+``resumed_search_depth``              histogram  router
+``clue_table_size``                   gauge      router, upstream
+``packets_forwarded_total``           counter    result
+``traced_packets_total``              counter    (none)
+====================================  =========  =====================
+
+Identities the series satisfy by construction (and the end-to-end tests
+assert): ``clue_hits_total = fd_immediate_total + resumed_search_total``,
+and every lookup lands in exactly one of hit / miss / full, so
+``memory_accesses.count = clue_hits + clue_misses + full_lookups``.
+
+Routers grab a :class:`RouterInstruments` via :meth:`LookupInstruments
+.bind_router`; it caches bound (zero-allocation) children of every
+per-router series, so the per-lookup cost is a handful of dict stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.lookup.counters import (
+    METHOD_CLUE_MISS,
+    METHOD_FD_IMMEDIATE,
+    METHOD_RESUMED,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.trace import Tracer
+
+#: Depth of a resumed search in memory references (beyond the one
+#: clue-table probe); restricted searches are shallow by design.
+DEPTH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+#: Label value used for the clue table learned from packets whose
+#: upstream is unknown (packets injected directly into a router).
+DIRECT_UPSTREAM = "direct"
+
+
+class RouterInstruments:
+    """Per-router bound view over the canonical series (the hot handle)."""
+
+    __slots__ = (
+        "owner",
+        "clue_hits",
+        "clue_misses",
+        "fd_immediate",
+        "resumed_search",
+        "full_lookups",
+        "memory_accesses",
+        "resumed_depth",
+        "entries_built",
+        "problematic_clues",
+    )
+
+    def __init__(self, instruments: "LookupInstruments", owner: str):
+        self.owner = owner
+        self.clue_hits = instruments.clue_hits.labels(owner)
+        self.clue_misses = instruments.clue_misses.labels(owner)
+        self.fd_immediate = instruments.fd_immediate.labels(owner)
+        self.resumed_search = instruments.resumed_search.labels(owner)
+        self.full_lookups = instruments.full_lookups.labels(owner)
+        self.memory_accesses = instruments.memory_accesses.labels(owner)
+        self.resumed_depth = instruments.resumed_depth.labels(owner)
+        self.entries_built = {
+            method: instruments.clue_entries_built.labels(owner, method)
+            for method in ("simple", "advance")
+        }
+        self.problematic_clues = instruments.problematic_clues.labels(owner)
+
+    def record_lookup(self, method: Optional[str], accesses: int) -> None:
+        """Attribute one lookup's cost to the right series."""
+        self.memory_accesses.observe(accesses)
+        if method == METHOD_FD_IMMEDIATE:
+            self.clue_hits.inc()
+            self.fd_immediate.inc()
+        elif method == METHOD_RESUMED:
+            self.clue_hits.inc()
+            self.resumed_search.inc()
+            # Depth = work beyond the single clue-table probe.
+            self.resumed_depth.observe(accesses - 1)
+        elif method == METHOD_CLUE_MISS:
+            self.clue_misses.inc()
+            self.full_lookups.inc()
+        else:
+            self.full_lookups.inc()
+
+    def record_entry_built(self, method_name: str, problematic: bool) -> None:
+        """Account one clue-table record construction (off the fast path)."""
+        bound = self.entries_built.get(method_name)
+        if bound is not None:
+            bound.inc()
+        if problematic:
+            self.problematic_clues.inc()
+
+    def __repr__(self) -> str:
+        return "RouterInstruments(%r)" % self.owner
+
+
+class LookupInstruments:
+    """The canonical metric set over one registry, plus an optional tracer."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry if registry is not None else get_registry()
+        #: Per-packet trace sampling; None disables tracing entirely.
+        self.tracer = tracer
+        reg = self.registry
+        self.clue_hits = reg.counter(
+            "clue_hits_total",
+            "Lookups resolved off a clue-table hit (FD or resumed search)",
+            labels=("router",),
+        )
+        self.clue_misses = reg.counter(
+            "clue_misses_total",
+            "Clue-carrying lookups whose clue table had no record",
+            labels=("router",),
+        )
+        self.fd_immediate = reg.counter(
+            "fd_immediate_total",
+            "Clue hits short-circuited by the precomputed final decision",
+            labels=("router",),
+        )
+        self.resumed_search = reg.counter(
+            "resumed_search_total",
+            "Clue hits that ran the restricted resumed search",
+            labels=("router",),
+        )
+        self.full_lookups = reg.counter(
+            "full_lookups_total",
+            "Lookups answered by the base algorithm (no clue, or clue miss)",
+            labels=("router",),
+        )
+        self.clue_entries_built = reg.counter(
+            "clue_entries_built_total",
+            "Clue-table records constructed, by building method",
+            labels=("router", "method"),
+        )
+        self.problematic_clues = reg.counter(
+            "problematic_clues_total",
+            "Built records for clues violating Claim 1 (non-empty Ptr)",
+            labels=("router",),
+        )
+        self.memory_accesses = reg.histogram(
+            "memory_accesses",
+            "Memory references charged per lookup",
+            labels=("router",),
+            buckets=DEFAULT_BUCKETS,
+        )
+        self.resumed_depth = reg.histogram(
+            "resumed_search_depth",
+            "References spent in the resumed search beyond the table probe",
+            labels=("router",),
+            buckets=DEPTH_BUCKETS,
+        )
+        self.clue_table_size = reg.gauge(
+            "clue_table_size",
+            "Learned clue-table records per (router, upstream) pair",
+            labels=("router", "upstream"),
+        )
+        self.packets_forwarded = reg.counter(
+            "packets_forwarded_total",
+            "Packets forwarded end-to-end, by exit reason",
+            labels=("result",),
+        )
+        self.traced_packets = reg.counter(
+            "traced_packets_total",
+            "Packets selected by the trace sampler",
+        )
+
+    # -- binding --------------------------------------------------------
+    def bind_router(self, owner: str) -> RouterInstruments:
+        """A per-router view with every label key pre-bound."""
+        return RouterInstruments(self, owner)
+
+    # -- fabric-level recording -----------------------------------------
+    def record_delivery(self, exit_reason: str) -> None:
+        self.packets_forwarded.inc(labels=(exit_reason,))
+
+    def begin_packet(self) -> bool:
+        """Ask the tracer (if any) to decide sampling for a new packet."""
+        if self.tracer is None:
+            return False
+        sampled = self.tracer.begin_packet()
+        if sampled:
+            self.traced_packets.inc()
+        return sampled
+
+    def set_clue_table_size(
+        self, router: str, upstream: Optional[str], size: int
+    ) -> None:
+        label = upstream if upstream is not None else DIRECT_UPSTREAM
+        self.clue_table_size.set(size, labels=(router, label))
+
+    # -- convenience reads ----------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        """Registry-wide sums of the per-router counters (for reports)."""
+        return {
+            "clue_hits_total": self.clue_hits.total(),
+            "clue_misses_total": self.clue_misses.total(),
+            "fd_immediate_total": self.fd_immediate.total(),
+            "resumed_search_total": self.resumed_search.total(),
+            "full_lookups_total": self.full_lookups.total(),
+            "problematic_clues_total": self.problematic_clues.total(),
+            "packets_forwarded_total": self.packets_forwarded.total(),
+            "lookups_total": self.memory_accesses.total_count(),
+        }
+
+    def reset(self) -> None:
+        """Zero every series and (if present) the tracer."""
+        self.registry.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
+
+    def __repr__(self) -> str:
+        return "LookupInstruments(registry=%r, tracer=%r)" % (
+            self.registry,
+            self.tracer,
+        )
+
+
+#: Lazily created instruments over the process default registry.
+_default_instruments: Optional[LookupInstruments] = None
+
+
+def default_instruments() -> LookupInstruments:
+    """The process-wide instruments (tracing disabled by default)."""
+    global _default_instruments
+    if (
+        _default_instruments is None
+        or _default_instruments.registry is not get_registry()
+    ):
+        _default_instruments = LookupInstruments(get_registry())
+    return _default_instruments
+
+
+def set_default_instruments(
+    instruments: Optional[LookupInstruments],
+) -> Optional[LookupInstruments]:
+    """Swap the process-wide instruments; returns the previous value."""
+    global _default_instruments
+    previous = _default_instruments
+    _default_instruments = instruments
+    return previous

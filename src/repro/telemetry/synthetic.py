@@ -1,0 +1,169 @@
+"""A self-contained telemetry run over the Figure 1 chain scenario.
+
+``repro telemetry --synthetic`` (and the end-to-end tests) need a run
+whose metrics can be checked *exactly*: every counter the registry
+reports must reconcile with the per-hop :class:`HopRecord` traces of the
+very packets that produced it.  This module forwards a packet stream
+through a :class:`ChainScenario` — the clue-aware chain and its legacy
+twin share one fresh registry — keeps every packet, and recomputes the
+canonical counters from the traces for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lookup.counters import (
+    METHOD_CLUE_MISS,
+    METHOD_FD_IMMEDIATE,
+    METHOD_FULL,
+    METHOD_RESUMED,
+)
+from repro.telemetry.export import render_json, render_prometheus
+from repro.telemetry.instruments import LookupInstruments
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+
+class SyntheticTelemetryRun:
+    """Everything one synthetic run produced, ready to export or audit."""
+
+    def __init__(
+        self,
+        instruments: LookupInstruments,
+        scenario,
+        reports: List[object],
+    ):
+        self.instruments = instruments
+        self.registry = instruments.registry
+        self.tracer = instruments.tracer
+        self.scenario = scenario
+        #: The :class:`DeliveryReport` of every forwarded packet, in
+        #: order (clue-chain packets first, then the legacy chain's).
+        self.reports = reports
+
+    # -- reconciliation -------------------------------------------------
+    def trace_method_counts(self) -> Dict[str, int]:
+        """Method counts recomputed from the packets' HopRecord traces."""
+        counts = {
+            METHOD_FULL: 0,
+            METHOD_CLUE_MISS: 0,
+            METHOD_FD_IMMEDIATE: 0,
+            METHOD_RESUMED: 0,
+        }
+        for report in self.reports:
+            for record in report.packet.trace:
+                counts[record.method] += 1
+        return counts
+
+    def reconcile(self) -> Dict[str, Dict[str, float]]:
+        """Registry counters vs. trace-derived ground truth, per series."""
+        counts = self.trace_method_counts()
+        totals = self.instruments.totals()
+        hops = sum(counts.values())
+        accesses = sum(
+            record.accesses
+            for report in self.reports
+            for record in report.packet.trace
+        )
+        memory = self.registry.get("memory_accesses")
+        expectations = {
+            "clue_hits_total": (
+                totals["clue_hits_total"],
+                counts[METHOD_FD_IMMEDIATE] + counts[METHOD_RESUMED],
+            ),
+            "fd_immediate_total": (
+                totals["fd_immediate_total"],
+                counts[METHOD_FD_IMMEDIATE],
+            ),
+            "resumed_search_total": (
+                totals["resumed_search_total"],
+                counts[METHOD_RESUMED],
+            ),
+            "clue_misses_total": (
+                totals["clue_misses_total"],
+                counts[METHOD_CLUE_MISS],
+            ),
+            "full_lookups_total": (
+                totals["full_lookups_total"],
+                counts[METHOD_FULL] + counts[METHOD_CLUE_MISS],
+            ),
+            "lookups_total": (totals["lookups_total"], hops),
+            "memory_accesses_sum": (
+                sum(snap.sum for _, snap in memory.samples()),
+                accesses,
+            ),
+            "packets_forwarded_total": (
+                totals["packets_forwarded_total"],
+                len(self.reports),
+            ),
+        }
+        return {
+            name: {"metric": metric, "trace": trace, "ok": metric == trace}
+            for name, (metric, trace) in expectations.items()
+        }
+
+    def reconciled(self) -> bool:
+        """True when every counter matches the traces exactly."""
+        return all(row["ok"] for row in self.reconcile().values())
+
+    # -- export ---------------------------------------------------------
+    def render(self, fmt: str = "json") -> str:
+        """The run's registry as JSON or Prometheus text."""
+        for network in (self.scenario.clue_network, self.scenario.legacy_network):
+            for router in network.routers.values():
+                sync = getattr(router, "sync_gauges", None)
+                if sync is not None:
+                    sync()
+        if fmt == "json":
+            return render_json(self.registry)
+        if fmt == "prom":
+            return render_prometheus(self.registry)
+        raise ValueError("unknown format %r (json or prom)" % fmt)
+
+
+def synthetic_telemetry_run(
+    packets: int = 16,
+    background: int = 200,
+    seed: int = 0,
+    sample_rate: float = 1.0,
+    technique: str = "patricia",
+    method: str = "advance",
+    registry: Optional[MetricsRegistry] = None,
+) -> SyntheticTelemetryRun:
+    """Forward ``packets`` through a fresh chain pair under full telemetry.
+
+    The first clue-chain packet learns every clue on its way (one
+    ``clue_miss`` per hop past the first); later packets ride the learned
+    records, so the run exercises every resolution method.  The same
+    stream then crosses the legacy chain for a full-lookup baseline.
+    """
+    # Imported here: telemetry is a leaf package and must not pull the
+    # simulation layers in at import time.
+    from repro.netsim.packet import Packet
+    from repro.netsim.path_profile import ChainScenario
+
+    if packets < 1:
+        raise ValueError("need at least one packet")
+    instruments = LookupInstruments(
+        registry if registry is not None else MetricsRegistry(),
+        tracer=Tracer(rate=sample_rate, seed=seed),
+    )
+    scenario = ChainScenario(
+        background=background,
+        seed=seed,
+        technique=technique,
+        method=method,
+        instruments=instruments,
+    )
+    start = scenario.router_names[0]
+    reports = []
+    for _ in range(packets):
+        reports.append(
+            scenario.clue_network.forward(Packet(scenario.destination), start)
+        )
+    for _ in range(packets):
+        reports.append(
+            scenario.legacy_network.forward(Packet(scenario.destination), start)
+        )
+    return SyntheticTelemetryRun(instruments, scenario, reports)

@@ -1,0 +1,190 @@
+"""Per-packet trace spans with deterministic sampling.
+
+Metrics (``registry.py``) answer *how much*; traces answer *what exactly
+happened to this packet*.  A :class:`TraceSpan` records, for one hop of
+one packet, which resolution method the router chose (clue-table hit
+with an immediate final decision, a resumed search, or a full lookup),
+how many memory references it charged, and the clue lengths in and out.
+
+Full tracing of every packet would dominate the hot path, so the
+:class:`Tracer` samples whole packets: the forwarding fabric calls
+:meth:`Tracer.begin_packet` once per injected packet, and every router
+on the path then checks the cheap :attr:`Tracer.active` flag.  The
+sampling decision is drawn from a seeded RNG, so a given (rate, seed)
+pair always samples the same packet indices — experiments are exactly
+reproducible.  ``rate=0`` and ``rate=1`` short-circuit without touching
+the RNG at all, so tracing can be compiled out of a benchmark run by
+configuration alone.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional
+
+#: Resolution methods, as charged by the lookup layers (see
+#: :mod:`repro.lookup.counters` for the constants the hot path stamps).
+from repro.lookup.counters import (  # noqa: F401  (re-exported)
+    METHOD_CLUE_MISS,
+    METHOD_FD_IMMEDIATE,
+    METHOD_FULL,
+    METHOD_RESUMED,
+    METHODS,
+)
+
+#: Default bound on retained spans; old spans are dropped FIFO.
+DEFAULT_TRACE_CAPACITY = 65536
+
+
+class TraceSpan:
+    """What one router did to one sampled packet."""
+
+    __slots__ = ("router", "hop", "method", "accesses", "clue_in", "clue_out")
+
+    def __init__(
+        self,
+        router: str,
+        hop: int,
+        method: str,
+        accesses: int,
+        clue_in: Optional[int],
+        clue_out: Optional[int],
+    ):
+        self.router = router
+        #: 0-based position of this hop on the packet's path.
+        self.hop = hop
+        self.method = method
+        self.accesses = accesses
+        #: Clue length on the arriving packet (None = no clue).
+        self.clue_in = clue_in
+        #: Clue length stamped on the departing packet (None = cleared).
+        self.clue_out = clue_out
+
+    def as_dict(self) -> dict:
+        return {
+            "router": self.router,
+            "hop": self.hop,
+            "method": self.method,
+            "accesses": self.accesses,
+            "clue_in": self.clue_in,
+            "clue_out": self.clue_out,
+        }
+
+    def __repr__(self) -> str:
+        return "TraceSpan(%s, hop=%d, %s, accesses=%d)" % (
+            self.router,
+            self.hop,
+            self.method,
+            self.accesses,
+        )
+
+
+class Tracer:
+    """Samples packets at a configurable rate and buffers their spans."""
+
+    __slots__ = (
+        "rate",
+        "capacity",
+        "_rng",
+        "_seed",
+        "_active",
+        "_spans",
+        "packets_seen",
+        "packets_sampled",
+    )
+
+    def __init__(
+        self,
+        rate: float = 1.0,
+        seed: int = 0,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sampling rate must be within [0, 1]")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.rate = rate
+        self.capacity = capacity
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._active = rate >= 1.0
+        self._spans: Deque[TraceSpan] = deque(maxlen=capacity)
+        self.packets_seen = 0
+        self.packets_sampled = 0
+
+    @classmethod
+    def one_in(
+        cls, n: int, seed: int = 0, capacity: int = DEFAULT_TRACE_CAPACITY
+    ) -> "Tracer":
+        """A tracer sampling ~1-in-``n`` packets."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return cls(rate=1.0 / n, seed=seed, capacity=capacity)
+
+    # -- sampling -------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the packet currently in flight is being traced."""
+        return self._active
+
+    def begin_packet(self) -> bool:
+        """Decide (deterministically) whether to trace the next packet."""
+        self.packets_seen += 1
+        rate = self.rate
+        if rate >= 1.0:
+            active = True
+        elif rate <= 0.0:
+            active = False
+        else:
+            active = self._rng.random() < rate
+        self._active = active
+        if active:
+            self.packets_sampled += 1
+        return active
+
+    # -- recording ------------------------------------------------------
+    def record(
+        self,
+        router: str,
+        hop: int,
+        method: str,
+        accesses: int,
+        clue_in: Optional[int],
+        clue_out: Optional[int],
+    ) -> None:
+        """Append a span for the in-flight packet (if sampled)."""
+        if self._active:
+            self._spans.append(
+                TraceSpan(router, hop, method, accesses, clue_in, clue_out)
+            )
+
+    def spans(self) -> List[TraceSpan]:
+        """The retained spans, oldest first."""
+        return list(self._spans)
+
+    def sample_fraction(self) -> float:
+        """Observed fraction of packets sampled."""
+        if not self.packets_seen:
+            return 0.0
+        return self.packets_sampled / self.packets_seen
+
+    def reset(self) -> None:
+        """Drop spans, zero counts, and re-seed the RNG for replay."""
+        self._spans.clear()
+        self._rng = random.Random(self._seed)
+        self._active = self.rate >= 1.0
+        self.packets_seen = 0
+        self.packets_sampled = 0
+
+    def __repr__(self) -> str:
+        return "Tracer(rate=%g, %d spans, %d/%d packets)" % (
+            self.rate,
+            len(self._spans),
+            self.packets_sampled,
+            self.packets_seen,
+        )
+
+
+#: A tracer that never samples — the explicit "tracing off" object.
+NULL_TRACER = Tracer(rate=0.0)

@@ -1,0 +1,295 @@
+"""Unit tests for the telemetry primitives: registry, tracer, exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_unlabelled_increments(self):
+        counter = Counter("hits_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+        assert counter.total() == 5
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("hits_total", labels=("router",))
+        counter.inc(labels=("r1",))
+        counter.inc(2, labels=("r2",))
+        assert counter.value(("r1",)) == 1
+        assert counter.value(("r2",)) == 2
+        assert counter.total() == 3
+
+    def test_bound_child_is_live(self):
+        counter = Counter("hits_total", labels=("router",))
+        bound = counter.labels("r1")
+        bound.inc()
+        bound.inc(2)
+        assert counter.value(("r1",)) == 3
+        assert bound.value() == 3
+
+    def test_bound_child_survives_reset(self):
+        counter = Counter("hits_total", labels=("router",))
+        bound = counter.labels("r1")
+        bound.inc()
+        counter.reset()
+        assert counter.total() == 0
+        bound.inc()
+        assert counter.value(("r1",)) == 1
+
+    def test_wrong_label_arity_rejected(self):
+        counter = Counter("hits_total", labels=("router",))
+        with pytest.raises(ValueError):
+            counter.inc(labels=("a", "b"))
+        with pytest.raises(ValueError):
+            counter.labels()
+
+    def test_counters_cannot_decrease(self):
+        counter = Counter("hits_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("ok_total", labels=("bad-label",))
+        with pytest.raises(ValueError):
+            Counter("ok_total", labels=("a", "a"))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("size")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_bound_child(self):
+        gauge = Gauge("size", labels=("table",))
+        bound = gauge.labels("t1")
+        bound.set(7)
+        bound.dec()
+        assert gauge.value(("t1",)) == 6
+
+
+class TestHistogram:
+    def test_le_bucketing(self):
+        # Bounds are inclusive upper edges; the tail lands in +Inf.
+        hist = Histogram("latency", buckets=(1, 2, 4))
+        for value in (0.5, 1.0, 1.5, 4.0, 9.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap.counts == (2, 1, 1, 1)
+        assert snap.cumulative() == [2, 3, 4, 5]
+        assert snap.count == 5
+        assert snap.sum == 16.0
+        assert snap.mean() == pytest.approx(3.2)
+
+    def test_buckets_sorted_and_deduplicated(self):
+        hist = Histogram("h", buckets=(4, 1, 2))
+        assert hist.buckets == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1))
+
+    def test_bound_child_and_reset_in_place(self):
+        hist = Histogram("h", labels=("router",), buckets=(1, 2))
+        bound = hist.labels("r1")
+        bound.observe(1)
+        bound.observe(5)
+        assert hist.count(("r1",)) == 2
+        hist.reset()
+        assert hist.count(("r1",)) == 0
+        bound.observe(2)
+        assert hist.snapshot(("r1",)).counts == (0, 1, 0)
+
+    def test_empty_snapshot(self):
+        hist = Histogram("h", buckets=(1,))
+        snap = hist.snapshot()
+        assert snap.count == 0
+        assert snap.mean() == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "help", labels=("router",))
+        second = registry.counter("hits_total", "other", labels=("router",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric_one")
+        with pytest.raises(ValueError):
+            registry.gauge("metric_one")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric_one", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("metric_one", labels=("b",))
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        hist = registry.histogram("latency", buckets=(1,))
+        counter.inc()
+        hist.observe(3)
+        registry.reset()
+        assert counter.total() == 0
+        assert hist.total_count() == 0
+        assert "hits_total" in registry
+
+    def test_collect_order_is_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.gauge("a_gauge")
+        assert registry.names() == ["b_total", "a_gauge"]
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        assert registry.unregister("hits_total")
+        assert not registry.unregister("hits_total")
+        assert "hits_total" not in registry
+
+
+class TestTracerSampling:
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(rate=1.0)
+        assert all(tracer.begin_packet() for _ in range(20))
+        assert tracer.sample_fraction() == 1.0
+
+    def test_rate_zero_samples_nothing(self):
+        tracer = Tracer(rate=0.0)
+        assert not any(tracer.begin_packet() for _ in range(20))
+        tracer.record("r1", 0, "full_lookup", 3, None, None)
+        assert tracer.spans() == []
+
+    def test_seeded_determinism(self):
+        tracer_a = Tracer(rate=0.3, seed=42)
+        tracer_b = Tracer(rate=0.3, seed=42)
+        decisions_a = [tracer_a.begin_packet() for _ in range(300)]
+        decisions_b = [tracer_b.begin_packet() for _ in range(300)]
+        assert decisions_a == decisions_b
+        assert 0 < sum(decisions_a) < 300
+
+    def test_reset_replays_the_same_decisions(self):
+        tracer = Tracer(rate=0.5, seed=7)
+        before = [tracer.begin_packet() for _ in range(100)]
+        tracer.reset()
+        after = [tracer.begin_packet() for _ in range(100)]
+        assert before == after
+
+    def test_one_in(self):
+        tracer = Tracer.one_in(4, seed=1)
+        assert tracer.rate == 0.25
+        with pytest.raises(ValueError):
+            Tracer.one_in(0)
+
+    def test_records_only_while_active(self):
+        tracer = Tracer(rate=1.0, capacity=8)
+        tracer.begin_packet()
+        tracer.record("r1", 0, "fd_immediate", 1, 8, 16)
+        span = tracer.spans()[0]
+        assert span.router == "r1"
+        assert span.method == "fd_immediate"
+        assert span.as_dict()["clue_out"] == 16
+
+    def test_capacity_bounds_spans(self):
+        tracer = Tracer(rate=1.0, capacity=3)
+        tracer.begin_packet()
+        for hop in range(10):
+            tracer.record("r", hop, "full_lookup", 1, None, None)
+        spans = tracer.spans()
+        assert len(spans) == 3
+        assert [span.hop for span in spans] == [7, 8, 9]
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(rate=-0.1)
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("requests_total", "Requests served", labels=("route",))
+    requests.inc(labels=("a",))
+    requests.inc(2, labels=("b",))
+    temperature = registry.gauge("temperature", "Degrees")
+    temperature.set(36.5)
+    latency = registry.histogram("latency", "Latency", buckets=(1, 2, 4))
+    for value in (0.5, 1.0, 3.0, 9.0):
+        latency.observe(value)
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP requests_total Requests served
+# TYPE requests_total counter
+requests_total{route="a"} 1
+requests_total{route="b"} 2
+# HELP temperature Degrees
+# TYPE temperature gauge
+temperature 36.5
+# HELP latency Latency
+# TYPE latency histogram
+latency_bucket{le="1"} 2
+latency_bucket{le="2"} 2
+latency_bucket{le="4"} 3
+latency_bucket{le="+Inf"} 4
+latency_sum 13.5
+latency_count 4
+"""
+
+
+class TestExport:
+    def test_prometheus_golden_output(self):
+        assert render_prometheus(_golden_registry()) == GOLDEN_PROMETHEUS
+
+    def test_json_round_trips(self):
+        document = json.loads(render_json(_golden_registry()))
+        metrics = document["metrics"]
+        assert metrics["requests_total"]["type"] == "counter"
+        assert metrics["requests_total"]["samples"] == [
+            {"labels": {"route": "a"}, "value": 1},
+            {"labels": {"route": "b"}, "value": 2},
+        ]
+        assert metrics["temperature"]["samples"][0]["value"] == 36.5
+        histogram = metrics["latency"]
+        assert histogram["buckets"] == [1.0, 2.0, 4.0]
+        assert histogram["samples"][0]["counts"] == [2, 0, 1, 1]
+        assert histogram["samples"][0]["sum"] == 13.5
+        assert histogram["samples"][0]["count"] == 4
+
+    def test_registry_to_dict_matches_render(self):
+        registry = _golden_registry()
+        assert json.loads(render_json(registry)) == registry_to_dict(registry)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", labels=("name",))
+        counter.inc(labels=('he said "hi"\n',))
+        text = render_prometheus(registry)
+        assert 'name="he said \\"hi\\"\\n"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert json.loads(render_json(MetricsRegistry())) == {"metrics": {}}

@@ -1,0 +1,204 @@
+"""End-to-end telemetry: hot-path wiring, reconciliation, CLI export."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import compare_pair
+from repro.lookup.counters import (
+    METHOD_CLUE_MISS,
+    METHOD_FD_IMMEDIATE,
+    METHOD_FULL,
+    METHOD_RESUMED,
+)
+from repro.netsim.packet import Packet
+from repro.netsim.path_profile import ChainScenario
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+from repro.telemetry import LookupInstruments, MetricsRegistry, Tracer
+from repro.telemetry.synthetic import synthetic_telemetry_run
+
+
+@pytest.fixture
+def run():
+    return synthetic_telemetry_run(
+        packets=5, background=150, seed=3, sample_rate=1.0
+    )
+
+
+class TestReconciliation:
+    def test_counters_match_hop_records_exactly(self, run):
+        reconciliation = run.reconcile()
+        assert reconciliation, "reconciliation produced no rows"
+        for name, row in reconciliation.items():
+            assert row["ok"], "%s: metric=%s trace=%s" % (
+                name, row["metric"], row["trace"],
+            )
+        assert run.reconciled()
+
+    def test_every_method_is_exercised(self, run):
+        counts = run.trace_method_counts()
+        # Legacy chain + clueless first hops → full lookups; first clue
+        # packet → misses; steady state → FD hits and resumed searches.
+        assert counts[METHOD_FULL] > 0
+        assert counts[METHOD_CLUE_MISS] > 0
+        assert counts[METHOD_FD_IMMEDIATE] + counts[METHOD_RESUMED] > 0
+
+    def test_spans_mirror_hop_records_at_rate_one(self, run):
+        spans = run.tracer.spans()
+        records = [
+            record
+            for report in run.reports
+            for record in report.packet.trace
+        ]
+        assert len(spans) == len(records)
+        assert [span.method for span in spans] == [
+            record.method for record in records
+        ]
+        assert [span.accesses for span in spans] == [
+            record.accesses for record in records
+        ]
+
+    def test_rate_zero_disables_tracing_but_not_metrics(self):
+        quiet = synthetic_telemetry_run(
+            packets=3, background=120, seed=3, sample_rate=0.0
+        )
+        assert quiet.tracer.spans() == []
+        assert quiet.tracer.packets_sampled == 0
+        assert quiet.instruments.totals()["lookups_total"] > 0
+        assert quiet.reconciled()
+
+    def test_sampling_rate_is_deterministic_end_to_end(self):
+        spans_a = synthetic_telemetry_run(
+            packets=8, background=120, seed=5, sample_rate=0.5
+        ).tracer.spans()
+        spans_b = synthetic_telemetry_run(
+            packets=8, background=120, seed=5, sample_rate=0.5
+        ).tracer.spans()
+        assert [s.as_dict() for s in spans_a] == [s.as_dict() for s in spans_b]
+
+
+class TestFabricWiring:
+    def test_network_metrics_report_json(self, run):
+        text = run.scenario.clue_network.metrics_report("json")
+        metrics = json.loads(text)["metrics"]
+        assert "clue_hits_total" in metrics
+        # Gauges were refreshed: every learned clue table is published.
+        sizes = metrics["clue_table_size"]["samples"]
+        assert sizes, "no clue_table_size series published"
+        # Hops past the first learned their upstream's clues; the entry
+        # router (no clue on its packets) legitimately reports zero.
+        assert any(sample["value"] >= 1 for sample in sizes)
+        assert all(sample["value"] >= 0 for sample in sizes)
+
+    def test_network_metrics_report_prom(self, run):
+        text = run.scenario.clue_network.metrics_report("prom")
+        assert "# TYPE clue_hits_total counter" in text
+        assert "# TYPE memory_accesses histogram" in text
+        with pytest.raises(ValueError):
+            run.scenario.clue_network.metrics_report("xml")
+
+    def test_problematic_clues_counted_by_advance_builders(self):
+        # Chains with Advance learning charge problematic_clues_total only
+        # for Claim 1 violations, which are rare but non-negative.
+        instruments = LookupInstruments(MetricsRegistry())
+        scenario = ChainScenario(
+            background=150, seed=2, instruments=instruments
+        )
+        scenario.clue_network.forward(
+            Packet(scenario.destination), scenario.router_names[0]
+        )
+        built = instruments.clue_entries_built.total()
+        assert built > 0
+        assert 0 <= instruments.problematic_clues.total() <= built
+
+    def test_per_router_counter_is_reused(self):
+        scenario = ChainScenario(background=120, seed=1)
+        router = scenario.clue_network.routers["r0"]
+        counter = router._counter
+        scenario.clue_network.forward(
+            Packet(scenario.destination), scenario.router_names[0]
+        )
+        assert router._counter is counter
+        assert counter.accesses > 0
+
+
+class TestComparisonWiring:
+    def test_compare_pair_streams_into_registry(self):
+        sender = generate_table(200, seed=0)
+        receiver = derive_neighbor(sender, NeighborProfile(), seed=1)
+        instruments = LookupInstruments(MetricsRegistry())
+        result = compare_pair(
+            sender,
+            receiver,
+            packets=50,
+            seed=0,
+            techniques=("patricia",),
+            instruments=instruments,
+        )
+        assert result.mismatches == 0
+        totals = instruments.totals()
+        # 50 packets × (common + simple + advance) for one technique.
+        assert totals["lookups_total"] == 150
+        assert totals["full_lookups_total"] + totals["clue_hits_total"] == 150
+        # The average the harness reports equals the histogram's view.
+        memory = instruments.memory_accesses
+        snapshot = memory.snapshot(("R2:patricia+common",))
+        assert snapshot.count == 50
+        assert snapshot.sum / 50 == pytest.approx(
+            result.average("patricia", "common")
+        )
+
+
+class TestCliTelemetry:
+    def test_synthetic_json(self, capsys):
+        assert main([
+            "telemetry", "--synthetic", "--format", "json",
+            "--packets", "3", "--count", "120", "--seed", "2",
+        ]) == 0
+        captured = capsys.readouterr()
+        metrics = json.loads(captured.out)["metrics"]
+        assert "clue_hits_total" in metrics
+        assert "reconciliation OK" in captured.err
+
+    def test_synthetic_prom(self, capsys):
+        assert main([
+            "telemetry", "--synthetic", "--format", "prom",
+            "--packets", "3", "--count", "120",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE clue_hits_total counter" in out
+        assert "memory_accesses_bucket" in out
+
+    def test_synthetic_sample_rate_zero(self, capsys):
+        assert main([
+            "telemetry", "--synthetic", "--packets", "3",
+            "--count", "120", "--sample-rate", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "0 spans sampled" in captured.err
+
+    def test_requires_tables_or_synthetic(self):
+        with pytest.raises(SystemExit):
+            main(["telemetry"])
+
+    def test_pair_mode_from_synthetic_tables(self, capsys, tmp_path):
+        sender = tmp_path / "a.txt"
+        receiver = tmp_path / "b.txt"
+        # Same seed → similar tables, so the paper's destination sampler
+        # (which wants prefixes common to both) finds enough samples.
+        main(["generate", "--count", "200", "--seed", "3",
+              "--output", str(sender)])
+        main(["generate", "--count", "200", "--seed", "3",
+              "--output", str(receiver)])
+        capsys.readouterr()
+        assert main([
+            "telemetry", "--sender", str(sender), "--receiver", str(receiver),
+            "--packets", "30", "--format", "json",
+        ]) == 0
+        metrics = json.loads(capsys.readouterr().out)["metrics"]
+        series = metrics["memory_accesses"]["samples"]
+        assert any(
+            sample["labels"]["router"].endswith("+advance")
+            for sample in series
+        )
