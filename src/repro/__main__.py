@@ -1,0 +1,8 @@
+"""Make the package executable: ``python -m repro`` == ``repro-clue``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

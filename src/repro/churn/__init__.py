@@ -1,0 +1,51 @@
+"""repro.churn — live route updates over the clue-routed fabric (§3.4).
+
+Three pieces:
+
+* :mod:`repro.churn.stream` — seeded, bursty, locality-aware generators
+  of announce/withdraw/flap events, calibrated against the tablegen
+  prefix-length histogram;
+* :mod:`repro.churn.engine` — the epoch-versioned applier that folds
+  update batches into every router table and every maintained (sender,
+  receiver) clue table while traffic keeps flowing, with deferred
+  budgeted rebuilds and convergence tracking;
+* :mod:`repro.churn.audit` — the consistency auditor that periodically
+  rebuilds each clue table from scratch and diffs it against the
+  incremental one; divergence is a hard error.
+"""
+
+from repro.churn.audit import (
+    AuditReport,
+    ChurnAuditError,
+    ConsistencyAuditor,
+    PairAudit,
+)
+from repro.churn.engine import (
+    ChurnEngine,
+    ChurnReport,
+    EpochReport,
+    build_churn_scenario,
+)
+from repro.churn.stream import (
+    ANNOUNCE,
+    WITHDRAW,
+    ChurnProfile,
+    RouteUpdate,
+    UpdateStream,
+)
+
+__all__ = [
+    "ANNOUNCE",
+    "WITHDRAW",
+    "AuditReport",
+    "ChurnAuditError",
+    "ChurnEngine",
+    "ChurnProfile",
+    "ChurnReport",
+    "ConsistencyAuditor",
+    "EpochReport",
+    "PairAudit",
+    "RouteUpdate",
+    "UpdateStream",
+    "build_churn_scenario",
+]

@@ -9,7 +9,10 @@ Subcommands mirror the common workflows:
 * ``parse-rib`` — normalise a RIB text dump;
 * ``space``     — the §3.5 clue-table space model;
 * ``telemetry`` — run under full metrics/tracing and export the registry
-  as JSON or Prometheus text.
+  as JSON or Prometheus text;
+* ``churn``     — live route churn over the netsim fabric with §3.4
+  incremental clue-table maintenance, convergence tracking and
+  from-scratch consistency audits.
 
 Tables may come from files (one ``prefix next_hop`` per line, RIB style)
 or from the built-in synthetic pairs (``--synthetic``).
@@ -221,6 +224,52 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_churn(args) -> int:
+    import json
+
+    from repro.churn import ChurnEngine, ChurnProfile, build_churn_scenario
+    from repro.telemetry.export import render_prometheus
+
+    profile = ChurnProfile(
+        burst_mean=args.updates,
+        locality=args.locality,
+        flap_fraction=args.flap,
+    )
+    network, stream = build_churn_scenario(
+        routers=args.routers,
+        per_node=args.per_node,
+        seed=args.seed,
+        technique=args.technique,
+        profile=profile,
+    )
+    engine = ChurnEngine(
+        network,
+        stream,
+        rebuild_budget=args.rebuild_budget,
+        audit_every=args.audit_every,
+        hard_audit=not args.soft_audit,
+        seed=args.seed,
+    )
+    report = engine.run(args.epochs, traffic_per_epoch=args.traffic)
+    if args.format == "prom":
+        print(render_prometheus(network.instruments.registry))
+    else:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    summary = report.summary()
+    print(
+        "churn: %d epochs (%d converged), %d updates, %d wrong hops; %s"
+        % (
+            summary["epochs"],
+            summary["epochs_converged"],
+            summary["updates_applied"],
+            summary["wrong_hops"],
+            summary["claim"],
+        ),
+        file=sys.stderr,
+    )
+    return 0 if report.passed() else 1
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -314,6 +363,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="packets per chain (synthetic) or sampled lookups (pair)",
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    churn = sub.add_parser(
+        "churn",
+        help="live route churn with incremental clue-table maintenance",
+    )
+    churn.add_argument("--routers", type=int, default=5)
+    churn.add_argument("--per-node", type=int, default=40,
+                       help="originated prefixes per router")
+    churn.add_argument("--epochs", type=int, default=60)
+    churn.add_argument("--updates", type=float, default=6.0,
+                       help="mean route updates per epoch (burst mean)")
+    churn.add_argument("--traffic", type=int, default=25,
+                       help="packets forwarded per epoch")
+    churn.add_argument("--locality", type=float, default=0.6,
+                       help="fraction of churn under the hot subtrees")
+    churn.add_argument("--flap", type=float, default=0.25,
+                       help="fraction of announcements reviving withdrawals")
+    churn.add_argument("--rebuild-budget", type=int, default=None,
+                       help="max clue entries rebuilt per epoch "
+                            "(default: drain the backlog)")
+    churn.add_argument("--audit-every", type=int, default=10,
+                       help="from-scratch consistency audit period (epochs)")
+    churn.add_argument("--soft-audit", action="store_true",
+                       help="report divergences instead of raising")
+    churn.add_argument("--technique", default="patricia",
+                       choices=("regular", "patricia", "binary", "6way"))
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--format", choices=("json", "prom"), default="json",
+                       help="report format (default json)")
+    churn.set_defaults(func=_cmd_churn)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

@@ -41,6 +41,11 @@ class ClueTable:
         """Physically drop a record (topology change).  True if present."""
         return self._entries.pop(clue, None) is not None
 
+    def record(self, clue: Prefix) -> Optional[ClueEntry]:
+        """Raw fetch for maintenance: returns inactive records too and
+        charges no memory reference (it is not the data path)."""
+        return self._entries.get(clue)
+
     def entries(self) -> Iterator[ClueEntry]:
         """All records, active and inactive."""
         return iter(self._entries.values())

@@ -1,5 +1,6 @@
 """Experiment harness: §6 sampling, comparisons, rendering, paper data."""
 
+from repro.experiments.churn import churn_sweep
 from repro.experiments.comparison import (
     MODES,
     PairComparison,
@@ -42,6 +43,7 @@ __all__ = [
     "TABLE1_PREFIX_COUNTS",
     "TABLE2_PROBLEMATIC_CLUES",
     "TABLE3_INTERSECTIONS",
+    "churn_sweep",
     "compare_pair",
     "compare_pairs",
     "format_table",

@@ -114,6 +114,48 @@ class Network:
         """Convenience: build a fresh packet for ``destination`` and forward."""
         return self.forward(Packet(destination), start, max_hops)
 
+    def apply_update(self, router: str, add=(), remove=()):
+        """Apply a live route change to one router's table.
+
+        Delegates to :meth:`Router.apply_update`; the clue tables of
+        *pairs* touching this router are maintained by the churn engine
+        (see :mod:`repro.churn`), not here.
+        """
+        if router not in self.routers:
+            raise KeyError("unknown router %r" % router)
+        return self.routers[router].apply_update(add=add, remove=remove)
+
+    def run_with_churn(
+        self,
+        stream,
+        epochs: int,
+        traffic_per_epoch: int = 0,
+        *,
+        rebuild_budget: Optional[int] = None,
+        audit_every: int = 0,
+        hard_audit: bool = True,
+        seed: int = 0,
+        technique: Optional[str] = None,
+    ):
+        """Drive this network through ``epochs`` of live route churn.
+
+        Builds a :class:`repro.churn.ChurnEngine` over the fabric (one
+        incrementally maintained clue table per directed adjacency) and
+        runs it; returns the engine's :class:`~repro.churn.ChurnReport`.
+        """
+        from repro.churn.engine import ChurnEngine
+
+        engine = ChurnEngine(
+            self,
+            stream,
+            rebuild_budget=rebuild_budget,
+            audit_every=audit_every,
+            hard_audit=hard_audit,
+            seed=seed,
+            technique=technique,
+        )
+        return engine.run(epochs, traffic_per_epoch)
+
     def metrics_report(
         self, fmt: str = "json", refresh_gauges: bool = True
     ) -> str:

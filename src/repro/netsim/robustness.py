@@ -79,10 +79,9 @@ def _sample_destinations(
     sender_entries: Sequence[Entry],
     sender_trie: BinaryTrie,
     packets: int,
-    seed: int,
+    rng: random.Random,
 ) -> List[Tuple[Address, Prefix]]:
     """(destination, true sender BMP) pairs for traffic from the sender."""
-    rng = random.Random(seed)
     entries = list(sender_entries)
     samples: List[Tuple[Address, Prefix]] = []
     while len(samples) < packets:
@@ -102,18 +101,25 @@ def truncated_clue_experiment(
     seed: int = 0,
     technique: str = "patricia",
     width: int = 32,
+    rng: Optional[random.Random] = None,
 ) -> List[RobustnessPoint]:
     """Sweep the §5.3 clue-truncation limit.
 
     The clue table is still built over the sender's *full* clue universe
     plus its truncations, mirroring the paper's note that "truncated clues
     are also beneficial, perhaps not as much".
+
+    All randomness flows through one ``rng`` (default: a fresh
+    ``random.Random(seed)``), so callers composing several experiments
+    can thread a single generator instead of juggling derived seeds.
     """
+    if rng is None:
+        rng = random.Random(seed)
     receiver = ReceiverState(receiver_entries, width)
     sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
     method = AdvanceMethod(sender_trie, receiver, technique)
     clue_universe = list(sender_trie.prefixes())
-    samples = _sample_destinations(sender_entries, sender_trie, packets, seed)
+    samples = _sample_destinations(sender_entries, sender_trie, packets, rng)
     points: List[RobustnessPoint] = []
     for limit in max_lengths:
         universe = {
@@ -157,6 +163,7 @@ def stale_table_experiment(
     seed: int = 0,
     technique: str = "patricia",
     width: int = 32,
+    rng: Optional[random.Random] = None,
 ) -> dict:
     """Receiver's clue tables built from a stale sender snapshot.
 
@@ -165,10 +172,12 @@ def stale_table_experiment(
     robustness points: Simple must stay 100 % correct; Advance's error
     rate quantifies the staleness exposure.
     """
+    if rng is None:
+        rng = random.Random(seed)
     receiver = ReceiverState(receiver_entries, width)
     old_trie = BinaryTrie.from_prefixes(old_sender_entries, width)
     new_trie = BinaryTrie.from_prefixes(new_sender_entries, width)
-    samples = _sample_destinations(new_sender_entries, new_trie, packets, seed)
+    samples = _sample_destinations(new_sender_entries, new_trie, packets, rng)
 
     simple = SimpleMethod(receiver, technique)
     simple_table = simple.build_table(
@@ -202,23 +211,34 @@ def withheld_clue_experiment(
     seed: int = 0,
     technique: str = "patricia",
     width: int = 32,
+    rng: Optional[random.Random] = None,
 ) -> List[RobustnessPoint]:
-    """A fraction of packets arrive clue-less (sender refrains, §5.3)."""
+    """A fraction of packets arrive clue-less (sender refrains, §5.3).
+
+    One uniform draw per packet is taken up front and shared by every
+    fraction, so the withheld sets are *coupled*: each packet withheld at
+    fraction ``f`` stays withheld at every ``f' > f``.  (The previous
+    implementation reseeded with ``seed + 1`` per fraction, which both
+    collided with other derived-seed streams and made the masks an
+    accident of the seed arithmetic.)
+    """
+    if rng is None:
+        rng = random.Random(seed)
     receiver = ReceiverState(receiver_entries, width)
     sender_trie = BinaryTrie.from_prefixes(sender_entries, width)
     method = AdvanceMethod(sender_trie, receiver, technique)
     lookup = ClueAssistedLookup(
         BASELINES[technique](receiver.entries, width), method.build_table()
     )
-    samples = _sample_destinations(sender_entries, sender_trie, packets, seed)
+    samples = _sample_destinations(sender_entries, sender_trie, packets, rng)
+    draws = [rng.random() for _ in samples]
     points: List[RobustnessPoint] = []
     for fraction in withhold_fractions:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fractions must be within [0, 1]")
-        rng = random.Random(seed + 1)
         conditioned = [
-            (destination, None if rng.random() < fraction else clue)
-            for destination, clue in samples
+            (destination, None if draw < fraction else clue)
+            for (destination, clue), draw in zip(samples, draws)
         ]
         correct, avg = _measure(lookup, receiver, conditioned)
         points.append(RobustnessPoint(fraction, correct, avg, len(samples)))

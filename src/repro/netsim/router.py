@@ -14,7 +14,7 @@ clue unchanged (the good citizen) or stripping it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.addressing import Prefix
 from repro.core.advance import AdvanceMethod
@@ -26,6 +26,9 @@ from repro.lookup.counters import METHOD_FULL, MemoryCounter
 from repro.netsim.packet import HopRecord, Packet
 from repro.telemetry.instruments import LookupInstruments, default_instruments
 from repro.trie.binary_trie import BinaryTrie
+
+if TYPE_CHECKING:
+    from repro.core.maintenance import MaintainedClueTable
 
 Entries = Iterable[Tuple[Prefix, object]]
 
@@ -53,6 +56,14 @@ class Router:
 
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """Resolve the packet; append a trace record; return the next hop."""
+        raise NotImplementedError
+
+    def apply_update(
+        self,
+        add: Entries = (),
+        remove: Iterable[Prefix] = (),
+    ) -> Tuple[List[Tuple[Prefix, object]], List[Prefix]]:
+        """Apply a live route change to this router's own table."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -92,6 +103,9 @@ class ClueRouter(Router):
         self._lookups: Dict[Optional[str], LearningClueLookup] = {}
         #: upstream tables registered from the routing exchange.
         self._neighbor_tries: Dict[str, BinaryTrie] = {}
+        #: per-upstream incrementally maintained clue tables (churn mode);
+        #: see :meth:`attach_maintained`.
+        self._maintained: Dict[str, "MaintainedClueTable"] = {}
 
     def set_instruments(self, instruments: LookupInstruments) -> None:
         """Rebind this router (and its entry builders) to a metric set."""
@@ -111,6 +125,59 @@ class ClueRouter(Router):
             entries, self.receiver.width
         )
         self._lookups.pop(neighbor, None)
+
+    def attach_maintained(
+        self, upstream: str, maintained: "MaintainedClueTable"
+    ) -> LearningClueLookup:
+        """Serve ``upstream``'s clues from an incrementally maintained table.
+
+        The lookup's table *is* the maintained table, so deferred-rebuild
+        deactivations take effect on the data path immediately (a
+        deactivated record probes as a miss), and on-demand relearning
+        repairs records through the maintained Advance builder — which
+        sees the live sender trie and receiver state.
+        """
+        self._maintained[upstream] = maintained
+        self._neighbor_tries[upstream] = maintained.sender_trie
+        maintained.method.telemetry = self.metrics
+        lookup = LearningClueLookup(self.base, maintained.method)
+        lookup.table = maintained.table
+        self._lookups[upstream] = lookup
+        return lookup
+
+    def maintained_for(self, upstream: str) -> Optional["MaintainedClueTable"]:
+        """The maintained clue table attached for ``upstream``, if any."""
+        return self._maintained.get(upstream)
+
+    def apply_update(
+        self,
+        add: Entries = (),
+        remove: Iterable[Prefix] = (),
+    ) -> Tuple[List[Tuple[Prefix, object]], List[Prefix]]:
+        """Apply a live route change to this router's own table.
+
+        The receiver state mutates in place (maintained pairs sharing it
+        observe the change for free), the base lookup structure is
+        rebuilt, and learned clue tables that are *not* incrementally
+        maintained are dropped — their records were built against the old
+        table and relearning is the only safe repair for them.  Returns
+        the ``(added, removed)`` entries actually applied.
+        """
+        added = list(add)
+        removed = [
+            prefix for prefix in remove if self.receiver.trie.contains(prefix)
+        ]
+        if added or removed:
+            self.receiver.apply_update(added, removed)
+            self.base = BASELINES[self.technique](
+                self.receiver.entries, self.receiver.width
+            )
+            for upstream in list(self._lookups):
+                if upstream in self._maintained:
+                    self._lookups[upstream].base = self.base
+                else:
+                    del self._lookups[upstream]
+        return added, removed
 
     def _lookup_for(self, from_router: Optional[str]) -> LearningClueLookup:
         lookup = self._lookups.get(from_router)
@@ -197,11 +264,29 @@ class LegacyRouter(Router):
     ):
         super().__init__(name, instruments)
         self.receiver = ReceiverState(entries, width)
+        self.technique = technique
         self.base = BASELINES[technique](self.receiver.entries, width)
         #: §5.3: a legacy router that leaves the options field alone still
         #: lets downstream clue routers benefit; one that rewrites the
         #: header strips the clue.
         self.relay_clues = relay_clues
+
+    def apply_update(
+        self,
+        add: Entries = (),
+        remove: Iterable[Prefix] = (),
+    ) -> Tuple[List[Tuple[Prefix, object]], List[Prefix]]:
+        """Apply a live route change: update the table, rebuild the base."""
+        added = list(add)
+        removed = [
+            prefix for prefix in remove if self.receiver.trie.contains(prefix)
+        ]
+        if added or removed:
+            self.receiver.apply_update(added, removed)
+            self.base = BASELINES[self.technique](
+                self.receiver.entries, self.receiver.width
+            )
+        return added, removed
 
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """Plain full lookup; the clue is relayed or stripped, never used."""

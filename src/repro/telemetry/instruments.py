@@ -24,6 +24,10 @@ metric                                kind       labels
 ``clue_table_size``                   gauge      router, upstream
 ``packets_forwarded_total``           counter    result
 ``traced_packets_total``              counter    (none)
+``updates_applied_total``             counter    kind
+``clues_rebuilt_total``               counter    router
+``epochs_converged_total``            counter    (none)
+``clue_table_staleness``              histogram  (none)
 ====================================  =========  =====================
 
 Identities the series satisfy by construction (and the end-to-end tests
@@ -59,6 +63,11 @@ DEPTH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
 #: Label value used for the clue table learned from packets whose
 #: upstream is unknown (packets injected directly into a router).
 DIRECT_UPSTREAM = "direct"
+
+#: Per-pair rebuild backlog observed at each churn epoch boundary
+#: (``clue_table_staleness``): deactivated records still awaiting their
+#: deferred rebuild.  Zero means the pair is fully converged.
+STALENESS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 class RouterInstruments:
@@ -194,6 +203,26 @@ class LookupInstruments:
             "traced_packets_total",
             "Packets selected by the trace sampler",
         )
+        # -- churn series (repro.churn) ---------------------------------
+        self.updates_applied = reg.counter(
+            "updates_applied_total",
+            "Route updates applied to the fabric, by event kind",
+            labels=("kind",),
+        )
+        self.clues_rebuilt = reg.counter(
+            "clues_rebuilt_total",
+            "Clue-table records rebuilt by incremental maintenance",
+            labels=("router",),
+        )
+        self.epochs_converged = reg.counter(
+            "epochs_converged_total",
+            "Churn epochs that ended with every pair's backlog empty",
+        )
+        self.clue_table_staleness = reg.histogram(
+            "clue_table_staleness",
+            "Per-pair deferred-rebuild backlog at each epoch boundary",
+            buckets=STALENESS_BUCKETS,
+        )
 
     # -- binding --------------------------------------------------------
     def bind_router(self, owner: str) -> RouterInstruments:
@@ -219,6 +248,23 @@ class LookupInstruments:
         label = upstream if upstream is not None else DIRECT_UPSTREAM
         self.clue_table_size.set(size, labels=(router, label))
 
+    # -- churn recording -------------------------------------------------
+    def record_update(self, kind: str, count: int = 1) -> None:
+        """Account ``count`` route updates of one kind (announce/withdraw)."""
+        self.updates_applied.inc(count, labels=(kind,))
+
+    def record_rebuilds(self, router: str, count: int) -> None:
+        """Account clue records rebuilt at ``router`` by maintenance."""
+        if count:
+            self.clues_rebuilt.inc(count, labels=(router,))
+
+    def record_epoch(self, converged: bool, backlogs: Sequence[int]) -> None:
+        """Close one churn epoch: convergence flag + per-pair backlogs."""
+        if converged:
+            self.epochs_converged.inc()
+        for backlog in backlogs:
+            self.clue_table_staleness.observe(backlog)
+
     # -- convenience reads ----------------------------------------------
     def totals(self) -> Dict[str, float]:
         """Registry-wide sums of the per-router counters (for reports)."""
@@ -231,6 +277,9 @@ class LookupInstruments:
             "problematic_clues_total": self.problematic_clues.total(),
             "packets_forwarded_total": self.packets_forwarded.total(),
             "lookups_total": self.memory_accesses.total_count(),
+            "updates_applied_total": self.updates_applied.total(),
+            "clues_rebuilt_total": self.clues_rebuilt.total(),
+            "epochs_converged_total": self.epochs_converged.total(),
         }
 
     def reset(self) -> None:

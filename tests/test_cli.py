@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -79,6 +81,36 @@ class TestSpace:
         assert main(["space", "--entries", "60000", "--pointer-fraction", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "kilobytes" in out
+
+
+class TestChurn:
+    ARGS = [
+        "churn", "--routers", "3", "--per-node", "12", "--epochs", "6",
+        "--traffic", "5", "--audit-every", "3", "--seed", "7",
+    ]
+
+    def test_json_report_passes(self, capsys):
+        assert main(self.ARGS) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["summary"]["passed"] is True
+        assert report["summary"]["wrong_hops"] == 0
+        assert report["summary"]["audit_divergences"] == 0
+        assert len(report["epochs"]) == 6
+        assert "§3.4" in captured.err
+
+    def test_seeded_runs_are_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_prometheus_export(self, capsys):
+        assert main(self.ARGS + ["--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "updates_applied_total" in out
+        assert "epochs_converged_total" in out
 
 
 class TestParser:

@@ -92,6 +92,102 @@ class TestSenderUpdates:
         assert maintained.table.probe(p("00")).pointer_empty()
 
 
+def assert_matches_reference(maintained):
+    """The incremental table must equal a from-scratch rebuild."""
+    reference = maintained.reference_table()
+    for clue in maintained.sender_trie.prefixes():
+        live = maintained.table.probe(clue)
+        fresh = reference.probe(clue)
+        assert live is not None and fresh is not None, str(clue)
+        assert live.pointer_empty() == fresh.pointer_empty(), str(clue)
+        assert live.final_decision() == fresh.final_decision(), str(clue)
+    for record in maintained.table.entries():
+        if record.active:
+            assert maintained.sender_trie.contains(record.clue), str(record.clue)
+
+
+def random_burst(maintained, pool, rng, size):
+    """A mixed sender/receiver announce+withdraw burst (disjoint sets)."""
+    sender_prefixes = sorted(maintained.sender_trie.prefixes())
+    receiver_prefixes = sorted(q for q, _ in maintained.receiver.entries)
+    burst = dict(
+        sender_add=[], sender_remove=[], receiver_add=[], receiver_remove=[]
+    )
+    touched = set()
+    for _ in range(size):
+        side = "sender" if rng.random() < 0.5 else "receiver"
+        if rng.random() < 0.4:
+            candidates = [
+                q
+                for q in (
+                    sender_prefixes if side == "sender" else receiver_prefixes
+                )
+                if q not in touched
+            ]
+            if len(candidates) < 8:
+                continue
+            victim = candidates[rng.randrange(len(candidates))]
+            burst["%s_remove" % side].append(victim)
+            touched.add(victim)
+        else:
+            prefix, hop = pool[rng.randrange(len(pool))]
+            if prefix in touched:
+                continue
+            present = (
+                maintained.sender_trie.contains(prefix)
+                if side == "sender"
+                else prefix in receiver_prefixes
+            )
+            if present:
+                continue
+            burst["%s_add" % side].append((prefix, hop))
+            touched.add(prefix)
+    return burst
+
+
+@pytest.mark.parametrize("technique", ["binary", "patricia"])
+class TestBatchFuzz:
+    """Seeded fuzz: apply_batch bursts vs the from-scratch oracle."""
+
+    def make(self, technique):
+        sender = generate_table(250, seed=91)
+        receiver = derive_neighbor(sender, NeighborProfile(), seed=92)
+        return MaintainedClueTable(sender, receiver, technique=technique)
+
+    def test_mixed_bursts_match_reference_after_every_burst(self, technique):
+        rng = random.Random(4242)
+        maintained = self.make(technique)
+        pool = generate_table(200, seed=93)
+        for round_number in range(8):
+            burst = random_burst(maintained, pool, rng, rng.randrange(1, 9))
+            dirty = maintained.apply_batch(**burst)
+            applied = sum(len(v) for v in burst.values())
+            assert applied == 0 or dirty or not burst["sender_add"]
+            assert_matches_reference(maintained)
+        assert maintained.stats.updates_applied > 0
+        assert maintained.stats.dirty_per_update() >= 0.0
+
+    def test_deferred_flush_converges_to_reference(self, technique):
+        rng = random.Random(515)
+        maintained = self.make(technique)
+        pool = generate_table(200, seed=94)
+        for _round in range(6):
+            burst = random_burst(maintained, pool, rng, rng.randrange(2, 7))
+            maintained.apply_batch(defer_rebuild=True, **burst)
+            # Mid-window, deactivated records must probe as misses — a
+            # miss degrades to a full lookup, it never misforwards.
+            for clue in sorted(maintained.pending):
+                record = maintained.table.record(clue)
+                if record is not None and not record.active:
+                    assert maintained.table.probe(clue) is None
+            while maintained.flush(limit=3):
+                pass
+            assert maintained.pending_count() == 0
+            assert_matches_reference(maintained)
+        assert maintained.stats.entries_deactivated > 0
+        assert maintained.stats.flushes > 0
+
+
 @pytest.mark.parametrize("technique", ["binary", "regular", "patricia"])
 class TestRandomizedEquivalence:
     """Incremental maintenance must behave like a from-scratch rebuild."""
