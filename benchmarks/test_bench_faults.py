@@ -1,0 +1,92 @@
+"""Adversarial robustness: fault rate × guard policy over the fabric.
+
+Drives the fault sweep — in-flight clue corruption, systematically
+lying (Byzantine) neighbours, and clue-table record corruption against
+the guarded data path — and prints the safety/cost matrix.  The shape
+under test is the paper's robustness claim made adversarial: the
+guarded columns forward 100 % oracle-correct at every fault rate, the
+unguarded control column is the only place wrong hops can appear, and
+the degraded cost approaches (never meaningfully passes) the clueless
+baseline.
+"""
+
+from repro.experiments import fault_sweep, format_table
+
+SEED = 42
+
+
+def test_fault_rate_vs_guard_policy(benchmark, scale):
+    # Quarantine needs hit pressure to fire: lying clues mostly *miss*
+    # during warmup (a safe full lookup), and only repeated hits on
+    # learned records accumulate anomalies — hence the floors below.
+    per_node = max(int(200 * scale), 30)
+    rounds = max(int(40 * scale), 12)
+    traffic = max(int(500 * scale), 150)
+    rates = (0.0, 0.05, 0.2)
+
+    points = benchmark.pedantic(
+        lambda: fault_sweep(
+            rates,
+            routers=5,
+            per_node=per_node,
+            rounds=rounds,
+            traffic_per_round=traffic,
+            byzantine_routers=2,
+            lie_mode="shorter",
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for point in points:
+        rate, policy = point.parameter
+        metrics = point.metrics
+        rows.append(
+            [
+                "%.2f" % rate,
+                policy,
+                int(metrics["faults"]),
+                int(metrics["wrong_hops"]),
+                int(metrics["rejections"]),
+                int(metrics["quarantines"]),
+                round(metrics["refs_per_packet"], 2),
+                round(metrics["degradation"], 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "fault rate",
+                "policy",
+                "faults",
+                "wrong hops",
+                "rejections",
+                "quarantines",
+                "refs/pkt",
+                "degradation",
+            ],
+            rows,
+            title="forwarding safety and cost under adversarial faults",
+        )
+    )
+
+    by_key = {point.parameter: point.metrics for point in points}
+    for (rate, policy), metrics in by_key.items():
+        if policy != "off":
+            # The guarded data path never forwards wrongly.
+            assert metrics["wrong_hops"] == 0.0
+        # Degraded lookups never meaningfully exceed the clueless
+        # baseline (slack covers probe overhead before quarantine).
+        assert metrics["degradation"] <= 1.25
+    # Adversity actually flowed at the non-zero rates.
+    assert by_key[(0.2, "off")]["faults"] > 0
+    # The full policy quarantines the Byzantine upstream somewhere in
+    # the sweep.
+    assert any(
+        metrics["quarantines"] > 0
+        for (_rate, policy), metrics in by_key.items()
+        if policy == "quarantine"
+    )

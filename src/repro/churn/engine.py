@@ -36,6 +36,7 @@ import networkx as nx
 from repro.core.maintenance import MaintainedClueTable
 from repro.churn.audit import AuditReport, ConsistencyAuditor
 from repro.churn.stream import ANNOUNCE, UpdateStream
+from repro.netsim.invariant import wrong_hops
 from repro.netsim.packet import Packet
 from repro.netsim.router import ClueRouter
 
@@ -377,11 +378,7 @@ class ChurnEngine:
             report.packets += 1
             report.delivered += 1 if delivery.delivered else 0
             report.accesses += delivery.total_accesses()
-            for hop in delivery.packet.trace:
-                router = self.network.routers[hop.router]
-                oracle, _hop = router.receiver.best_match(destination)
-                if hop.bmp != oracle:
-                    report.wrong_hops += 1
+            report.wrong_hops += wrong_hops(self.network, delivery.packet)
 
     def _flush(self, report: EpochReport) -> None:
         """Drain (up to the budget) every pair's rebuild backlog."""

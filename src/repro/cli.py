@@ -12,7 +12,11 @@ Subcommands mirror the common workflows:
   as JSON or Prometheus text;
 * ``churn``     — live route churn over the netsim fabric with §3.4
   incremental clue-table maintenance, convergence tracking and
-  from-scratch consistency audits.
+  from-scratch consistency audits;
+* ``faults``    — adversarial fault injection (corrupted and Byzantine
+  clues, record corruption, crashes, link failures) against the
+  guarded, self-healing data path; the exit code reflects the
+  never-wrong-forwarding invariant.
 
 Tables may come from files (one ``prefix next_hop`` per line, RIB style)
 or from the built-in synthetic pairs (``--synthetic``).
@@ -270,6 +274,68 @@ def _cmd_churn(args) -> int:
     return 0 if report.passed() else 1
 
 
+def _cmd_faults(args) -> int:
+    import json
+
+    from repro.faults import (
+        FaultInvariantError,
+        GuardPolicy,
+        build_fault_scenario,
+    )
+    from repro.telemetry.export import render_prometheus
+
+    guard_policy = None
+    if args.guard != "off":
+        guard_policy = GuardPolicy(
+            quarantine_enabled=(args.guard == "quarantine")
+        )
+    network, plan = build_fault_scenario(
+        routers=args.routers,
+        per_node=args.per_node,
+        seed=args.seed,
+        technique=args.technique,
+        flip_rate=args.flip_rate,
+        scramble_rate=args.scramble_rate,
+        byzantine_routers=args.byzantine,
+        lie_mode=args.lie_mode,
+        record_rate=args.record_rate,
+        crashes=args.crashes,
+        link_downs=args.link_downs,
+        rounds=args.rounds,
+    )
+    try:
+        report = network.run_with_faults(
+            plan,
+            rounds=args.rounds,
+            traffic_per_round=args.traffic,
+            guard_policy=guard_policy,
+            seed=args.seed,
+            hard_invariant=False if args.soft_invariant else None,
+        )
+    except FaultInvariantError as error:
+        print("FAULT INVARIANT VIOLATED: %s" % error, file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        print(render_prometheus(network.instruments.registry))
+    else:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    summary = report.summary()
+    print(
+        "faults: %d rounds, %d packets, %d injections, %d wrong hops "
+        "(guard %s); %s"
+        % (
+            summary["rounds"],
+            summary["packets"],
+            summary["faults_total"],
+            summary["wrong_hops"],
+            args.guard,
+            summary["claim"],
+        ),
+        file=sys.stderr,
+    )
+    return 0 if report.passed() else 1
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -393,6 +459,42 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--format", choices=("json", "prom"), default="json",
                        help="report format (default json)")
     churn.set_defaults(func=_cmd_churn)
+
+    faults = sub.add_parser(
+        "faults",
+        help="adversarial fault injection against the guarded data path",
+    )
+    faults.add_argument("--routers", type=int, default=5)
+    faults.add_argument("--per-node", type=int, default=40,
+                        help="originated prefixes per router")
+    faults.add_argument("--rounds", type=int, default=12)
+    faults.add_argument("--traffic", type=int, default=50,
+                        help="packets forwarded per round")
+    faults.add_argument("--flip-rate", type=_sample_rate, default=0.05,
+                        help="clue bit-flip probability per link traversal")
+    faults.add_argument("--scramble-rate", type=_sample_rate, default=0.02,
+                        help="uniform clue-field corruption probability")
+    faults.add_argument("--byzantine", type=int, default=1,
+                        help="number of systematically lying routers")
+    faults.add_argument("--lie-mode", default="shorter",
+                        choices=("random", "shorter", "longer"))
+    faults.add_argument("--record-rate", type=_sample_rate, default=0.2,
+                        help="per-round clue-table corruption probability")
+    faults.add_argument("--crashes", type=int, default=1,
+                        help="router crash-restart events to schedule")
+    faults.add_argument("--link-downs", type=int, default=1,
+                        help="link-down windows to schedule")
+    faults.add_argument("--guard", default="quarantine",
+                        choices=("off", "guard", "quarantine"),
+                        help="data-path policy (default quarantine)")
+    faults.add_argument("--soft-invariant", action="store_true",
+                        help="record wrong hops instead of raising")
+    faults.add_argument("--technique", default="patricia",
+                        choices=("regular", "patricia", "binary", "6way"))
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--format", choices=("json", "prom"), default="json",
+                        help="report format (default json)")
+    faults.set_defaults(func=_cmd_faults)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

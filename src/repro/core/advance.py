@@ -84,7 +84,14 @@ class AdvanceMethod:
             continuation = self._continuation(clue)
         if self.telemetry is not None:
             self.telemetry.record_entry_built(self.method_name, problematic)
-        return ClueEntry(clue, fd_prefix, fd_next_hop, continuation)
+        return ClueEntry(
+            clue,
+            fd_prefix,
+            fd_next_hop,
+            continuation,
+            style=self.method_name,
+            sender_node=self.overlay.sender.find_node(clue),
+        )
 
     def build_table(self, clues: Optional[Iterable[Prefix]] = None) -> ClueTable:
         """Pre-processing construction over a clue universe.

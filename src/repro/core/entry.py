@@ -18,7 +18,15 @@ from repro.lookup.restricted import Continuation
 class ClueEntry:
     """One record of a clues table."""
 
-    __slots__ = ("clue", "fd_prefix", "fd_next_hop", "continuation", "active")
+    __slots__ = (
+        "clue",
+        "fd_prefix",
+        "fd_next_hop",
+        "continuation",
+        "active",
+        "style",
+        "sender_node",
+    )
 
     def __init__(
         self,
@@ -26,6 +34,8 @@ class ClueEntry:
         fd_prefix: Optional[Prefix],
         fd_next_hop: Optional[object],
         continuation: Optional[Continuation] = None,
+        style: Optional[str] = None,
+        sender_node: Optional[object] = None,
     ):
         self.clue = clue
         self.fd_prefix = fd_prefix
@@ -34,6 +44,16 @@ class ClueEntry:
         #: §3.4 suggests never removing clues, only marking them invalid, to
         #: keep the hash function stable across topology changes.
         self.active = True
+        #: Which method built the record ("simple" / "advance").  Simple
+        #: records are oracle-correct for *any* clue that prefixes the
+        #: destination; Advance records are only sound when the clue is the
+        #: sender's true BMP — the guard (repro.faults.guard) uses this to
+        #: decide how much verification a hit needs.
+        self.style = style
+        #: For Advance records, the sender-trie vertex of the clue (None when
+        #: the clue is not in the sender's table); lets the guard verify
+        #: "clue == sender BMP" with a short walk below the clue.
+        self.sender_node = sender_node
 
     def pointer_empty(self) -> bool:
         """True when the Ptr field is "empty" (the FD is final)."""

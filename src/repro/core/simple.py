@@ -57,7 +57,9 @@ class SimpleMethod:
             # Simple cannot see the sender's trie, so "problematic" is
             # unknowable; only Advance charges problematic_clues_total.
             self.telemetry.record_entry_built(self.method_name, False)
-        return ClueEntry(clue, fd_prefix, fd_next_hop, continuation)
+        return ClueEntry(
+            clue, fd_prefix, fd_next_hop, continuation, style=self.method_name
+        )
 
     def build_table(self, clues: Iterable[Prefix]) -> ClueTable:
         """Pre-processing construction (§3.3.2) over a clue universe."""

@@ -1,6 +1,7 @@
 """Experiment harness: §6 sampling, comparisons, rendering, paper data."""
 
 from repro.experiments.churn import churn_sweep
+from repro.experiments.faults import GUARD_POLICIES, fault_sweep
 from repro.experiments.comparison import (
     MODES,
     PairComparison,
@@ -43,8 +44,10 @@ __all__ = [
     "TABLE1_PREFIX_COUNTS",
     "TABLE2_PROBLEMATIC_CLUES",
     "TABLE3_INTERSECTIONS",
+    "GUARD_POLICIES",
     "churn_sweep",
     "compare_pair",
+    "fault_sweep",
     "compare_pairs",
     "format_table",
     "get_scale",

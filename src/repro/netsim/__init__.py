@@ -19,6 +19,7 @@ from repro.netsim.multicast import (
     derive_neighbor_groups,
     generate_group_table,
 )
+from repro.netsim.invariant import wrong_hop_details, wrong_hops
 from repro.netsim.network import DeliveryReport, Network
 from repro.netsim.packet import HopRecord, Packet
 from repro.netsim.path_profile import (
@@ -31,6 +32,7 @@ from repro.netsim.robustness import (
     stale_table_experiment,
     truncated_clue_experiment,
     withheld_clue_experiment,
+    withheld_mask,
 )
 from repro.netsim.router import ClueRouter, LegacyRouter, Router
 from repro.netsim.transit import TransitHopReport, TransitScenario
@@ -69,4 +71,7 @@ __all__ = [
     "stale_table_experiment",
     "truncated_clue_experiment",
     "withheld_clue_experiment",
+    "withheld_mask",
+    "wrong_hop_details",
+    "wrong_hops",
 ]

@@ -1,0 +1,42 @@
+"""The never-wrong-forwarding invariant, shared by churn and faults.
+
+The paper's robustness claim reduces to one checkable statement: at
+every hop, the BMP the router acted on equals what its *own* full
+lookup would have found.  Degradation (misses, deactivated records,
+quarantined neighbours, dropped packets) is allowed; a divergent
+forwarding decision never is.  Both the churn engine and the fault
+engine assert this hop by hop on live traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.netsim.packet import Packet
+
+
+def wrong_hops(network, packet: Packet) -> int:
+    """Hops of ``packet`` whose recorded BMP diverges from the oracle."""
+    return len(wrong_hop_details(network, packet))
+
+
+def wrong_hop_details(network, packet: Packet) -> List[Tuple[str, str, str]]:
+    """``(router, found, oracle)`` for every hop that violated the invariant.
+
+    The oracle is the hop router's own ``ReceiverState.best_match`` —
+    exactly the lookup a clueless deployment would have run.  Routers
+    without a receiver state (e.g. exotic test doubles) are skipped.
+    """
+    violations: List[Tuple[str, str, str]] = []
+    destination = packet.destination
+    for hop in packet.trace:
+        router = network.routers.get(hop.router)
+        if router is None:
+            continue
+        receiver = getattr(router, "receiver", None)
+        if receiver is None:
+            continue
+        oracle, _hop = receiver.best_match(destination)
+        if hop.bmp != oracle:
+            violations.append((hop.router, str(hop.bmp), str(oracle)))
+    return violations

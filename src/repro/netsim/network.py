@@ -9,7 +9,7 @@ every adjacency so Advance clue tables can be built.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.addressing import Address
 from repro.netsim.packet import Packet
@@ -60,6 +60,12 @@ class Network:
     def __init__(self, instruments: Optional[LookupInstruments] = None) -> None:
         self.routers: Dict[str, Router] = {}
         self.instruments = instruments
+        #: Links currently failed (frozensets of two router names); a
+        #: packet whose next hop crosses a down link is dropped.
+        self.down_links: Set[frozenset] = set()
+        #: Active :class:`repro.faults.inject.FaultPlan`, if any.  Set
+        #: by the fault engine; applied per link traversal and per hop.
+        self.fault_plan = None
 
     def _effective_instruments(self) -> LookupInstruments:
         return (
@@ -89,10 +95,21 @@ class Network:
         previous: Optional[str] = None
         path: List[str] = []
         report: Optional[DeliveryReport] = None
+        plan = self.fault_plan
         for _hop in range(limit):
             router = self.routers[current]
+            if not router.up:
+                report = DeliveryReport(packet, False, path, "router-down")
+                break
+            if previous is not None and plan is not None:
+                # The packet just crossed the previous->current link;
+                # in-flight clue corruption happens here.
+                plan.perturb_on_link(packet)
             path.append(current)
             next_hop = router.process(packet, previous)
+            if plan is not None:
+                # A Byzantine router lies about the BMP it just stamped.
+                plan.lie_after_hop(current, packet)
             if next_hop is None:
                 report = DeliveryReport(packet, False, path, "no-route")
                 break
@@ -101,6 +118,9 @@ class Network:
                 break
             if next_hop not in self.routers:
                 report = DeliveryReport(packet, True, path, "egress")
+                break
+            if frozenset((current, next_hop)) in self.down_links:
+                report = DeliveryReport(packet, False, path, "link-down")
                 break
             previous, current = current, next_hop
         if report is None:
@@ -155,6 +175,36 @@ class Network:
             technique=technique,
         )
         return engine.run(epochs, traffic_per_epoch)
+
+    def run_with_faults(
+        self,
+        plan,
+        rounds: int,
+        traffic_per_round: int = 32,
+        *,
+        guard_policy=None,
+        seed: int = 0,
+        hard_invariant: Optional[bool] = None,
+    ):
+        """Drive this network through ``rounds`` of traffic under faults.
+
+        Builds a :class:`repro.faults.engine.FaultEngine` over the
+        fabric and runs it; returns the engine's
+        :class:`~repro.faults.engine.FaultReport`.  ``guard_policy``
+        turns on the guarded data path on every clue router (pass a
+        :class:`~repro.faults.guard.GuardPolicy`, or ``True`` for the
+        defaults); ``hard_invariant`` defaults to the guard being on.
+        """
+        from repro.faults.engine import FaultEngine
+
+        engine = FaultEngine(
+            self,
+            plan,
+            guard_policy=guard_policy,
+            seed=seed,
+            hard_invariant=hard_invariant,
+        )
+        return engine.run(rounds, traffic_per_round)
 
     def metrics_report(
         self, fmt: str = "json", refresh_gauges: bool = True

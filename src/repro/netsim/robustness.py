@@ -75,6 +75,14 @@ def _measure(
     return correct / count, accesses / count
 
 
+#: Rejection-sampling safety margin in :func:`_sample_destinations`:
+#: give up after this many *misses per requested packet*.  Addresses
+#: are drawn under the sender's own prefixes, so in any sane setup the
+#: sender BMP exists on the first try; hitting the cap means the
+#: entries and the trie disagree, and looping forever would hide that.
+_SAMPLE_ATTEMPT_FACTOR = 50
+
+
 def _sample_destinations(
     sender_entries: Sequence[Entry],
     sender_trie: BinaryTrie,
@@ -83,14 +91,42 @@ def _sample_destinations(
 ) -> List[Tuple[Address, Prefix]]:
     """(destination, true sender BMP) pairs for traffic from the sender."""
     entries = list(sender_entries)
+    if packets > 0 and not entries:
+        raise ValueError(
+            "cannot sample %d packets from an empty sender table" % packets
+        )
     samples: List[Tuple[Address, Prefix]] = []
+    attempts_left = packets * _SAMPLE_ATTEMPT_FACTOR
     while len(samples) < packets:
+        if attempts_left <= 0:
+            raise RuntimeError(
+                "destination sampling stalled: %d/%d packets after %d "
+                "attempts — the sender trie covers (almost) none of the "
+                "sampled addresses; check that sender_entries and "
+                "sender_trie describe the same table"
+                % (len(samples), packets, packets * _SAMPLE_ATTEMPT_FACTOR)
+            )
+        attempts_left -= 1
         prefix, _hop = entries[rng.randrange(len(entries))]
         destination = prefix.random_address(rng)
         clue = sender_trie.best_prefix(destination)
         if clue is not None:
             samples.append((destination, clue))
     return samples
+
+
+def withheld_mask(draws: Sequence[float], fraction: float) -> List[bool]:
+    """Which packets withhold their clue at ``fraction``.
+
+    One uniform draw per packet, thresholded — so masks for increasing
+    fractions are *nested*: ``withheld_mask(d, f1) <= withheld_mask(d,
+    f2)`` element-wise whenever ``f1 <= f2``.  Exposed (and property-
+    tested) because the coupling is what makes the §5.3 sweep's points
+    comparable.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fractions must be within [0, 1]")
+    return [draw < fraction for draw in draws]
 
 
 def truncated_clue_experiment(
@@ -222,6 +258,14 @@ def withheld_clue_experiment(
     collided with other derived-seed streams and made the masks an
     accident of the seed arithmetic.)
     """
+    # Validate every fraction before any expensive work: a bad value in
+    # the tail of the sweep should not cost the whole table build first.
+    fractions = list(withhold_fractions)
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                "fractions must be within [0, 1], got %r" % (fraction,)
+            )
     if rng is None:
         rng = random.Random(seed)
     receiver = ReceiverState(receiver_entries, width)
@@ -233,12 +277,11 @@ def withheld_clue_experiment(
     samples = _sample_destinations(sender_entries, sender_trie, packets, rng)
     draws = [rng.random() for _ in samples]
     points: List[RobustnessPoint] = []
-    for fraction in withhold_fractions:
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fractions must be within [0, 1]")
+    for fraction in fractions:
+        mask = withheld_mask(draws, fraction)
         conditioned = [
-            (destination, None if draw < fraction else clue)
-            for (destination, clue), draw in zip(samples, draws)
+            (destination, None if withheld else clue)
+            for (destination, clue), withheld in zip(samples, mask)
         ]
         correct, avg = _measure(lookup, receiver, conditioned)
         points.append(RobustnessPoint(fraction, correct, avg, len(samples)))

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.addressing import Prefix
 from repro.core.advance import AdvanceMethod
+from repro.core.clue import ClueEncodingError
 from repro.core.learning import LearningClueLookup
 from repro.core.receiver import ReceiverState
 from repro.core.simple import SimpleMethod
@@ -29,6 +30,8 @@ from repro.trie.binary_trie import BinaryTrie
 
 if TYPE_CHECKING:
     from repro.core.maintenance import MaintainedClueTable
+    from repro.core.table import ClueTable
+    from repro.faults.guard import GuardPolicy, NeighborHealth
 
 Entries = Iterable[Tuple[Prefix, object]]
 
@@ -45,6 +48,9 @@ class Router:
     def __init__(self, name: str, instruments: Optional[LookupInstruments] = None):
         self.name = name
         self._counter = MemoryCounter()
+        #: Liveness flag driven by the fault engine's crash–restart
+        #: events; a down router drops every packet handed to it.
+        self.up = True
         self.set_instruments(
             instruments if instruments is not None else default_instruments()
         )
@@ -106,6 +112,12 @@ class ClueRouter(Router):
         #: per-upstream incrementally maintained clue tables (churn mode);
         #: see :meth:`attach_maintained`.
         self._maintained: Dict[str, "MaintainedClueTable"] = {}
+        #: When set (see :meth:`enable_guard`), lazily built per-upstream
+        #: lookups are wrapped in the guarded, self-healing data path.
+        self.guard_policy: Optional["GuardPolicy"] = None
+        #: Per-upstream health scores.  Kept outside the lookups so
+        #: quarantine state survives table drops (updates, restarts).
+        self._health: Dict[Optional[str], "NeighborHealth"] = {}
 
     def set_instruments(self, instruments: LookupInstruments) -> None:
         """Rebind this router (and its entry builders) to a metric set."""
@@ -117,6 +129,69 @@ class ClueRouter(Router):
             simple.telemetry = self.metrics
         for lookup in getattr(self, "_lookups", {}).values():
             lookup.builder.telemetry = self.metrics
+            if getattr(lookup, "monitor", None) is not None:
+                lookup.monitor = instruments.bind_guard(self.name)
+
+    # ------------------------------------------------------------------
+    def enable_guard(
+        self, policy: Optional["GuardPolicy"] = None
+    ) -> "GuardPolicy":
+        """Turn on the guarded, self-healing data path (repro.faults).
+
+        Lazily built per-upstream lookups are created as
+        :class:`~repro.faults.guard.GuardedLookup` from now on; existing
+        unguarded ones are dropped so they rebuild guarded.  Maintained
+        churn attachments keep their incremental path — the churn engine
+        owns their consistency story.
+        """
+        from repro.faults.guard import GuardPolicy
+
+        self.guard_policy = policy if policy is not None else GuardPolicy()
+        for upstream in list(self._lookups):
+            if upstream not in self._maintained:
+                del self._lookups[upstream]
+        return self.guard_policy
+
+    def crash(self) -> None:
+        """Take the router down; the fabric drops packets handed to it."""
+        self.up = False
+
+    def restart(self) -> None:
+        """Come back up with cold clue tables, rebuilt lazily.
+
+        Every learned record is lost — a reboot loses its fast-memory
+        clue tables — but neighbour health (quarantine state) survives:
+        it models the control plane's memory of who misbehaved, not the
+        data-plane cache.  Maintained attachments are re-installed
+        against their live tables.
+        """
+        self.up = True
+        self._lookups.clear()
+        for upstream, maintained in list(self._maintained.items()):
+            self.attach_maintained(upstream, maintained)
+
+    def learned_tables(self) -> Dict[Optional[str], "ClueTable"]:
+        """Live clue tables per upstream — the fault injector's target."""
+        return {
+            upstream: lookup.table
+            for upstream, lookup in self._lookups.items()
+        }
+
+    def guard_reports(self) -> Dict[Optional[str], Dict[str, object]]:
+        """Per-upstream guard statistics (empty unless the guard is on)."""
+        reports: Dict[Optional[str], Dict[str, object]] = {}
+        for upstream, lookup in self._lookups.items():
+            health = getattr(lookup, "health", None)
+            if health is None:
+                continue
+            reports[upstream] = {
+                "health": health.as_dict(),
+                "rejections": dict(lookup.rejections),
+                "healed_records": lookup.healed_records,
+                "hits": lookup.hits,
+                "misses": lookup.misses,
+            }
+        return reports
 
     # ------------------------------------------------------------------
     def register_neighbor(self, neighbor: str, entries: Entries) -> None:
@@ -195,10 +270,29 @@ class ClueRouter(Router):
                 )
             else:
                 builder = self._simple
-            lookup = LearningClueLookup(self.base, builder)
-            if self.preprocess and from_router in self._neighbor_tries:
-                for clue in self._neighbor_tries[from_router].prefixes():
-                    lookup.table.insert(builder.build_entry(clue))
+            if self.guard_policy is not None:
+                from repro.faults.guard import GuardedLookup, NeighborHealth
+
+                health = self._health.get(from_router)
+                if health is None:
+                    health = NeighborHealth(self.guard_policy)
+                    self._health[from_router] = health
+                lookup = GuardedLookup(
+                    self.base,
+                    builder,
+                    self.guard_policy,
+                    health=health,
+                    monitor=self.instruments.bind_guard(self.name),
+                )
+                if self.preprocess and from_router in self._neighbor_tries:
+                    # Learn through the guard so each record is sealed.
+                    for clue in self._neighbor_tries[from_router].prefixes():
+                        lookup.learn(clue)
+            else:
+                lookup = LearningClueLookup(self.base, builder)
+                if self.preprocess and from_router in self._neighbor_tries:
+                    for clue in self._neighbor_tries[from_router].prefixes():
+                        lookup.table.insert(builder.build_entry(clue))
             self._lookups[from_router] = lookup
         return lookup
 
@@ -208,8 +302,16 @@ class ClueRouter(Router):
         counter = self._counter
         counter.reset()
         incoming = packet.clue.length
-        clue = packet.clue_prefix()
         lookup = self._lookup_for(from_router)
+        try:
+            clue = packet.clue_prefix()
+        except ClueEncodingError:
+            # An undecodable header field: proceed clueless, and let a
+            # guarded path score the anomaly against the upstream.
+            clue = None
+            note = getattr(lookup, "note_malformed", None)
+            if note is not None:
+                note()
         result = lookup.lookup(packet.destination, clue, counter)
         accesses = counter.accesses
         method = counter.method

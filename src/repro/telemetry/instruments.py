@@ -28,6 +28,10 @@ metric                                kind       labels
 ``clues_rebuilt_total``               counter    router
 ``epochs_converged_total``            counter    (none)
 ``clue_table_staleness``              histogram  (none)
+``faults_injected_total``             counter    kind
+``clue_guard_rejections_total``       counter    router, reason
+``neighbors_quarantined_total``       counter    router
+``degraded_lookup_accesses``          histogram  router
 ====================================  =========  =====================
 
 Identities the series satisfy by construction (and the end-to-end tests
@@ -130,6 +134,43 @@ class RouterInstruments:
         return "RouterInstruments(%r)" % self.owner
 
 
+class GuardInstruments:
+    """Per-router bound view of the guard series (the GuardedLookup sink).
+
+    Matches the monitor protocol of :class:`repro.faults.guard
+    .GuardedLookup`: ``record_rejection``, ``record_quarantine``,
+    ``record_degraded``.  Rejection children are bound lazily per reason
+    (the reason set is small and stable).
+    """
+
+    __slots__ = ("owner", "_instruments", "_rejections", "quarantined", "degraded")
+
+    def __init__(self, instruments: "LookupInstruments", owner: str):
+        self.owner = owner
+        self._instruments = instruments
+        self._rejections: Dict[str, object] = {}
+        self.quarantined = instruments.neighbors_quarantined.labels(owner)
+        self.degraded = instruments.degraded_lookups.labels(owner)
+
+    def record_rejection(self, reason: str) -> None:
+        bound = self._rejections.get(reason)
+        if bound is None:
+            bound = self._instruments.clue_guard_rejections.labels(
+                self.owner, reason
+            )
+            self._rejections[reason] = bound
+        bound.inc()
+
+    def record_quarantine(self) -> None:
+        self.quarantined.inc()
+
+    def record_degraded(self, accesses: int) -> None:
+        self.degraded.observe(accesses)
+
+    def __repr__(self) -> str:
+        return "GuardInstruments(%r)" % self.owner
+
+
 class LookupInstruments:
     """The canonical metric set over one registry, plus an optional tracer."""
 
@@ -223,6 +264,28 @@ class LookupInstruments:
             "Per-pair deferred-rebuild backlog at each epoch boundary",
             buckets=STALENESS_BUCKETS,
         )
+        # -- fault/guard series (repro.faults) ---------------------------
+        self.faults_injected = reg.counter(
+            "faults_injected_total",
+            "Adversarial faults injected into the fabric, by kind",
+            labels=("kind",),
+        )
+        self.clue_guard_rejections = reg.counter(
+            "clue_guard_rejections_total",
+            "Clue consultations rejected by the guarded data path",
+            labels=("router", "reason"),
+        )
+        self.neighbors_quarantined = reg.counter(
+            "neighbors_quarantined_total",
+            "Guard quarantine transitions (an upstream lost trust)",
+            labels=("router",),
+        )
+        self.degraded_lookups = reg.histogram(
+            "degraded_lookup_accesses",
+            "Memory references of lookups the guard degraded to full",
+            labels=("router",),
+            buckets=DEFAULT_BUCKETS,
+        )
 
     # -- binding --------------------------------------------------------
     def bind_router(self, owner: str) -> RouterInstruments:
@@ -247,6 +310,16 @@ class LookupInstruments:
     ) -> None:
         label = upstream if upstream is not None else DIRECT_UPSTREAM
         self.clue_table_size.set(size, labels=(router, label))
+
+    # -- fault/guard recording --------------------------------------------
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Account ``count`` injected faults of one kind."""
+        if count:
+            self.faults_injected.inc(count, labels=(kind,))
+
+    def bind_guard(self, router: str) -> "GuardInstruments":
+        """A per-router guard monitor (the GuardedLookup telemetry sink)."""
+        return GuardInstruments(self, router)
 
     # -- churn recording -------------------------------------------------
     def record_update(self, kind: str, count: int = 1) -> None:
@@ -280,6 +353,9 @@ class LookupInstruments:
             "updates_applied_total": self.updates_applied.total(),
             "clues_rebuilt_total": self.clues_rebuilt.total(),
             "epochs_converged_total": self.epochs_converged.total(),
+            "faults_injected_total": self.faults_injected.total(),
+            "clue_guard_rejections_total": self.clue_guard_rejections.total(),
+            "neighbors_quarantined_total": self.neighbors_quarantined.total(),
         }
 
     def reset(self) -> None:

@@ -1,0 +1,267 @@
+"""Unit tests for the guarded, self-healing clue data path."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.simple import SimpleMethod
+from repro.faults.guard import (
+    GuardedLookup,
+    GuardPolicy,
+    NeighborHealth,
+    PROBATION,
+    QUARANTINED,
+    REJECT_LYING,
+    REJECT_MALFORMED,
+    REJECT_QUARANTINED,
+    REJECT_RECORD,
+    TRUSTED,
+)
+from repro.lookup import BASELINES
+from repro.lookup.counters import (
+    METHOD_CLUE_MISS,
+    METHOD_FULL,
+    MemoryCounter,
+)
+
+
+def addr(bits: str) -> Address:
+    return Address(int(bits.ljust(32, "0"), 2), 32)
+
+
+def p(bits: str) -> Prefix:
+    return Prefix.from_bitstring(bits)
+
+
+@pytest.fixture
+def base(tiny_receiver):
+    return BASELINES["patricia"](tiny_receiver.entries, 32)
+
+
+@pytest.fixture
+def advance_builder(tiny_sender_trie, tiny_receiver):
+    return AdvanceMethod(tiny_sender_trie, tiny_receiver, "patricia")
+
+
+@pytest.fixture
+def guarded(base, advance_builder):
+    return GuardedLookup(base, advance_builder, GuardPolicy())
+
+
+class TestGuardPolicy:
+    def test_defaults_validate(self):
+        GuardPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"quarantine_threshold": 0.0},
+            {"quarantine_threshold": 1.5},
+            {"min_samples": 0},
+            {"backoff_base": 0},
+            {"backoff_max": 1, "backoff_base": 2},
+            {"backoff_factor": 0.5},
+            {"probation_probes": 0},
+        ],
+    )
+    def test_invalid_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            GuardPolicy(**kwargs)
+
+    def test_as_dict_round_trips_every_slot(self):
+        policy = GuardPolicy(window=8, backoff_base=4, backoff_max=16)
+        described = policy.as_dict()
+        assert described["window"] == 8
+        assert set(described) == set(GuardPolicy.__slots__)
+
+
+class TestNeighborHealth:
+    def policy(self, **kwargs):
+        defaults = dict(
+            window=4,
+            quarantine_threshold=0.5,
+            min_samples=2,
+            backoff_base=3,
+            backoff_max=12,
+            probation_probes=2,
+        )
+        defaults.update(kwargs)
+        return GuardPolicy(**defaults)
+
+    def test_quarantines_at_threshold(self):
+        health = NeighborHealth(self.policy())
+        assert health.record_anomaly() is False
+        assert health.state == TRUSTED
+        assert health.record_anomaly() is True
+        assert health.state == QUARANTINED
+
+    def test_cooldown_burns_down_to_probation(self):
+        health = NeighborHealth(self.policy())
+        health.record_anomaly()
+        health.record_anomaly()
+        # backoff_base == 3 packets of cooldown, then probation.
+        assert not health.consult_allowed()
+        assert not health.consult_allowed()
+        assert not health.consult_allowed()
+        assert health.state == PROBATION
+        assert health.consult_allowed()
+
+    def test_probation_clean_restores_trust(self):
+        health = NeighborHealth(self.policy())
+        health.record_anomaly()
+        health.record_anomaly()
+        for _ in range(3):
+            health.consult_allowed()
+        health.record_clean()
+        health.record_clean()
+        assert health.state == TRUSTED
+
+    def test_probation_anomaly_requarantines_with_doubled_backoff(self):
+        health = NeighborHealth(self.policy())
+        health.record_anomaly()
+        health.record_anomaly()
+        first_cooldown = health.cooldown_left
+        for _ in range(3):
+            health.consult_allowed()
+        assert health.state == PROBATION
+        assert health.record_anomaly() is True
+        assert health.state == QUARANTINED
+        assert health.cooldown_left == 2 * first_cooldown
+
+    def test_backoff_caps_at_maximum(self):
+        health = NeighborHealth(self.policy())
+        for _ in range(6):
+            health._quarantine()
+        assert health.cooldown_left <= 12
+
+    def test_survived_probation_halves_next_backoff(self):
+        health = NeighborHealth(self.policy())
+        health.record_anomaly()
+        health.record_anomaly()  # next_backoff now 6
+        for _ in range(3):
+            health.consult_allowed()
+        health.record_clean()
+        health.record_clean()  # survived probation: 6 -> 3 (the floor)
+        assert health.next_backoff == 3
+
+    def test_quarantine_disabled_never_fires(self):
+        health = NeighborHealth(self.policy(quarantine_enabled=False))
+        for _ in range(20):
+            assert health.record_anomaly() is False
+        assert health.state == TRUSTED
+
+
+class TestGuardedLookup:
+    def oracle(self, tiny_receiver, destination):
+        prefix, _hop = tiny_receiver.best_match(destination)
+        return prefix
+
+    def test_no_clue_is_plain_full_lookup(self, guarded, tiny_receiver):
+        destination = addr("0010")
+        counter = MemoryCounter()
+        result = guarded.lookup(destination, None, counter)
+        assert result.method == METHOD_FULL
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+
+    def test_miss_learns_and_seals(self, guarded, tiny_receiver):
+        destination = addr("0111")
+        result = guarded.lookup(destination, p("0"), MemoryCounter())
+        assert result.method == METHOD_CLUE_MISS
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+        assert len(guarded.table) == 1
+        assert p("0") in guarded._seals
+
+    def test_honest_advance_hit_is_clean(self, guarded, tiny_receiver):
+        # Sender BMP for 0111... really is "0": the hit must pass the
+        # verification walk and count as a clean consultation.
+        destination = addr("0111")
+        guarded.lookup(destination, p("0"), MemoryCounter())
+        result = guarded.lookup(destination, p("0"), MemoryCounter())
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+        assert guarded.hits == 1
+        assert guarded.rejections == {}
+        assert guarded.health.clean_total == 1
+
+    def test_lying_advance_clue_rejected(self, guarded, tiny_receiver):
+        # For 0010... the sender's true BMP is "00"; a clue of "0" is a
+        # lie an Advance entry must not be trusted with.
+        destination = addr("0010")
+        guarded.lookup(addr("0111"), p("0"), MemoryCounter())  # learn "0"
+        result = guarded.lookup(destination, p("0"), MemoryCounter())
+        assert result.method == METHOD_FULL
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+        assert guarded.rejections == {REJECT_LYING: 1}
+        assert guarded.health.anomalies_total == 1
+
+    def test_non_prefix_clue_rejected_as_malformed(
+        self, guarded, tiny_receiver
+    ):
+        destination = addr("1100")
+        result = guarded.lookup(destination, p("00"), MemoryCounter())
+        assert result.method == METHOD_FULL
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+        assert guarded.rejections == {REJECT_MALFORMED: 1}
+
+    def test_corrupt_record_heals(self, guarded, tiny_receiver):
+        destination = addr("0111")
+        guarded.lookup(destination, p("0"), MemoryCounter())
+        entry = guarded.table.probe(p("0"), MemoryCounter())
+        entry.fd_next_hop = "<corrupt>"
+        result = guarded.lookup(destination, p("0"), MemoryCounter())
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+        assert guarded.rejections == {REJECT_RECORD: 1}
+        assert guarded.healed_records == 1
+        # The healed record is trusted again on the next packet.
+        result = guarded.lookup(destination, p("0"), MemoryCounter())
+        assert guarded.rejections == {REJECT_RECORD: 1}
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+
+    def test_quarantine_skips_probe_and_costs_baseline(
+        self, base, advance_builder, tiny_receiver
+    ):
+        policy = GuardPolicy(
+            window=4,
+            quarantine_threshold=0.5,
+            min_samples=2,
+            backoff_base=4,
+            backoff_max=16,
+        )
+        guarded = GuardedLookup(base, advance_builder, policy)
+        lie_destination = addr("0010")
+        guarded.lookup(addr("0111"), p("0"), MemoryCounter())  # learn
+        for _ in range(2):
+            guarded.lookup(lie_destination, p("0"), MemoryCounter())
+        assert guarded.health.state == QUARANTINED
+        counter = MemoryCounter()
+        baseline = MemoryCounter()
+        base.lookup(lie_destination, baseline)
+        result = guarded.lookup(lie_destination, p("0"), counter)
+        assert result.prefix == self.oracle(tiny_receiver, lie_destination)
+        assert guarded.rejections[REJECT_QUARANTINED] == 1
+        # No probe, no verification walk: exactly the clueless cost.
+        assert counter.accesses == baseline.accesses
+
+    def test_simple_entries_trusted_without_walk(self, base, tiny_receiver):
+        # Simple-style records are sound for any clue that prefixes the
+        # destination — even one that is not the sender's BMP.
+        guarded = GuardedLookup(
+            base, SimpleMethod(tiny_receiver, "patricia"), GuardPolicy()
+        )
+        destination = addr("0010")
+        guarded.lookup(destination, p("0"), MemoryCounter())
+        result = guarded.lookup(destination, p("0"), MemoryCounter())
+        assert result.prefix == self.oracle(tiny_receiver, destination)
+        assert guarded.rejections == {}
+
+    def test_note_malformed_counts_against_neighbor(self, guarded):
+        guarded.note_malformed()
+        assert guarded.rejections == {REJECT_MALFORMED: 1}
+        assert guarded.health.anomalies_total == 1
+
+    def test_learn_is_idempotent_and_reseals(self, guarded):
+        first = guarded.learn(p("0"))
+        first.fd_next_hop = "<corrupt>"
+        second = guarded.learn(p("0"))
+        assert guarded.table.probe(p("0"), MemoryCounter()) is second
+        assert len(guarded.table) == 1

@@ -1,0 +1,176 @@
+"""Property tests for the §5.3 robustness machinery.
+
+Two claims the fault work leans on, each exercised over generated
+inputs:
+
+* the withheld-clue sweep's masks are *coupled*: a packet withheld at
+  fraction ``f`` stays withheld at every larger fraction, so sweep
+  points differ only in how many clues vanish, never in which traffic
+  they see;
+* the Simple method is oracle-correct for **arbitrary** clues — right,
+  wrong, or not even a prefix of the destination.  This is the formal
+  core of the paper's "can not cause any confusion" claim, and it is
+  what lets the guard trust Simple-style records with only the cheap
+  prefix check.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.addressing import Address, Prefix
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.faults.guard import GuardedLookup, GuardPolicy
+from repro.lookup import BASELINES, reference_lookup
+from repro.lookup.counters import MemoryCounter
+from repro.netsim.robustness import (
+    _sample_destinations,
+    withheld_clue_experiment,
+    withheld_mask,
+)
+from repro.trie.binary_trie import BinaryTrie
+
+
+@st.composite
+def entry_sets(draw, max_size=24, depth=12):
+    """Small random receiver tables over a narrow slice of the space."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    prefixes = set()
+    for _ in range(size):
+        length = draw(st.integers(min_value=1, max_value=depth))
+        bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+        prefixes.add(Prefix(bits, length, 32))
+    return [(prefix, "h%d" % i) for i, prefix in enumerate(sorted(prefixes))]
+
+
+@st.composite
+def clues(draw, depth=16):
+    """Arbitrary clue prefixes — *not* constrained to any table."""
+    length = draw(st.integers(min_value=0, max_value=depth))
+    bits = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return Prefix(bits, length, 32)
+
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+draw_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), max_size=64
+)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestWithheldMask:
+    @given(draw_lists, fractions, fractions)
+    @settings(max_examples=200, deadline=None)
+    def test_masks_are_monotone_across_fractions(self, draws, f1, f2):
+        low, high = min(f1, f2), max(f1, f2)
+        low_mask = withheld_mask(draws, low)
+        high_mask = withheld_mask(draws, high)
+        # Nested: whatever is withheld at the lower fraction stays
+        # withheld at every higher one.
+        assert all(
+            not withheld or also
+            for withheld, also in zip(low_mask, high_mask)
+        )
+
+    @given(draw_lists, fractions)
+    @settings(max_examples=100, deadline=None)
+    def test_extremes(self, draws, fraction):
+        assert withheld_mask(draws, 0.0) == [False] * len(draws)
+        assert len(withheld_mask(draws, fraction)) == len(draws)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0])
+    def test_out_of_range_fraction_raises(self, bad):
+        with pytest.raises(ValueError):
+            withheld_mask([0.5], bad)
+
+
+class TestWithheldExperimentValidation:
+    def test_fractions_validated_before_any_work(
+        self, tiny_sender_entries, tiny_receiver_entries
+    ):
+        # The bad value sits *last*; up-front validation must still trip
+        # before the experiment builds a single structure or point.
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            withheld_clue_experiment(
+                tiny_sender_entries,
+                tiny_receiver_entries,
+                [0.0, 0.5, 1.7],
+                packets=10,
+            )
+
+    def test_valid_fractions_share_one_sample_set(
+        self, tiny_sender_entries, tiny_receiver_entries
+    ):
+        points = withheld_clue_experiment(
+            tiny_sender_entries,
+            tiny_receiver_entries,
+            [0.0, 0.5, 1.0],
+            packets=50,
+            seed=4,
+        )
+        assert [point.condition for point in points] == [0.0, 0.5, 1.0]
+        assert len({point.samples for point in points}) == 1
+        # Withholding everything degrades cost monotonically vs nothing.
+        assert points[-1].avg_accesses >= points[0].avg_accesses
+        assert all(point.correct_rate == 1.0 for point in points)
+
+
+class TestSampleDestinationsBounds:
+    def test_empty_sender_table_raises(self):
+        trie = BinaryTrie.from_prefixes([], 32)
+        with pytest.raises(ValueError, match="empty sender table"):
+            _sample_destinations([], trie, 5, random.Random(0))
+
+    def test_zero_packets_from_empty_table_is_fine(self):
+        trie = BinaryTrie.from_prefixes([], 32)
+        assert _sample_destinations([], trie, 0, random.Random(0)) == []
+
+    def test_stalled_sampling_raises_instead_of_spinning(
+        self, tiny_sender_entries
+    ):
+        # Entries and trie disagree completely: no sampled address can
+        # ever find a sender BMP, so the old code would loop forever.
+        empty_trie = BinaryTrie.from_prefixes([], 32)
+        with pytest.raises(RuntimeError, match="stalled"):
+            _sample_destinations(
+                tiny_sender_entries, empty_trie, 5, random.Random(0)
+            )
+
+
+class TestSimpleUnderArbitraryClues:
+    """§1/§5.3: un-coordinated clues cannot cause any confusion."""
+
+    @given(entry_sets(), clues(), addresses)
+    @settings(max_examples=200, deadline=None)
+    def test_clue_assisted_simple_matches_oracle(self, entries, clue, value):
+        address = Address(value, 32)
+        receiver = ReceiverState(entries, 32)
+        method = SimpleMethod(receiver, "patricia")
+        table = method.build_table([clue])
+        lookup = ClueAssistedLookup(
+            BASELINES["patricia"](receiver.entries, 32), table
+        )
+        expected, _hop = reference_lookup(entries, address)
+        result = lookup.lookup(address, clue, MemoryCounter())
+        assert result.prefix == expected
+
+    @given(entry_sets(), clues(), addresses)
+    @settings(max_examples=200, deadline=None)
+    def test_guarded_simple_matches_oracle(self, entries, clue, value):
+        # The guarded path makes the same promise with the clue *learned
+        # on the fly* — covering the miss path, the seal, and (for clues
+        # that do not even prefix the destination) the malformed screen.
+        address = Address(value, 32)
+        receiver = ReceiverState(entries, 32)
+        guarded = GuardedLookup(
+            BASELINES["patricia"](receiver.entries, 32),
+            SimpleMethod(receiver, "patricia"),
+            GuardPolicy(),
+        )
+        expected, _hop = reference_lookup(entries, address)
+        for _ in range(2):  # second pass exercises the sealed hit
+            result = guarded.lookup(address, clue, MemoryCounter())
+            assert result.prefix == expected
