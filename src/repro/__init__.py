@@ -77,6 +77,7 @@ __all__ = [
     "MultiwayRangeLookup",
     "PatriciaLookup",
     "PatriciaTrie",
+    "Prefix",
     "ReceiverState",
     "RegularTrieLookup",
     "SimpleMethod",

@@ -1,0 +1,64 @@
+"""repro.analyzer — AST static analysis enforcing the repo's invariants.
+
+``repro-clue lint`` runs this engine over ``src/repro``.  The rules
+(codes ``RC101``–``RC110``, engine codes ``RC100``/``RC198``/``RC199``)
+encode the invariants PRs 1–3 maintained by hand: hot-path purity for
+the one-memory-reference claim, seeded-RNG discipline, wall-clock-free
+engines, the canonical telemetry catalogue, package ``__all__``
+consistency, bounded loops, and library hygiene (no bare except, no
+mutable defaults, no asserts, no stray TO-DO markers).
+
+Typical use::
+
+    from repro.analyzer import analyze_paths, default_rules
+    result = analyze_paths(["src/repro"])
+    for finding in result.findings:
+        print(finding)
+
+See :mod:`repro.analyzer.engine` for suppressions and the baseline
+workflow, and DESIGN.md "Static analysis" for rule rationales.
+"""
+
+from repro.analyzer.engine import (
+    PARSE_ERROR_CODE,
+    AnalysisResult,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    Suppression,
+    analyze,
+    analyze_paths,
+    default_rules,
+    diff_baseline,
+    gating_findings,
+    iter_python_files,
+    load_baseline,
+    load_files,
+    register,
+    render_json_report,
+    render_text,
+    write_baseline,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "PARSE_ERROR_CODE",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "analyze",
+    "analyze_paths",
+    "default_rules",
+    "diff_baseline",
+    "gating_findings",
+    "iter_python_files",
+    "load_baseline",
+    "load_files",
+    "register",
+    "render_json_report",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,176 @@
+"""RC105 — public-API consistency of package ``__init__`` modules.
+
+``tests/test_api_surface.py`` iterates every sub-package's ``__all__``
+and asserts each name resolves; this rule runs the same contract (and
+its converse) statically, at lint time instead of test time:
+
+* every name listed in ``__all__`` must be bound at module level
+  (import, assignment, def, or class) — a phantom export breaks
+  ``from repro.x import *`` and the surface test;
+* every public module-level binding (no leading underscore) must be
+  listed in ``__all__`` — an unexported name is API by accident,
+  reachable but undocumented;
+* a package ``__init__`` that re-exports anything must declare
+  ``__all__`` at all.
+
+Dunder assignments (``__version__``) may appear in ``__all__`` but are
+not required to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (imports, assigns, defs, classes)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        bound.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING blocks and import fallbacks still bind.
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        bound.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+    return bound
+
+
+def _find_all(
+    tree: ast.Module,
+) -> Tuple[Optional[List[str]], Optional[ast.AST]]:
+    """The ``__all__`` literal and its node, if statically readable."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            names: List[str] = []
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.append(element.value)
+                else:
+                    return None, node  # dynamic entry — unreadable
+            return names, node
+        return None, node
+    return None, None
+
+
+@register
+class PublicApiRule(Rule):
+    code = "RC105"
+    name = "public-api"
+    rationale = (
+        "tests/test_api_surface.py asserts every __all__ name "
+        "resolves; this runs that contract (and its converse) at "
+        "lint time"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None or not source.path.endswith("__init__.py"):
+            return findings
+        tree = source.tree
+        if not isinstance(tree, ast.Module):
+            return findings
+        bound = _module_bindings(tree)
+        exported, node = _find_all(tree)
+        has_reexports = any(
+            isinstance(child, (ast.Import, ast.ImportFrom))
+            and getattr(child, "module", "") != "__future__"
+            for child in tree.body
+        )
+        if node is None:
+            if has_reexports:
+                findings.append(
+                    source.line_finding(
+                        self,
+                        1,
+                        "package __init__ re-exports names but declares "
+                        "no __all__",
+                    )
+                )
+            return findings
+        if exported is None:
+            findings.append(
+                source.finding(
+                    self,
+                    node,
+                    "__all__ is not a static list/tuple of string "
+                    "literals — the analyzer (and many tools) cannot "
+                    "read it",
+                )
+            )
+            return findings
+        seen: Set[str] = set()
+        for name in exported:
+            if name in seen:
+                findings.append(
+                    source.finding(
+                        self, node, "duplicate __all__ entry %r" % name
+                    )
+                )
+            seen.add(name)
+            if name.startswith("__") and name.endswith("__"):
+                if name not in bound:
+                    findings.append(
+                        source.finding(
+                            self,
+                            node,
+                            "phantom export %r: listed in __all__ but "
+                            "never bound" % name,
+                        )
+                    )
+                continue
+            if name not in bound:
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "phantom export %r: listed in __all__ but not "
+                        "bound at module level" % name,
+                    )
+                )
+        for name in sorted(bound):
+            if name.startswith("_"):
+                continue
+            if name not in seen:
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "public name %r is bound in the package "
+                        "__init__ but missing from __all__" % name,
+                    )
+                )
+        return findings

@@ -1,0 +1,83 @@
+"""RC103 — no wall clocks or ambient entropy inside engines.
+
+The churn, fault, and experiment engines promise that two runs with the
+same seed produce the same report — a promise the CI smoke jobs and the
+consistency auditor rely on.  Reading a wall clock (``time.time()``,
+``datetime.now()``) or ambient entropy (``os.urandom``, ``uuid.uuid4``,
+``secrets``) inside ``src/repro`` silently breaks that: results become
+functions of *when* they ran.  Timing belongs in ``benchmarks/`` (which
+this rule does not scan) or behind an injected clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+#: ``module attr`` pairs whose call reads a clock or entropy source.
+_FORBIDDEN_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+    ("secrets", "token_bytes"),
+    ("secrets", "token_hex"),
+    ("secrets", "randbelow"),
+    ("secrets", "choice"),
+}
+
+
+def _call_target(node: ast.Call) -> "tuple[str, str]":
+    """``('module-ish', 'attr')`` for an attribute call, else ('','')."""
+    callee = node.func
+    if not isinstance(callee, ast.Attribute):
+        return "", ""
+    value = callee.value
+    if isinstance(value, ast.Name):
+        return value.id, callee.attr
+    if isinstance(value, ast.Attribute):
+        # ``datetime.datetime.now()`` — use the innermost module name.
+        return value.attr, callee.attr
+    return "", ""
+
+
+@register
+class WallClockRule(Rule):
+    code = "RC103"
+    name = "no-wall-clock"
+    rationale = (
+        "seeded runs must be time-invariant; clocks and ambient "
+        "entropy make reports a function of when they ran"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            module, attr = _call_target(node)
+            if (module, attr) in _FORBIDDEN_CALLS:
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "%s.%s() reads a wall clock / entropy source — "
+                        "inject it or move the timing to benchmarks/"
+                        % (module, attr),
+                    )
+                )
+        return findings

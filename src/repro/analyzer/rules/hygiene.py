@@ -1,0 +1,123 @@
+"""RC107 / RC108 / RC109 — library-code hygiene.
+
+Three classics, each with a concrete failure mode in this codebase:
+
+* **RC107 no-bare-except** — a bare ``except:`` swallows
+  ``KeyboardInterrupt`` and ``SystemExit``; in the churn/fault engines
+  it would also swallow the very invariant errors
+  (``ChurnAuditError``, ``FaultInvariantError``) whose escape is the
+  whole point.
+* **RC108 no-mutable-default-arg** — a ``def f(x=[])`` default is
+  shared across calls; in long-lived router/engine objects that turns
+  per-call state into hidden global state.
+* **RC109 no-assert-in-library** — ``assert`` vanishes under
+  ``python -O``.  Validation in ``src/repro`` must raise explicit
+  exceptions (``ValueError``, ``ChurnAuditError``, ...) so the
+  never-wrong-forwarding checks cannot be optimised away.  Tests keep
+  using ``assert`` freely — this rule only runs over ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray", "deque", "defaultdict")
+
+
+@register
+class BareExceptRule(Rule):
+    code = "RC107"
+    name = "no-bare-except"
+    rationale = (
+        "bare except swallows KeyboardInterrupt/SystemExit and the "
+        "engines' own invariant errors"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "bare except: catches everything including "
+                        "KeyboardInterrupt — name the exceptions",
+                    )
+                )
+        return findings
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "RC108"
+    name = "no-mutable-default-arg"
+    rationale = "a mutable default is shared across calls — hidden state"
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if isinstance(default, _MUTABLE_LITERALS):
+                    label = type(default).__name__.lower()
+                elif (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                ):
+                    label = "%s()" % default.func.id
+                else:
+                    continue
+                name = getattr(node, "name", "<lambda>")
+                findings.append(
+                    source.finding(
+                        self,
+                        default,
+                        "%r uses mutable default %s — default to None "
+                        "and allocate inside" % (name, label),
+                    )
+                )
+        return findings
+
+
+@register
+class AssertInLibraryRule(Rule):
+    code = "RC109"
+    name = "no-assert-in-library"
+    rationale = (
+        "assert disappears under python -O; runtime validation must "
+        "raise explicit exceptions"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assert):
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "assert vanishes under python -O — raise an "
+                        "explicit exception instead",
+                    )
+                )
+        return findings

@@ -1,0 +1,69 @@
+"""RC106 — bounded loops.
+
+The fault-injection PR fixed ``_sample_destinations`` spinning forever
+when every candidate destination was filtered out: a ``while True:``
+whose exit condition could starve.  Python cannot prove termination
+statically, so the rule takes the reviewable stance: every
+``while True:`` in ``src/repro`` must either be rewritten with an
+explicit iteration cap or carry a suppression *stating its bound*, e.g.::
+
+    while True:  # repro: noqa[RC106] -- descends a finite trie
+
+The suppression reason is mandatory (engine rule RC198), so the bound
+is documented exactly where the loop lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+
+def _is_constant_true(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value) is True
+
+
+@register
+class UnboundedLoopRule(Rule):
+    code = "RC106"
+    name = "bounded-loop"
+    rationale = (
+        "the _sample_destinations spin: a while True whose exit "
+        "condition can starve hangs a seeded 10k-packet repro"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _is_constant_true(node.test):
+                continue
+            has_exit = any(
+                isinstance(child, (ast.Break, ast.Return, ast.Raise))
+                for child in ast.walk(node)
+            )
+            if not has_exit:
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "while True: with no break/return/raise can "
+                        "never terminate",
+                    )
+                )
+            else:
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "while True: has no statically visible "
+                        "iteration cap — add one, or suppress with "
+                        "the bound as the reason",
+                    )
+                )
+        return findings

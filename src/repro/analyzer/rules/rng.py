@@ -1,0 +1,155 @@
+"""RC102 — seeded-RNG discipline.
+
+Every experiment in this repo promises bit-identical reruns from a
+``--seed``; the CI churn smoke literally diffs two seeded runs.  Three
+ways that promise has broken (or nearly broken) before:
+
+* calling the *module-level* ``random.random()`` / ``choice()`` /
+  ``shuffle()`` — global state shared across subsystems, perturbed by
+  anything else that imports ``random``;
+* ``random.Random()`` with no seed argument — seeded from the OS;
+* re-seeding inside a loop with ``seed + k`` arithmetic — the PR 2
+  robustness-experiment bug, where every sweep fraction re-derived
+  ``Random(seed + 1)`` and silently correlated its draws (fixed by
+  threading one RNG through the loop).
+
+The rule flags all three.  Deriving a child RNG from ``seed`` *outside*
+a loop (scenario builders, CLI glue) is legitimate and stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _is_random_module_call(node: ast.Call) -> bool:
+    """``random.<fn>(...)`` for any fn except the ``Random`` class."""
+    callee = node.func
+    return (
+        isinstance(callee, ast.Attribute)
+        and isinstance(callee.value, ast.Name)
+        and callee.value.id == "random"
+        and callee.attr not in ("Random", "SystemRandom")
+    )
+
+
+def _is_rng_constructor(node: ast.Call) -> bool:
+    """``Random(...)`` / ``random.Random(...)`` / ``SystemRandom(...)``."""
+    callee = node.func
+    if isinstance(callee, ast.Name):
+        return callee.id in ("Random", "SystemRandom")
+    if isinstance(callee, ast.Attribute):
+        return callee.attr in ("Random", "SystemRandom")
+    return False
+
+
+def _mentions_seed_arithmetic(node: ast.expr) -> bool:
+    """An expression deriving a new value from a name containing 'seed'."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp):
+            for leaf in ast.walk(child):
+                if isinstance(leaf, ast.Name) and "seed" in leaf.id.lower():
+                    return True
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and "seed" in leaf.attr.lower()
+                ):
+                    return True
+    return False
+
+
+@register
+class SeededRngRule(Rule):
+    code = "RC102"
+    name = "seeded-rng"
+    rationale = (
+        "seeded determinism is a tested contract; global RNG state, "
+        "unseeded Random(), and per-iteration seed arithmetic all "
+        "broke or nearly broke it (the PR 2 'seed + 1' regression)"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        self._walk(source, source.tree, loop_depth=0, findings=findings)
+        return findings
+
+    def _walk(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        loop_depth: int,
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(node, ast.Call):
+            self._check_call(source, node, loop_depth, findings)
+        depth = loop_depth + (1 if isinstance(node, _LOOPS) else 0)
+        for child in ast.iter_child_nodes(node):
+            self._walk(source, child, depth, findings)
+
+    def _check_call(
+        self,
+        source: SourceFile,
+        node: ast.Call,
+        loop_depth: int,
+        findings: List[Finding],
+    ) -> None:
+        if _is_random_module_call(node):
+            callee = node.func
+            attr = callee.attr if isinstance(callee, ast.Attribute) else "?"
+            findings.append(
+                source.finding(
+                    self,
+                    node,
+                    "module-level random.%s() uses shared global RNG "
+                    "state — thread a seeded random.Random through" % attr,
+                )
+            )
+            return
+        if not _is_rng_constructor(node):
+            return
+        callee = node.func
+        ctor = (
+            callee.attr
+            if isinstance(callee, ast.Attribute)
+            else callee.id if isinstance(callee, ast.Name) else "Random"
+        )
+        if ctor == "SystemRandom":
+            findings.append(
+                source.finding(
+                    self,
+                    node,
+                    "SystemRandom() is OS-entropy seeded and can never "
+                    "reproduce a run",
+                )
+            )
+            return
+        if not node.args and not node.keywords:
+            findings.append(
+                source.finding(
+                    self,
+                    node,
+                    "Random() without an explicit seed argument is "
+                    "seeded from the OS — pass the experiment seed",
+                )
+            )
+            return
+        if loop_depth > 0 and any(
+            _mentions_seed_arithmetic(arg) for arg in node.args
+        ):
+            findings.append(
+                source.finding(
+                    self,
+                    node,
+                    "re-seeding with seed arithmetic inside a loop "
+                    "correlates draws across iterations (the PR 2 "
+                    "'seed + 1' bug) — create the RNG once outside "
+                    "the loop and thread it through",
+                )
+            )

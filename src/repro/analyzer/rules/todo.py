@@ -1,0 +1,45 @@
+"""RC110 — no stray to-do markers (informational).
+
+A to-do marker in ``src/repro`` is work the tree silently owes; this repo
+tracks such debt in ISSUE/ROADMAP entries or the lint baseline instead,
+so the source stays assertion-of-record.  The rule is *informational*:
+it reports but never fails the run — converting a marker into a
+baseline entry (or a roadmap item) is always acceptable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+# Built by concatenation so this file does not flag itself.
+_MARKERS = ("TO" + "DO", "FIX" + "ME", "X" + "XX")
+_PATTERN = re.compile(r"\b(%s)\b" % "|".join(_MARKERS))
+
+
+@register
+class StrayTodoRule(Rule):
+    code = "RC110"
+    name = "no-stray-todo"
+    informational = True
+    rationale = (
+        "deferred work belongs in ISSUE/ROADMAP or the lint baseline, "
+        "not in source markers nothing tracks"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for number, line in enumerate(source.lines, start=1):
+            match = _PATTERN.search(line)
+            if match is not None:
+                findings.append(
+                    source.line_finding(
+                        self,
+                        number,
+                        "stray %s marker — track it in ROADMAP.md or "
+                        "the lint baseline" % match.group(1),
+                    )
+                )
+        return findings

@@ -16,7 +16,10 @@ Subcommands mirror the common workflows:
 * ``faults``    — adversarial fault injection (corrupted and Byzantine
   clues, record corruption, crashes, link failures) against the
   guarded, self-healing data path; the exit code reflects the
-  never-wrong-forwarding invariant.
+  never-wrong-forwarding invariant;
+* ``lint``      — the :mod:`repro.analyzer` static-analysis pass over
+  ``src/repro``; the exit code counts findings above the committed
+  baseline.
 
 Tables may come from files (one ``prefix next_hop`` per line, RIB style)
 or from the built-in synthetic pairs (``--synthetic``).
@@ -336,6 +339,52 @@ def _cmd_faults(args) -> int:
     return 0 if report.passed() else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.analyzer import (
+        analyze_paths,
+        default_rules,
+        diff_baseline,
+        gating_findings,
+        load_baseline,
+        render_json_report,
+        render_text,
+        write_baseline,
+    )
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            kind = " (informational)" if rule.informational else ""
+            print("%s %s%s" % (rule.code, rule.name, kind))
+            print("    %s" % rule.rationale)
+        return 0
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            raise SystemExit(
+                "unknown rule code(s): %s" % ", ".join(sorted(unknown))
+            )
+        rules = [rule for rule in rules if rule.code in wanted]
+    try:
+        result = analyze_paths(args.paths, rules)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
+    if args.write_baseline:
+        write_baseline(result.findings, args.baseline)
+        print(
+            "baseline written to %s (%d findings)"
+            % (args.baseline, len(result.findings)),
+            file=sys.stderr,
+        )
+        return 0
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, stale = diff_baseline(result.findings, baseline)
+    renderer = render_json_report if args.format == "json" else render_text
+    print(renderer(result, new, stale, rules))
+    return 1 if gating_findings(new, rules) else 0
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -495,6 +544,40 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--format", choices=("json", "prom"), default="json",
                         help="report format (default json)")
     faults.set_defaults(func=_cmd_faults)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static-analysis pass enforcing the repo's invariants",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to analyze (default src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--baseline", default="lint-baseline.json",
+        help="committed baseline file (default lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings as the new baseline",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its rationale and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

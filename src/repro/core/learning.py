@@ -25,6 +25,7 @@ from repro.core.advance import AdvanceMethod
 from repro.core.simple import SimpleMethod
 from repro.core.table import ClueTable, IndexedClueTable
 from repro.lookup.base import LookupAlgorithm
+from repro.lookup.hotpath import hot_path
 from repro.lookup.counters import (
     METHOD_CLUE_MISS,
     METHOD_FD_IMMEDIATE,
@@ -47,6 +48,7 @@ class LearningClueLookup:
         self.hits = 0
         self.misses = 0
 
+    @hot_path
     def lookup(
         self,
         address: Address,
@@ -130,6 +132,7 @@ class IndexedClueLookup:
         self.hits = 0
         self.misses = 0
 
+    @hot_path
     def lookup(
         self,
         address: Address,

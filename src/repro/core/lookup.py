@@ -24,6 +24,7 @@ from repro.addressing import Address, Prefix
 from repro.core.entry import ClueEntry
 from repro.core.table import ClueTable
 from repro.lookup.base import LookupAlgorithm
+from repro.lookup.hotpath import hot_path
 from repro.lookup.counters import (
     METHOD_CLUE_MISS,
     METHOD_FD_IMMEDIATE,
@@ -52,6 +53,7 @@ class ClueAssistedLookup:
         self.pointer_followed = 0
         self.fd_used = 0
 
+    @hot_path
     def lookup(
         self,
         address: Address,
@@ -81,6 +83,7 @@ class ClueAssistedLookup:
             return result
         return self._resolve(entry, address, counter)
 
+    @hot_path
     def _resolve(
         self, entry: ClueEntry, address: Address, counter: MemoryCounter
     ) -> LookupResult:

@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional
 from repro.addressing import Prefix
 from repro.core.entry import ClueEntry
 from repro.lookup.counters import MemoryCounter
+from repro.lookup.hotpath import hot_path
 
 
 class ClueTable:
@@ -26,6 +27,7 @@ class ClueTable:
         """Add or replace the record for ``entry.clue``."""
         self._entries[entry.clue] = entry
 
+    @hot_path
     def probe(
         self, clue: Prefix, counter: Optional[MemoryCounter] = None
     ) -> Optional[ClueEntry]:
@@ -86,6 +88,7 @@ class IndexedClueTable:
         self._slots: List[Optional[ClueEntry]] = [None] * capacity
         self.overwrites = 0
 
+    @hot_path
     def probe(
         self,
         index: int,

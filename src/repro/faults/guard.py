@@ -46,6 +46,7 @@ from repro.addressing import Address, Prefix
 from repro.core.entry import ClueEntry
 from repro.core.table import ClueTable
 from repro.lookup.base import LookupAlgorithm
+from repro.lookup.hotpath import hot_path
 from repro.lookup.counters import (
     METHOD_CLUE_MISS,
     METHOD_FD_IMMEDIATE,
@@ -382,6 +383,7 @@ class GuardedLookup:
         return True
 
     # ------------------------------------------------------------------
+    @hot_path
     def lookup(
         self,
         address: Address,
@@ -445,6 +447,7 @@ class GuardedLookup:
         self.health.record_clean()
         return result
 
+    @hot_path
     def _resolve(
         self, entry: ClueEntry, address: Address, counter: MemoryCounter
     ) -> LookupResult:

@@ -11,6 +11,7 @@ from repro.lookup.counters import (
     LookupResult,
     MemoryCounter,
 )
+from repro.lookup.hotpath import hot_path, is_hot_path
 from repro.lookup.logw import LengthTables, LogWLookup
 from repro.lookup.multibit import (
     MultibitContinuation,
@@ -71,6 +72,8 @@ __all__ = [
     "CompressedChunk",
     "SetContinuation",
     "TrieContinuation",
+    "hot_path",
+    "is_hot_path",
     "locate_patricia_entry",
     "reference_lookup",
     "subtree_candidates",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.addressing import Prefix
+from repro.lookup.hotpath import hot_path
 
 #: How many potential prefixes fit in the clue entry's cache line (§3.5
 #: assumes 32-byte SDRAM lines holding two 12-byte entries plus slack; we
@@ -64,6 +65,7 @@ class MemoryCounter:
         self.accesses = 0
         self.method: Optional[str] = None
 
+    @hot_path
     def touch(self, count: int = 1) -> None:
         """Charge ``count`` memory references."""
         self.accesses += count

@@ -1,0 +1,43 @@
+"""The hot-path marker: declares a function part of the per-packet path.
+
+The paper's headline claim is that a clue hit resolves a packet in *one*
+memory reference; every Python-level inefficiency on that path dilutes
+the claim's measurement.  Functions decorated with :func:`hot_path` are
+the per-packet data path — the clue-table probe, the clue-assisted
+lookup, the router ``process`` methods — and the static analyzer
+(:mod:`repro.analyzer`, rule ``RC101``) holds them to a purity contract:
+
+* no container allocations (literals, comprehensions, ``list()``/
+  ``dict()``/``set()``/``sorted()`` calls) — per-packet allocation is the
+  regression class fixed by the per-router ``MemoryCounter`` reuse;
+* no string formatting (f-strings, ``%``, ``str.format``) outside
+  ``raise`` statements — error paths may format, the happy path may not;
+* no unsampled telemetry — label binding (``.labels(...)``) must happen
+  at setup time (see :class:`repro.telemetry.instruments
+  .RouterInstruments`), and tracer calls must sit behind a
+  ``tracer.active`` sampling guard.
+
+The decorator itself is a zero-cost marker: it stamps an attribute and
+returns the function unchanged, so there is no wrapper frame on the very
+path it protects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Attribute stamped on hot-path functions (used by tooling, not runtime).
+HOT_PATH_ATTR = "__repro_hot_path__"
+
+
+def hot_path(func: F) -> F:
+    """Mark ``func`` as per-packet hot path (see module docstring)."""
+    setattr(func, HOT_PATH_ATTR, True)
+    return func
+
+
+def is_hot_path(func: object) -> bool:
+    """True if ``func`` was decorated with :func:`hot_path`."""
+    return bool(getattr(func, HOT_PATH_ATTR, False))

@@ -24,6 +24,7 @@ from repro.core.receiver import ReceiverState
 from repro.core.simple import SimpleMethod
 from repro.lookup import BASELINES
 from repro.lookup.counters import METHOD_FULL, MemoryCounter
+from repro.lookup.hotpath import hot_path
 from repro.netsim.packet import HopRecord, Packet
 from repro.telemetry.instruments import LookupInstruments, default_instruments
 from repro.trie.binary_trie import BinaryTrie
@@ -297,6 +298,7 @@ class ClueRouter(Router):
         return lookup
 
     # ------------------------------------------------------------------
+    @hot_path
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """The distributed-IP-lookup data path for one packet."""
         counter = self._counter
@@ -390,6 +392,7 @@ class LegacyRouter(Router):
             )
         return added, removed
 
+    @hot_path
     def process(self, packet: Packet, from_router: Optional[str] = None):
         """Plain full lookup; the clue is relayed or stripped, never used."""
         counter = self._counter

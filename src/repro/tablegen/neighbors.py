@@ -186,6 +186,7 @@ def subset_table(
     for prefix, next_hop in base:
         ancestor = trie.least_marked_ancestor(prefix)
         root = ancestor.prefix
+        # repro: noqa[RC106] -- climbs marked ancestors; height <= prefix.length
         while True:
             above = trie.least_marked_ancestor(root, include_self=False)
             if above is None:

@@ -53,6 +53,7 @@ from repro.lookup.counters import (
     METHOD_FD_IMMEDIATE,
     METHOD_RESUMED,
 )
+from repro.lookup.hotpath import hot_path
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -105,6 +106,7 @@ class RouterInstruments:
         }
         self.problematic_clues = instruments.problematic_clues.labels(owner)
 
+    @hot_path
     def record_lookup(self, method: Optional[str], accesses: int) -> None:
         """Attribute one lookup's cost to the right series."""
         self.memory_accesses.observe(accesses)

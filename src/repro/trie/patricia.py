@@ -47,6 +47,7 @@ class PatriciaTrie:
     def insert(self, prefix: Prefix, next_hop: object) -> TrieNode:
         """Insert (or update) a prefix; returns its vertex."""
         node = self.root
+        # repro: noqa[RC106] -- each pass descends strictly; depth <= prefix.length
         while True:
             if node.prefix == prefix:
                 if not node.marked:
@@ -132,6 +133,7 @@ class PatriciaTrie:
     def find_node(self, prefix: Prefix) -> Optional[TrieNode]:
         """The vertex whose prefix is exactly ``prefix``, if present."""
         node = self.root
+        # repro: noqa[RC106] -- each pass descends strictly; depth <= prefix.length
         while True:
             if node.prefix == prefix:
                 return node
@@ -155,6 +157,7 @@ class PatriciaTrie:
         vertex, ``below.prefix == prefix`` and ``above`` is None.
         """
         node = self.root
+        # repro: noqa[RC106] -- each pass descends strictly; depth <= prefix.length
         while True:
             if node.prefix == prefix:
                 return node, None

@@ -1,0 +1,12 @@
+"""RC105 fixture: phantom export, duplicate, and an accidental public name."""
+
+from collections import OrderedDict
+
+__all__ = [
+    "OrderedDict",
+    "OrderedDict",       # duplicate entry
+    "ClueTable",         # phantom: never bound here
+]
+
+accidental = 1           # public binding missing from __all__
+_private = 2             # underscore names are exempt

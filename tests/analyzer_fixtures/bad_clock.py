@@ -1,0 +1,15 @@
+"""RC103 fixture: wall clocks and ambient entropy inside an engine."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_epoch(report):
+    report["started"] = time.time()
+    report["elapsed"] = time.perf_counter()
+    report["when"] = datetime.now()
+    report["id"] = uuid.uuid4()
+    report["nonce"] = os.urandom(8)
+    return report

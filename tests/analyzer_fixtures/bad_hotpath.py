@@ -1,0 +1,41 @@
+"""RC101 fixture: every forbidden hot-path construct in one function."""
+
+
+def hot_path(func):
+    return func
+
+
+@hot_path
+def process(self, packet, tracer):
+    candidates = [packet.destination]          # list literal
+    mapping = {"k": 1}                         # dict literal
+    keys = {x for x in mapping}                # comprehension
+    label = "packet %s" % packet               # %-format
+    shout = f"packet {packet}"                 # f-string
+    note = "packet {}".format(packet)          # str.format
+    print(label)                               # console I/O
+    series = self.metrics.labels(self.name)    # per-packet label bind
+    tracer.record(self.name)                   # unsampled trace
+    return candidates, keys, shout, note, series
+
+
+@hot_path
+def guarded_trace_is_fine(self, tracer):
+    if tracer is not None and tracer.active:
+        tracer.record(self.name)
+    return None
+
+
+@hot_path
+def raising_may_format(self, index):
+    if index < 0:
+        raise IndexError("index %d out of range" % index)
+    return index
+
+
+@hot_path
+def nested_def(self):
+    def helper():
+        return 1
+
+    return helper

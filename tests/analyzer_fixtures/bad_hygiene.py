@@ -1,0 +1,27 @@
+"""RC107/RC108/RC109 fixture: bare except, mutable defaults, asserts."""
+
+
+def swallow_everything(engine):
+    try:
+        return engine.run()
+    except:                                   # bare except
+        return None
+
+
+def shared_accumulator(item, bucket=[]):      # mutable default (list)
+    bucket.append(item)
+    return bucket
+
+
+def shared_mapping(key, cache={}, extras=set()):  # dict + set defaults
+    cache[key] = extras
+    return cache
+
+
+def factory_default(items=list()):            # list() call default
+    return items
+
+
+def validates_with_assert(fraction):
+    assert 0.0 <= fraction <= 1.0, "fraction out of range"
+    return fraction

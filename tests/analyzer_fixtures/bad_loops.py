@@ -1,0 +1,22 @@
+"""RC106 fixture: unbounded and escape-free while-True loops."""
+
+
+def no_visible_cap(stream):
+    while True:
+        item = stream.next()
+        if item is None:
+            break
+    return stream
+
+
+def no_escape_at_all(engine):
+    while True:
+        engine.step()
+
+
+def suppressed_with_bound(node):
+    # repro: noqa[RC106] -- descends a finite trie; depth <= prefix length
+    while True:
+        if node.parent is None:
+            return node
+        node = node.parent

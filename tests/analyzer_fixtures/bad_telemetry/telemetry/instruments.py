@@ -1,0 +1,13 @@
+"""RC104 fixture: a catalogue whose table and registrations disagree.
+
+``clue_hits_total``      counter    router
+``lookup_depth``         histogram  router
+``ghost_series_total``   counter    router
+"""
+
+
+def build(reg):
+    hits = reg.counter("clue_hits_total", labels=("router",))
+    depth = reg.gauge("lookup_depth", labels=("router",))      # kind mismatch
+    extra = reg.counter("phantom_total", labels=("router",))   # not in table
+    return hits, depth, extra

@@ -1,0 +1,5 @@
+"""RC104 fixture: a module registering a series the catalogue never declared."""
+
+
+def attach(reg):
+    return reg.counter("rogue_series_total", labels=("router",))

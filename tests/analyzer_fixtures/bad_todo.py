@@ -1,0 +1,7 @@
+"""RC110 fixture: stray work markers in comments."""
+
+
+def half_finished(table):
+    # TODO: handle the default-route fallback
+    # FIXME this breaks when the table is empty
+    return table  # XXX revisit after the clue-cache lands

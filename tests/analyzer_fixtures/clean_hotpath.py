@@ -1,0 +1,23 @@
+"""RC101 fixture: the idioms the real data path uses — all legal."""
+
+
+def hot_path(func):
+    return func
+
+
+@hot_path
+def process(self, packet, from_router=None):
+    counter = self._counter
+    counter.reset()
+    lookup = self._lookups.get(from_router)
+    result = lookup.lookup(packet.destination, None, counter)
+    packet.trace.append(result)
+    self.metrics.record_lookup(counter.method, counter.accesses)
+    tracer = self.instruments.tracer
+    if tracer is not None and tracer.active:
+        tracer.record(self.name, counter.accesses)
+    return result.next_hop
+
+
+def cold_path_formats_freely(self):
+    return ["%s" % name for name in sorted(self._lookups)]

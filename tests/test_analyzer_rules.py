@@ -1,0 +1,213 @@
+"""Per-rule tests against the known-bad snippets in analyzer_fixtures/."""
+
+import pathlib
+
+from repro.analyzer import analyze, SourceFile
+from repro.analyzer.rules import (
+    AssertInLibraryRule,
+    BareExceptRule,
+    HotPathPurityRule,
+    MutableDefaultRule,
+    PublicApiRule,
+    SeededRngRule,
+    StrayTodoRule,
+    TelemetryCatalogueRule,
+    UnboundedLoopRule,
+    WallClockRule,
+)
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "analyzer_fixtures"
+
+
+def load(name, path=None):
+    """A fixture as a SourceFile; ``path`` overrides the analysis path
+    for rules that key on path suffixes (catalogue, __init__)."""
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    return SourceFile(path or name, text)
+
+
+def run(rule, *sources):
+    return analyze(list(sources), [rule])
+
+
+# ----------------------------------------------------------------------
+# RC101 hot-path purity
+# ----------------------------------------------------------------------
+def test_hotpath_flags_every_forbidden_construct():
+    result = run(HotPathPurityRule(), load("bad_hotpath.py"))
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC101" for f in result.findings)
+    for needle in (
+        "list literal",
+        "dict literal",
+        "comprehension",
+        "%-formats",
+        "f-string",
+        "str.format",
+        "print()",
+        "binds metric labels",
+        "without a tracer.active sampling guard",
+        "nested function",
+    ):
+        assert any(needle in message for message in messages), needle
+    # All of the above and nothing else.
+    assert len(messages) == 10
+
+
+def test_hotpath_guarded_trace_and_raise_paths_are_legal():
+    result = run(HotPathPurityRule(), load("bad_hotpath.py"))
+    for message in (m for f in result.findings for m in [f.message]):
+        assert "guarded_trace_is_fine" not in message
+        assert "raising_may_format" not in message
+
+
+def test_hotpath_accepts_the_real_data_path_idioms():
+    result = run(HotPathPurityRule(), load("clean_hotpath.py"))
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# RC102 seeded RNG
+# ----------------------------------------------------------------------
+def test_rng_rule_flags_the_three_regression_shapes():
+    result = run(SeededRngRule(), load("bad_rng.py"))
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC102" for f in result.findings)
+    assert sum("module-level random." in m for m in messages) == 2
+    assert sum("SystemRandom()" in m for m in messages) == 1
+    assert sum("without an explicit seed" in m for m in messages) == 1
+    assert sum("seed arithmetic inside a loop" in m for m in messages) == 1
+    assert len(messages) == 5
+
+
+def test_rng_rule_allows_seed_derivation_outside_loops():
+    result = run(SeededRngRule(), load("bad_rng.py"))
+    # derived_outside_loop_is_fine lives on lines 27-30: nothing there.
+    assert all(f.line < 27 for f in result.findings)
+
+
+# ----------------------------------------------------------------------
+# RC103 wall clocks
+# ----------------------------------------------------------------------
+def test_wall_clock_rule_flags_clocks_and_entropy():
+    result = run(WallClockRule(), load("bad_clock.py"))
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC103" for f in result.findings)
+    for needle in (
+        "time.time()",
+        "time.perf_counter()",
+        "datetime.now()",
+        "uuid.uuid4()",
+        "os.urandom()",
+    ):
+        assert any(needle in m for m in messages), needle
+    assert len(messages) == 5
+
+
+# ----------------------------------------------------------------------
+# RC104 telemetry catalogue
+# ----------------------------------------------------------------------
+def test_catalogue_rule_reconciles_table_and_registrations():
+    catalogue = load(
+        "bad_telemetry/telemetry/instruments.py",
+        path="bad_telemetry/telemetry/instruments.py",
+    )
+    uses = load("bad_telemetry/uses.py", path="bad_telemetry/uses.py")
+    result = run(TelemetryCatalogueRule(), catalogue, uses)
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC104" for f in result.findings)
+    assert any("phantom instrument 'phantom_total'" in m for m in messages)
+    assert any(
+        "'lookup_depth' registered as gauge but catalogued as histogram"
+        in m for m in messages
+    )
+    assert any("orphan instrument 'ghost_series_total'" in m for m in messages)
+    assert any("'rogue_series_total'" in m and "not in the canonical" in m
+               for m in messages)
+    assert len(messages) == 4
+
+
+def test_catalogue_rule_silent_without_a_catalogue_file():
+    result = run(
+        TelemetryCatalogueRule(),
+        load("bad_telemetry/uses.py", path="bad_telemetry/uses.py"),
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# RC105 public API
+# ----------------------------------------------------------------------
+def test_public_api_rule_flags_init_drift():
+    result = run(
+        PublicApiRule(),
+        load("bad_api/__init__.py", path="bad_api/__init__.py"),
+    )
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC105" for f in result.findings)
+    assert any("duplicate __all__ entry 'OrderedDict'" in m for m in messages)
+    assert any("phantom export 'ClueTable'" in m for m in messages)
+    assert any("'accidental'" in m and "missing from __all__" in m
+               for m in messages)
+    assert len(messages) == 3
+
+
+def test_public_api_rule_ignores_non_init_modules():
+    result = run(
+        PublicApiRule(),
+        load("bad_api/__init__.py", path="bad_api/not_init.py"),
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# RC106 bounded loops
+# ----------------------------------------------------------------------
+def test_loop_rule_flags_unsuppressed_while_true():
+    result = run(UnboundedLoopRule(), load("bad_loops.py"))
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC106" for f in result.findings)
+    assert any("no statically visible iteration cap" in m for m in messages)
+    assert any("can never terminate" in m for m in messages)
+    # The third while-True carries a reasoned suppression — consumed,
+    # so it is neither a finding nor an unused suppression.
+    assert len(messages) == 2
+    assert result.unused_suppressions == []
+
+
+# ----------------------------------------------------------------------
+# RC107 / RC108 / RC109 hygiene
+# ----------------------------------------------------------------------
+def test_bare_except_rule():
+    result = run(BareExceptRule(), load("bad_hygiene.py"))
+    assert [f.code for f in result.findings] == ["RC107"]
+
+
+def test_mutable_default_rule_flags_literals_and_constructors():
+    result = run(MutableDefaultRule(), load("bad_hygiene.py"))
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC108" for f in result.findings)
+    for needle in (
+        "default list", "default dict", "default set()", "default list()",
+    ):
+        assert any(needle in m for m in messages), needle
+    assert len(messages) == 4
+
+
+def test_assert_rule_flags_runtime_validation():
+    result = run(AssertInLibraryRule(), load("bad_hygiene.py"))
+    assert [f.code for f in result.findings] == ["RC109"]
+    assert result.findings[0].line == 26
+
+
+# ----------------------------------------------------------------------
+# RC110 stray to-do markers (informational)
+# ----------------------------------------------------------------------
+def test_todo_rule_reports_but_never_gates():
+    rule = StrayTodoRule()
+    result = run(rule, load("bad_todo.py"))
+    assert [f.code for f in result.findings] == ["RC110"] * 3
+    assert rule.informational
+    from repro.analyzer import gating_findings
+
+    assert gating_findings(result.findings, [rule]) == []

@@ -1,0 +1,91 @@
+"""Integration: the live src/repro tree is clean under repro-clue lint."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import cli
+from repro.analyzer import (
+    analyze_paths,
+    default_rules,
+    diff_baseline,
+    gating_findings,
+    load_baseline,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+BASELINE = ROOT / "lint-baseline.json"
+
+
+@pytest.fixture(autouse=True)
+def _run_from_repo_root(monkeypatch):
+    # Finding paths are repo-relative; anchor the walk at the repo root.
+    monkeypatch.chdir(ROOT)
+
+
+def test_live_tree_has_no_gating_findings_above_baseline():
+    rules = default_rules()
+    result = analyze_paths([str(SRC)], rules)
+    new, stale = diff_baseline(result.findings, load_baseline(str(BASELINE)))
+    gating = gating_findings(new, rules)
+    assert gating == [], "\n".join(
+        "%s:%d: %s %s" % (f.path, f.line, f.code, f.message) for f in gating
+    )
+    assert stale == [], "stale baseline entries: %s" % (stale,)
+
+
+def test_live_tree_has_no_dead_suppressions():
+    result = analyze_paths([str(SRC)], default_rules())
+    assert result.unused_suppressions == [], [
+        "%s:%d" % (f.path, f.line) for f in result.unused_suppressions
+    ]
+
+
+def test_committed_baseline_is_well_formed_and_empty():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    # The tree starts clean; any future entry needs a justification in
+    # its fingerprint's message text (reviewed like code).
+    assert payload["findings"] == {}
+
+
+def test_cli_lint_exits_zero_on_the_live_tree(capsys):
+    code = cli.main(
+        ["lint", str(SRC), "--baseline", str(BASELINE)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 gating" in out
+
+
+def test_cli_lint_json_format_summarises(capsys):
+    code = cli.main(
+        ["lint", str(SRC), "--baseline", str(BASELINE), "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["summary"]["gating"] == 0
+    assert payload["files"] > 90
+
+
+def test_cli_lint_select_unknown_code_errors():
+    with pytest.raises(SystemExit):
+        cli.main(["lint", str(SRC), "--select", "RC999"])
+
+
+def test_cli_lint_flags_a_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except:\n"
+        "        return None\n",
+        encoding="utf-8",
+    )
+    code = cli.main(["lint", str(bad), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RC107" in out
