@@ -8,6 +8,7 @@ its rule protects and the paper claim or past regression motivating it
 """
 
 from repro.analyzer.rules.api import PublicApiRule
+from repro.analyzer.rules.batchkernel import BatchKernelLoopRule
 from repro.analyzer.rules.determinism import WallClockRule
 from repro.analyzer.rules.hotpath import HotPathPurityRule
 from repro.analyzer.rules.hygiene import (
@@ -23,6 +24,7 @@ from repro.analyzer.rules.todo import StrayTodoRule
 __all__ = [
     "AssertInLibraryRule",
     "BareExceptRule",
+    "BatchKernelLoopRule",
     "HotPathPurityRule",
     "MutableDefaultRule",
     "PublicApiRule",

@@ -385,6 +385,59 @@ def _cmd_lint(args) -> int:
     return 1 if gating_findings(new, rules) else 0
 
 
+def _cmd_bench_fastpath(args) -> int:
+    import json
+    import time
+
+    from repro.experiments.fastbench import run_fastpath_bench
+    from repro.fastpath import CertificationError
+
+    if args.quick:
+        args.table_size = min(args.table_size, 2000)
+        args.packets = min(args.packets, 5000)
+    try:
+        payload = run_fastpath_bench(
+            table_size=args.table_size,
+            packets=args.packets,
+            seed=args.seed,
+            # The bench engine is wall-clock-free by design (RC103); the
+            # CLI is the one place the real clock is injected, and passing
+            # the callable is not a timing call on a library path.
+            clock=time.perf_counter,
+            force_python=args.force_python,
+        )
+    except CertificationError as error:
+        print("CERTIFICATION FAILED: %s" % error, file=sys.stderr)
+        return 2
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    for name, summary in payload["algorithms"].items():
+        speedup = summary["speedup"]
+        print(
+            "%s: %.1fx batched over scalar (%.2f memrefs/packet, %s backend)"
+            % (
+                name,
+                speedup if speedup else 0.0,
+                summary["batched"]["memrefs_per_packet"],
+                payload["backend"],
+            ),
+            file=sys.stderr,
+        )
+    print(
+        "certified: %d lanes, %d disagreements"
+        % (
+            payload["certification"]["checked"],
+            payload["certification"]["disagreements"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -578,6 +631,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every rule with its rationale and exit",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    bench = sub.add_parser(
+        "bench-fastpath",
+        help="scalar vs batched lookup throughput (BENCH_fastpath.json)",
+    )
+    bench.add_argument("--table-size", type=int, default=20000,
+                       help="synthetic sender-table size (default 20000)")
+    bench.add_argument("--packets", type=int, default=50000,
+                       help="packets per timing loop (default 50000)")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--quick", action="store_true",
+                       help="CI mode: clamp to 2000 prefixes / 5000 packets")
+    bench.add_argument("--output", default=None,
+                       help="write the JSON payload here (default stdout)")
+    bench.add_argument("--force-python", action="store_true",
+                       help="time the pure-Python fallback kernels")
+    bench.set_defaults(func=_cmd_bench_fastpath)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

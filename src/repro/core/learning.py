@@ -41,12 +41,27 @@ Builder = Union[SimpleMethod, AdvanceMethod]
 class LearningClueLookup:
     """Hash-table variant: learn each new clue the first time it arrives."""
 
+    __slots__ = ("base", "builder", "table", "hits", "misses", "_scratch")
+
     def __init__(self, base: LookupAlgorithm, builder: Builder):
         self.base = base
         self.builder = builder
         self.table = ClueTable()
         self.hits = 0
         self.misses = 0
+        #: Reused result record for the clue-hit paths (see the twin in
+        #: ClueAssistedLookup): valid until the next lookup on this
+        #: instance, which is all the per-packet data path needs.
+        self._scratch = LookupResult(None, None, 0)
+
+    @hot_path
+    def _fill(self, prefix, next_hop, accesses, method) -> LookupResult:
+        scratch = self._scratch
+        scratch.prefix = prefix
+        scratch.next_hop = next_hop
+        scratch.accesses = accesses
+        scratch.method = method
+        return scratch
 
     @hot_path
     def lookup(
@@ -76,18 +91,18 @@ class LearningClueLookup:
         if entry.pointer_empty():
             counter.method = METHOD_FD_IMMEDIATE
             prefix, next_hop = entry.final_decision()
-            return LookupResult(
+            return self._fill(
                 prefix, next_hop, counter.accesses, METHOD_FD_IMMEDIATE
             )
         counter.method = METHOD_RESUMED
         match = entry.continuation.search(address, counter)
         if match is None:
             prefix, next_hop = entry.final_decision()
-            return LookupResult(
+            return self._fill(
                 prefix, next_hop, counter.accesses, METHOD_RESUMED
             )
         prefix, next_hop = match
-        return LookupResult(prefix, next_hop, counter.accesses, METHOD_RESUMED)
+        return self._fill(prefix, next_hop, counter.accesses, METHOD_RESUMED)
 
     def hit_rate(self) -> float:
         """Fraction of clue-carrying packets that hit a learned record."""
@@ -97,6 +112,8 @@ class LearningClueLookup:
 
 class SenderIndexAssigner:
     """The sender side of the indexing technique: clue → 16-bit index."""
+
+    __slots__ = ("capacity", "_indices", "_next")
 
     def __init__(self, capacity: int = 1 << 16):
         self.capacity = capacity
@@ -119,6 +136,8 @@ class SenderIndexAssigner:
 
 class IndexedClueLookup:
     """Array variant: the packet carries the sender-assigned 16-bit index."""
+
+    __slots__ = ("base", "builder", "table", "hits", "misses")
 
     def __init__(
         self,

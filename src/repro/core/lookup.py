@@ -38,6 +38,8 @@ from repro.lookup.counters import (
 class ClueAssistedLookup:
     """Per-packet lookup combining a clue table with a base algorithm."""
 
+    __slots__ = ("base", "table", "on_unknown_clue", "unknown_clues", "pointer_followed", "fd_used", "_scratch")
+
     def __init__(
         self,
         base: LookupAlgorithm,
@@ -52,6 +54,10 @@ class ClueAssistedLookup:
         self.unknown_clues = 0
         self.pointer_followed = 0
         self.fd_used = 0
+        #: Reused result record for the clue-hit paths: allocating one
+        #: per packet measurably slows the hot path, and a result is
+        #: only guaranteed valid until the next lookup on this instance.
+        self._scratch = LookupResult(None, None, 0)
 
     @hot_path
     def lookup(
@@ -84,6 +90,15 @@ class ClueAssistedLookup:
         return self._resolve(entry, address, counter)
 
     @hot_path
+    def _fill(self, prefix, next_hop, accesses, method) -> LookupResult:
+        scratch = self._scratch
+        scratch.prefix = prefix
+        scratch.next_hop = next_hop
+        scratch.accesses = accesses
+        scratch.method = method
+        return scratch
+
+    @hot_path
     def _resolve(
         self, entry: ClueEntry, address: Address, counter: MemoryCounter
     ) -> LookupResult:
@@ -91,7 +106,7 @@ class ClueAssistedLookup:
             self.fd_used += 1
             counter.method = METHOD_FD_IMMEDIATE
             prefix, next_hop = entry.final_decision()
-            return LookupResult(
+            return self._fill(
                 prefix, next_hop, counter.accesses, METHOD_FD_IMMEDIATE
             )
         self.pointer_followed += 1
@@ -100,11 +115,11 @@ class ClueAssistedLookup:
         if match is None:
             self.fd_used += 1
             prefix, next_hop = entry.final_decision()
-            return LookupResult(
+            return self._fill(
                 prefix, next_hop, counter.accesses, METHOD_RESUMED
             )
         prefix, next_hop = match
-        return LookupResult(prefix, next_hop, counter.accesses, METHOD_RESUMED)
+        return self._fill(prefix, next_hop, counter.accesses, METHOD_RESUMED)
 
     def __repr__(self) -> str:
         return "ClueAssistedLookup(base=%s, table=%r)" % (

@@ -20,6 +20,8 @@ from repro.lookup.hotpath import hot_path
 class ClueTable:
     """Hash-keyed clue table (the 5-bit-only variant of §3.3.1)."""
 
+    __slots__ = ("_entries",)
+
     def __init__(self) -> None:
         self._entries: Dict[Prefix, ClueEntry] = {}
 
@@ -80,6 +82,8 @@ class IndexedClueTable:
     the slot with a freshly built record, so the table is self-healing with
     no pre-synchronisation between the routers.
     """
+
+    __slots__ = ("capacity", "_slots", "overwrites")
 
     def __init__(self, capacity: int = 1 << 16):
         if capacity < 1:

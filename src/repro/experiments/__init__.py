@@ -8,6 +8,10 @@ from repro.experiments.comparison import (
     compare_pair,
     compare_pairs,
 )
+from repro.experiments.fastbench import (
+    run_fastpath_bench,
+    sample_destination_values,
+)
 from repro.experiments.paperdata import (
     HEADER_BITS,
     SHAPE_CLAIMS,
@@ -55,6 +59,8 @@ __all__ = [
     "render_comparison",
     "render_comparison_matrix",
     "render_paper_vs_measured",
+    "run_fastpath_bench",
+    "sample_destination_values",
     "scaled",
     "scaling_sweep",
     "similarity_sweep",

@@ -1,0 +1,275 @@
+"""The fastpath benchmark: scalar vs batched lookup throughput.
+
+Builds the §6 sender/receiver pair at benchmark scale, certifies every
+compiled structure against the object-graph lookups (the bench refuses
+to time an uncertified table), then measures packets/sec and
+memrefs/packet for the clueless Regular baseline, Simple, and Advance —
+scalar loop vs one batched kernel call — and returns the
+``BENCH_fastpath.json`` payload.
+
+Timing uses an *injected* clock (``repro-clue bench-fastpath`` passes
+``time.perf_counter``); the engine itself stays wall-clock-free so
+seeded runs remain deterministic (RC103).  Without a clock only the
+deterministic columns (memrefs/packet, certification) are filled in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.fastpath.backend import HAVE_NUMPY, get_numpy
+from repro.fastpath.certify import (
+    CertificationError,
+    certification_batch,
+    certify_clue,
+    certify_full,
+)
+from repro.fastpath.compile import compile_clue_table, compile_trie
+from repro.fastpath.kernels import (
+    as_destination_array,
+    as_length_array,
+    full_lookup_batch,
+    lookup_batch,
+)
+from repro.lookup.counters import MemoryCounter
+from repro.lookup.regular import RegularTrieLookup
+from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
+from repro.trie.binary_trie import BinaryTrie
+
+Clock = Optional[Callable[[], float]]
+
+ALGORITHMS = ("regular", "simple", "advance")
+
+
+def sample_destination_values(
+    entries, count: int, seed: int = 0, width: int = 32
+) -> List[int]:
+    """Numpy-native round-batched destinations under the sender's prefixes.
+
+    One RNG round draws every prefix index and every host-bit block at
+    once (no per-packet Python RNG calls); without numpy the stdlib RNG
+    draws the same distribution sequentially.
+    """
+    entries = list(entries)
+    if not entries:
+        raise ValueError("the sender table is empty")
+    np = get_numpy()
+    if np is not None and width <= 32:
+        rng = np.random.default_rng(seed)
+        bits = np.asarray([p.bits for p, _ in entries], dtype=np.int64)
+        lengths = np.asarray([p.length for p, _ in entries], dtype=np.int64)
+        picks = rng.integers(0, len(entries), size=count)
+        hosts = rng.integers(0, 1 << 32, size=count, dtype=np.uint32).astype(
+            np.int64
+        )
+        host_bits = width - lengths[picks]
+        values = (bits[picks] << host_bits) | (
+            hosts & ((np.int64(1) << host_bits) - 1)
+        )
+        return [int(value) for value in values]
+    rng = random.Random(seed)
+    values = []
+    for _ in range(count):
+        prefix, _hop = entries[rng.randrange(len(entries))]
+        values.append(prefix.random_address(rng).value)
+    return values
+
+
+def _build_fixture(table_size: int, seed: int, width: int = 32):
+    sender_entries = generate_table(table_size, seed=seed, width=width)
+    receiver_entries = derive_neighbor(
+        sender_entries, NeighborProfile(), seed=seed + 1
+    )
+    sender_trie = BinaryTrie(width)
+    for prefix, next_hop in sender_entries:
+        sender_trie.insert(prefix, next_hop)
+    state = ReceiverState(receiver_entries, width)
+    clue_universe = list(sender_trie.prefixes())
+    tables = {
+        "simple": SimpleMethod(state, "regular").build_table(clue_universe),
+        "advance": AdvanceMethod(sender_trie, state, "regular").build_table(
+            clue_universe
+        ),
+    }
+    return sender_entries, receiver_entries, sender_trie, state, tables
+
+
+def _timed(
+    clock: Clock, run: Callable[[], object], repeats: int = 1
+) -> Tuple[object, Optional[float]]:
+    """Best-of-``repeats`` timing: the minimum filters scheduler noise."""
+    if clock is None:
+        return run(), None
+    start = clock()
+    result = run()
+    best = clock() - start
+    for _ in range(repeats - 1):
+        start = clock()
+        run()
+        best = min(best, clock() - start)
+    return result, best
+
+
+def _rates(
+    packets: int, elapsed: Optional[float], total_refs: int
+) -> Dict[str, object]:
+    return {
+        "elapsed_s": elapsed,
+        "packets_per_sec": (
+            packets / elapsed if elapsed else None
+        ),
+        "memrefs_per_packet": total_refs / packets if packets else 0.0,
+    }
+
+
+def run_fastpath_bench(
+    table_size: int = 20000,
+    packets: int = 50000,
+    seed: int = 42,
+    width: int = 32,
+    clock: Clock = None,
+    force_python: bool = False,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run the full scalar-vs-batched comparison; returns the JSON payload."""
+    (
+        sender_entries,
+        receiver_entries,
+        sender_trie,
+        state,
+        tables,
+    ) = _build_fixture(table_size, seed, width)
+    ctrie = compile_trie(state.trie)
+    compiled = {
+        name: compile_clue_table(table, ctrie)
+        for name, table in tables.items()
+    }
+    base = RegularTrieLookup(receiver_entries, width)
+    scalars = {
+        name: ClueAssistedLookup(
+            RegularTrieLookup(receiver_entries, width), table
+        )
+        for name, table in tables.items()
+    }
+
+    # Certification first: no numbers for tables the kernels disagree on.
+    cert_dsts, cert_lens = certification_batch(
+        sender_trie,
+        list(receiver_entries) + list(sender_entries),
+        width=width,
+        seed=seed,
+    )
+    checked = certify_full(ctrie, base, cert_dsts, force_python=force_python)
+    for name in ("simple", "advance"):
+        checked += certify_clue(
+            compiled[name],
+            scalars[name],
+            cert_dsts,
+            cert_lens,
+            force_python=force_python,
+        )
+
+    values = sample_destination_values(sender_entries, packets, seed=seed + 2)
+    addresses = [Address(value, width) for value in values]
+    sender_bmps = [sender_trie.best_prefix(address) for address in addresses]
+    clues: List[Optional[Prefix]] = [
+        address.prefix(bmp.length) if bmp is not None else None
+        for address, bmp in zip(addresses, sender_bmps)
+    ]
+    lens = [bmp.length if bmp is not None else -1 for bmp in sender_bmps]
+    dsts = as_destination_array(values, width)
+    clue_lens = as_length_array(lens, width)
+
+    algorithms: Dict[str, Dict[str, object]] = {}
+    counter = MemoryCounter()
+
+    def scalar_regular() -> int:
+        total = 0
+        for address in addresses:
+            counter.reset()
+            base.lookup(address, counter)
+            total += counter.accesses
+        return total
+
+    scalar_refs, scalar_elapsed = _timed(clock, scalar_regular, repeats)
+    batched, batched_elapsed = _timed(
+        clock,
+        lambda: full_lookup_batch(ctrie, dsts, force_python=force_python),
+        repeats,
+    )
+    batched_refs = int(sum(batched[1]))
+    if batched_refs != scalar_refs:
+        raise CertificationError(
+            "memref totals diverged on the regular baseline"
+        )
+    algorithms["regular"] = _summary(
+        packets, scalar_refs, scalar_elapsed, batched_refs, batched_elapsed
+    )
+
+    for name in ("simple", "advance"):
+        scalar = scalars[name]
+        ctable = compiled[name]
+
+        def scalar_clue() -> int:
+            total = 0
+            lookup = scalar.lookup
+            for address, clue in zip(addresses, clues):
+                counter.reset()
+                lookup(address, clue, counter)
+                total += counter.accesses
+            return total
+
+        scalar_refs, scalar_elapsed = _timed(clock, scalar_clue, repeats)
+        batched, batched_elapsed = _timed(
+            clock,
+            lambda: lookup_batch(
+                ctable, dsts, clue_lens, force_python=force_python
+            ),
+            repeats,
+        )
+        batched_refs = int(sum(batched[3]))
+        if batched_refs != scalar_refs:
+            raise CertificationError(
+                "memref totals diverged on %s" % name
+            )
+        algorithms[name] = _summary(
+            packets, scalar_refs, scalar_elapsed, batched_refs, batched_elapsed
+        )
+
+    return {
+        "bench": "fastpath",
+        "table_size": table_size,
+        "packets": packets,
+        "seed": seed,
+        "width": width,
+        "backend": (
+            "numpy" if HAVE_NUMPY and width <= 32 and not force_python
+            else "python"
+        ),
+        "certification": {"checked": checked, "disagreements": 0},
+        "algorithms": algorithms,
+    }
+
+
+def _summary(
+    packets: int,
+    scalar_refs: int,
+    scalar_elapsed: Optional[float],
+    batched_refs: int,
+    batched_elapsed: Optional[float],
+) -> Dict[str, object]:
+    summary: Dict[str, object] = {
+        "scalar": _rates(packets, scalar_elapsed, scalar_refs),
+        "batched": _rates(packets, batched_elapsed, batched_refs),
+    }
+    if scalar_elapsed and batched_elapsed:
+        summary["speedup"] = scalar_elapsed / batched_elapsed
+    else:
+        summary["speedup"] = None
+    return summary

@@ -14,6 +14,8 @@ prefixes) support the traffic-skew ablations.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
+from itertools import accumulate
 from typing import List, Optional, Sequence, Tuple
 
 from repro.addressing import Address, Prefix
@@ -44,6 +46,9 @@ def paper_destination_sample(
     samples: List[Sample] = []
     attempts = 0
     budget = count * max_attempts_factor
+    # Inherently sequential: each accepted sample depends on a rejection
+    # test, so the RNG stream cannot be pre-drawn in a batch without
+    # changing it.  The batchable samplers below draw whole rounds.
     while len(samples) < count and attempts < budget:
         attempts += 1
         prefix, _hop = entries[rng.randrange(len(entries))]
@@ -72,12 +77,26 @@ def uniform_destination_sample(
 
     The sender BMP may be None (no default route): such packets carry no
     clue.
+
+    The whole batch of address bits is drawn with a *single* RNG call
+    and split on byte boundaries.  Because ``getrandbits`` consumes the
+    Mersenne-Twister word stream little-endian-first, the addresses —
+    and the RNG state afterwards — are bit-for-bit identical to the
+    historical one-``getrandbits(width)``-per-packet loop for the same
+    seed (the regression test pins this).
     """
     rng = random.Random(seed)
     samples: List[Tuple[Address, Optional[Prefix]]] = []
-    for _ in range(count):
-        destination = Address(rng.getrandbits(width), width)
-        samples.append((destination, sender_trie.best_prefix(destination)))
+    if not count:
+        return samples
+    raw = rng.getrandbits(width * count).to_bytes(count * width // 8, "little")
+    step = width // 8
+    best_prefix = sender_trie.best_prefix
+    for start in range(0, count * step, step):
+        destination = Address(
+            int.from_bytes(raw[start:start + step], "little"), width
+        )
+        samples.append((destination, best_prefix(destination)))
     return samples
 
 
@@ -98,9 +117,20 @@ def zipf_destination_sample(
     ranked = list(entries)
     rng.shuffle(ranked)
     weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(ranked))]
+    # ``random.choices(..., k=1)`` re-accumulated the cumulative-weight
+    # table on every draw — O(n) RNG-side work per packet.  Hoist the
+    # accumulation out of the loop and replicate choices' selection
+    # arithmetic (one uniform draw + one bisect); the RNG stream and the
+    # selected prefixes are exactly those of the historical per-packet
+    # call (the regression test pins this).
+    cum_weights = list(accumulate(weights))
+    total = cum_weights[-1] + 0.0
+    hi = len(ranked) - 1
     samples: List[Sample] = []
     while len(samples) < count:
-        prefix, _hop = rng.choices(ranked, weights=weights, k=1)[0]
+        prefix, _hop = ranked[
+            bisect_right(cum_weights, rng.random() * total, 0, hi)
+        ]
         destination = prefix.random_address(rng)
         clue = sender_trie.best_prefix(destination)
         if clue is not None:

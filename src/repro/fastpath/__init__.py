@@ -1,0 +1,64 @@
+"""repro.fastpath — flat-array clue tables and vectorized batch lookup.
+
+Compiles built object-graph structures (`BinaryTrie`, `ClueTable`) into
+immutable contiguous arrays and batches whole destination vectors
+through numpy kernels — with a pure-Python fallback so numpy never
+becomes a hard dependency — while reproducing the paper's per-packet
+memory-reference accounting exactly (enforced by `certify`).
+"""
+
+from repro.fastpath.backend import (
+    CODE_CLUE_MISS,
+    CODE_FD_IMMEDIATE,
+    CODE_FULL,
+    CODE_RESUMED,
+    CODE_TO_METHOD,
+    HAVE_NUMPY,
+    get_numpy,
+    numpy_eligible,
+)
+from repro.fastpath.certify import (
+    CertificationError,
+    certification_batch,
+    certify_clue,
+    certify_full,
+)
+from repro.fastpath.compile import (
+    CompiledClueTable,
+    CompiledTrie,
+    FastpathUnsupported,
+    ResultPool,
+    compile_clue_table,
+    compile_trie,
+)
+from repro.fastpath.kernels import (
+    as_destination_array,
+    as_length_array,
+    full_lookup_batch,
+    lookup_batch,
+)
+
+__all__ = [
+    "CODE_CLUE_MISS",
+    "CODE_FD_IMMEDIATE",
+    "CODE_FULL",
+    "CODE_RESUMED",
+    "CODE_TO_METHOD",
+    "CertificationError",
+    "CompiledClueTable",
+    "CompiledTrie",
+    "FastpathUnsupported",
+    "HAVE_NUMPY",
+    "ResultPool",
+    "as_destination_array",
+    "as_length_array",
+    "certification_batch",
+    "certify_clue",
+    "certify_full",
+    "compile_clue_table",
+    "compile_trie",
+    "full_lookup_batch",
+    "get_numpy",
+    "lookup_batch",
+    "numpy_eligible",
+]

@@ -1,0 +1,173 @@
+"""Differential certification: compiled kernels vs the object graph.
+
+A compiled table is only trustworthy if the batch kernels agree with the
+existing scalar lookups on *everything* a packet can carry: prefix,
+next hop, method classification, and the exact memory-reference count.
+This module runs both paths over a deterministic destination sweep and
+raises :class:`CertificationError` on the first disagreement — the
+bench refuses to report numbers for an uncertified table, and the
+differential test suite drives the same functions with hypothesis.
+
+The sweep covers, for every prefix of the deployed tables (senders and
+receivers alike, capped for very large tables): the network address,
+the broadcast address, and seeded random hosts — each visited clueless,
+with the clue=0 edge (the root as BMP), and with the sender's true BMP
+length (what a well-formed upstream actually stamps).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.addressing import Address
+from repro.fastpath.backend import CODE_TO_METHOD
+from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+from repro.fastpath.kernels import (
+    as_destination_array,
+    as_length_array,
+    full_lookup_batch,
+    lookup_batch,
+)
+from repro.lookup.counters import METHOD_FULL, MemoryCounter
+
+
+class CertificationError(ValueError):
+    """A compiled kernel disagreed with the object-graph lookup."""
+
+
+def certification_batch(
+    sender_trie,
+    entries: Iterable[Tuple[object, object]],
+    width: int = 32,
+    seed: int = 0,
+    max_prefixes: int = 512,
+    randoms_per_prefix: int = 1,
+) -> Tuple[List[int], List[int]]:
+    """Deterministic ``(destinations, clue_lengths)`` sweep.
+
+    ``entries`` seeds the destination set (pass receiver plus sender
+    entries for full edge coverage); ``sender_trie`` supplies each
+    destination's true BMP length.  Every destination appears three
+    times: clueless (−1), clue length 0, and the sender-BMP length.
+    """
+    rng = random.Random(seed)
+    prefixes = []
+    seen = set()
+    for prefix, _next_hop in entries:
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        prefixes.append(prefix)
+        if len(prefixes) >= max_prefixes:
+            break
+    destinations: List[int] = []
+    clue_lens: List[int] = []
+    for prefix in prefixes:
+        host_bits = width - prefix.length
+        network = prefix.bits << host_bits
+        candidates = [network, network | ((1 << host_bits) - 1)]
+        for _ in range(randoms_per_prefix):
+            candidates.append(prefix.random_address(rng).value)
+        for value in candidates:
+            bmp = sender_trie.best_prefix(Address(value, width))
+            bmp_length = bmp.length if bmp is not None else 0
+            for clue_length in (-1, 0, bmp_length):
+                destinations.append(value)
+                clue_lens.append(clue_length)
+    return destinations, clue_lens
+
+
+def certify_full(
+    ctrie: CompiledTrie,
+    base,
+    destinations: Sequence[int],
+    force_python: bool = False,
+) -> int:
+    """Certify the clueless kernel against ``base.lookup``; count checked."""
+    width = ctrie.width
+    dsts = as_destination_array(destinations, width)
+    codes, memrefs = full_lookup_batch(ctrie, dsts, force_python=force_python)
+    pool = ctrie.pool
+    for lane, value in enumerate(destinations):
+        counter = MemoryCounter()
+        expected = base.lookup(Address(int(value), width), counter)
+        code = int(codes[lane])
+        got_prefix = pool.prefixes[code] if code >= 0 else None
+        got_hop = pool.next_hops[code] if code >= 0 else None
+        _require(
+            lane,
+            int(value),
+            None,
+            (got_prefix, got_hop, METHOD_FULL, int(memrefs[lane])),
+            (expected.prefix, expected.next_hop, METHOD_FULL, expected.accesses),
+        )
+    return len(destinations)
+
+
+def certify_clue(
+    ctable: CompiledClueTable,
+    scalar,
+    destinations: Sequence[int],
+    clue_lens: Sequence[int],
+    force_python: bool = False,
+) -> int:
+    """Certify the clue kernel against a scalar ``ClueAssistedLookup``.
+
+    ``scalar`` must wrap the *same* table and a regular base over the
+    same receiver entries, and must not learn (pass a preprocessed
+    table; learning would mutate the table mid-sweep).
+    """
+    width = ctable.width
+    dsts = as_destination_array(destinations, width)
+    lens = as_length_array(clue_lens, width)
+    methods, codes, new_clues, memrefs = lookup_batch(
+        ctable, dsts, lens, force_python=force_python
+    )
+    pool = ctable.trie.pool
+    for lane, value in enumerate(destinations):
+        value = int(value)
+        length = int(clue_lens[lane])
+        address = Address(value, width)
+        clue = address.prefix(length) if 0 <= length <= width else None
+        counter = MemoryCounter()
+        expected = scalar.lookup(address, clue, counter)
+        code = int(codes[lane])
+        got_prefix = pool.prefixes[code] if code >= 0 else None
+        got_hop = pool.next_hops[code] if code >= 0 else None
+        got_method = CODE_TO_METHOD[int(methods[lane])]
+        _require(
+            lane,
+            value,
+            length,
+            (got_prefix, got_hop, got_method, int(memrefs[lane])),
+            (
+                expected.prefix,
+                expected.next_hop,
+                expected.method,
+                expected.accesses,
+            ),
+        )
+        expected_clue = (
+            expected.prefix.length if expected.prefix is not None else -1
+        )
+        if int(new_clues[lane]) != expected_clue:
+            raise CertificationError(
+                "lane %d dst=%#010x clue_len=%s: new clue %d != %d"
+                % (lane, value, length, int(new_clues[lane]), expected_clue)
+            )
+    return len(destinations)
+
+
+def _require(
+    lane: int,
+    value: int,
+    clue_length: Optional[int],
+    got: Tuple,
+    expected: Tuple,
+) -> None:
+    if got != expected:
+        raise CertificationError(
+            "lane %d dst=%#010x clue_len=%s: compiled %r != scalar %r"
+            % (lane, value, clue_length, got, expected)
+        )

@@ -1,0 +1,288 @@
+"""Freeze clue tables and binary tries into flat, contiguous arrays.
+
+The object-graph structures (`trie.binary_trie.BinaryTrie`,
+`core.table.ClueTable`) chase one Python pointer per "memory reference"
+of the paper's cost model.  This module compiles a *built* pair into the
+struct-of-arrays layout the batch kernels iterate over:
+
+``CompiledTrie`` — one dense integer id per trie vertex (pre-order,
+root = 0), ``child[2 * node + bit]`` holding the child id or -1, and
+``node_result[node]`` holding a result-pool code for marked vertices
+(-1 otherwise).  Descending one bit is a single gather instead of two
+dict probes.
+
+``CompiledClueTable`` — per-clue-length sorted key arrays probed with a
+binary search (numpy ``searchsorted`` over the whole batch at once),
+parallel record arrays for the FD code, the Ptr continuation vertex and
+its depth, and per-record rows into a packed Claim-1 stop bitmask
+(Advance's "can any longer match exist below?" Booleans, one bit per
+trie vertex).
+
+Results are interned in a shared ``ResultPool`` so a lane's outcome is
+one int32 code; the pool decodes it back to ``(prefix, next_hop)`` and
+supplies the new clue length.  Only *active* table records compile —
+an inactive record probes as a miss in the object graph, so omitting it
+preserves semantics exactly.
+
+Only the "regular" technique (``TrieContinuation`` Ptr fields) is
+compilable; anything else raises ``FastpathUnsupported`` and the caller
+stays on the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing import Prefix
+from repro.fastpath.backend import get_numpy, numpy_eligible
+from repro.lookup.restricted import TrieContinuation
+from repro.trie.binary_trie import BinaryTrie
+
+
+class FastpathUnsupported(ValueError):
+    """The structure cannot be frozen into flat arrays (wrong technique,
+    foreign continuation type, or a continuation pointing outside the
+    compiled trie); callers fall back to the object-graph path."""
+
+
+class ResultPool:
+    """Interned ``(prefix, next_hop)`` outcomes shared by trie and table.
+
+    A lane's result is a small int code; decoding is a list index.  The
+    pool also exposes the prefix lengths as an array so the kernels can
+    derive the outgoing clue of a whole batch with one gather.
+    """
+
+    __slots__ = ("prefixes", "next_hops", "lengths", "_index", "_frozen")
+
+    def __init__(self) -> None:
+        self.prefixes: List[Prefix] = []
+        self.next_hops: List[object] = []
+        self.lengths: List[int] = []
+        self._index: Dict[object, int] = {}
+        self._frozen = None
+
+    def intern(self, prefix: Prefix, next_hop: object) -> int:
+        """The code for ``(prefix, next_hop)``, allocating on first use."""
+        try:
+            key: Optional[Tuple[Prefix, object]] = (prefix, next_hop)
+            code = self._index.get(key)
+        except TypeError:  # unhashable next hop payload: store un-deduped
+            key = None
+            code = None
+        if code is None:
+            code = len(self.prefixes)
+            self.prefixes.append(prefix)
+            self.next_hops.append(next_hop)
+            self.lengths.append(prefix.length)
+            if key is not None:
+                self._index[key] = code
+        return code
+
+    def lengths_array(self):
+        """Prefix lengths by code — numpy int64 when available.
+
+        Rebuilt lazily: the pool keeps growing while a ``CompiledTrie``
+        and one or more ``CompiledClueTable``s intern into it.
+        """
+        np = get_numpy()
+        if np is None:
+            return self.lengths
+        if self._frozen is None or len(self._frozen) != len(self.lengths):
+            self._frozen = np.asarray(self.lengths, dtype=np.int64)
+        return self._frozen
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+
+class CompiledTrie:
+    """A ``BinaryTrie`` frozen into flat child / result arrays."""
+
+    __slots__ = (
+        "width",
+        "size",
+        "backend",
+        "child",
+        "node_result",
+        "node_index",
+        "root_result",
+        "pool",
+    )
+
+    def __init__(self, trie: BinaryTrie, pool: Optional[ResultPool] = None):
+        self.width = trie.width
+        self.pool = pool if pool is not None else ResultPool()
+        self.backend = "numpy" if numpy_eligible(trie.width) else "python"
+        nodes = []
+        index: Dict[Prefix, int] = {}
+        stack = [trie.root]
+        while stack:
+            node = stack.pop()
+            index[node.prefix] = len(nodes)
+            nodes.append(node)
+            one = node.children.get(1)
+            if one is not None:
+                stack.append(one)
+            zero = node.children.get(0)
+            if zero is not None:
+                stack.append(zero)
+        child = [-1] * (2 * len(nodes))
+        result = [-1] * len(nodes)
+        for position, node in enumerate(nodes):
+            for bit in (0, 1):
+                branch = node.children.get(bit)
+                if branch is not None:
+                    child[2 * position + bit] = index[branch.prefix]
+            if node.marked:
+                result[position] = self.pool.intern(node.prefix, node.next_hop)
+        self.size = len(nodes)
+        self.node_index = index
+        self.root_result = result[0]
+        np = get_numpy()
+        if self.backend == "numpy":
+            self.child = np.asarray(child, dtype=np.int64)
+            self.node_result = np.asarray(result, dtype=np.int64)
+        else:
+            self.child = child
+            self.node_result = result
+
+
+class CompiledClueTable:
+    """A ``ClueTable`` frozen for the regular-technique batch kernels."""
+
+    __slots__ = (
+        "trie",
+        "width",
+        "backend",
+        "records",
+        "levels",
+        "probe_index",
+        "rec_fd",
+        "rec_cont_node",
+        "rec_cont_depth",
+        "rec_stop_row",
+        "stop_masks",
+        "has_stops",
+    )
+
+    def __init__(self, table, trie: CompiledTrie):
+        self.trie = trie
+        self.width = trie.width
+        self.backend = trie.backend
+        pool = trie.pool
+        by_length: Dict[int, List[Tuple[int, int]]] = {}
+        probe_index: Dict[Tuple[int, int], int] = {}
+        rec_fd: List[int] = []
+        rec_cont_node: List[int] = []
+        rec_cont_depth: List[int] = []
+        rec_stop_row: List[int] = []
+        stop_dicts: List[Optional[Dict[Prefix, bool]]] = [None]
+        row_of: Dict[int, int] = {}
+        for entry in table.entries():
+            if not entry.active:
+                continue  # probes identically to an absent record
+            clue = entry.clue
+            if clue.width != trie.width:
+                raise FastpathUnsupported(
+                    "clue width %d does not match trie width %d"
+                    % (clue.width, trie.width)
+                )
+            record = len(rec_fd)
+            by_length.setdefault(clue.length, []).append((clue.bits, record))
+            probe_index[(clue.length, clue.bits)] = record
+            if entry.fd_prefix is not None:
+                rec_fd.append(pool.intern(entry.fd_prefix, entry.fd_next_hop))
+            else:
+                rec_fd.append(-1)
+            continuation = entry.continuation
+            if continuation is None:
+                rec_cont_node.append(-1)
+                rec_cont_depth.append(0)
+                rec_stop_row.append(0)
+                continue
+            if type(continuation) is not TrieContinuation:
+                raise FastpathUnsupported(
+                    "only regular-technique TrieContinuation records "
+                    "compile; found %s" % type(continuation).__name__
+                )
+            start_id = trie.node_index.get(continuation.start.prefix)
+            if start_id is None:
+                raise FastpathUnsupported(
+                    "continuation start %r is not a vertex of the "
+                    "compiled trie" % (continuation.start.prefix,)
+                )
+            rec_cont_node.append(start_id)
+            rec_cont_depth.append(continuation.start.prefix.length)
+            stops = continuation.stops
+            if stops is None:
+                rec_stop_row.append(0)
+            else:
+                row = row_of.get(id(stops))
+                if row is None:
+                    row = len(stop_dicts)
+                    stop_dicts.append(stops)
+                    row_of[id(stops)] = row
+                rec_stop_row.append(row)
+        self.records = len(rec_fd)
+        self.probe_index = probe_index
+        self.has_stops = len(stop_dicts) > 1
+        mask_bytes = (trie.size + 7) // 8
+        mask_rows = []
+        for stops in stop_dicts:
+            row_bits = bytearray(mask_bytes)
+            if stops:
+                for prefix, flag in stops.items():
+                    if not flag:
+                        continue
+                    node_id = trie.node_index.get(prefix)
+                    if node_id is not None:
+                        row_bits[node_id >> 3] |= 1 << (node_id & 7)
+            mask_rows.append(row_bits)
+        np = get_numpy()
+        if self.backend == "numpy":
+            levels = []
+            for length in sorted(by_length):
+                pairs = sorted(by_length[length])
+                keys = np.asarray([bits for bits, _ in pairs], dtype=np.int64)
+                recs = np.asarray([rec for _, rec in pairs], dtype=np.int64)
+                levels.append((length, keys, recs))
+            self.levels = tuple(levels)
+            self.rec_fd = np.asarray(rec_fd, dtype=np.int64)
+            self.rec_cont_node = np.asarray(rec_cont_node, dtype=np.int64)
+            self.rec_cont_depth = np.asarray(rec_cont_depth, dtype=np.int64)
+            self.rec_stop_row = np.asarray(rec_stop_row, dtype=np.int64)
+            self.stop_masks = np.frombuffer(
+                bytes(b"".join(mask_rows)), dtype=np.uint8
+            ).reshape(len(mask_rows), mask_bytes)
+        else:
+            self.levels = tuple(
+                (
+                    length,
+                    [bits for bits, _ in sorted(by_length[length])],
+                    [rec for _, rec in sorted(by_length[length])],
+                )
+                for length in sorted(by_length)
+            )
+            self.rec_fd = rec_fd
+            self.rec_cont_node = rec_cont_node
+            self.rec_cont_depth = rec_cont_depth
+            self.rec_stop_row = rec_stop_row
+            self.stop_masks = mask_rows
+
+
+def compile_trie(trie: BinaryTrie, pool: Optional[ResultPool] = None) -> CompiledTrie:
+    """Freeze a built ``BinaryTrie`` into a :class:`CompiledTrie`."""
+    return CompiledTrie(trie, pool)
+
+
+def compile_clue_table(table, trie) -> CompiledClueTable:
+    """Freeze a built ``ClueTable`` against its receiver trie.
+
+    ``trie`` may be the receiver's ``BinaryTrie`` or an already-compiled
+    :class:`CompiledTrie` (sharing one across tables shares the result
+    pool and the flat trie arrays).
+    """
+    if isinstance(trie, BinaryTrie):
+        trie = CompiledTrie(trie)
+    return CompiledClueTable(table, trie)

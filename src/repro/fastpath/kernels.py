@@ -1,0 +1,202 @@
+"""Vectorized batch lookup kernels over the compiled flat arrays.
+
+One numpy gather per trie level replaces two dict probes per packet:
+all lanes of a batch descend in lockstep, with boolean masks retiring
+lanes whose walk ended (no child, or an Advance Claim-1 stop bit).  The
+kernels reproduce the object-graph memory-reference accounting *bit for
+bit* — `repro.fastpath.certify` enforces that — so the paper's counters
+stay exact while the wall-clock cost collapses.
+
+The public entry points (`full_lookup_batch`, `lookup_batch`) dispatch
+on the compiled structure's backend: numpy arrays when available and the
+width fits an int64 lane, otherwise the pure-Python twins in
+`repro.fastpath.fallback`.  ``force_python=True`` pins the fallback,
+which the differential tests use to certify the two implementations
+against each other and against the scalar path.
+"""
+
+from __future__ import annotations
+
+from repro.fastpath import fallback
+from repro.fastpath.backend import (
+    CODE_CLUE_MISS,
+    CODE_FD_IMMEDIATE,
+    CODE_FULL,
+    CODE_RESUMED,
+    get_numpy,
+)
+from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+from repro.lookup.hotpath import hot_path
+
+
+def as_destination_array(values, width: int = 32):
+    """Pack destination address values for the kernels.
+
+    numpy int64 when the backend allows it for ``width``; otherwise the
+    values are returned as a plain list for the fallback kernels.
+    """
+    np = get_numpy()
+    plain = [int(getattr(value, "value", value)) for value in values]
+    if np is not None and width <= 32:
+        return np.asarray(plain, dtype=np.int64)
+    return plain
+
+
+def as_length_array(lengths, width: int = 32):
+    """Pack clue lengths (−1 = clueless) to match the destination array."""
+    np = get_numpy()
+    plain = [int(length) for length in lengths]
+    if np is not None and width <= 32:
+        return np.asarray(plain, dtype=np.int64)
+    return plain
+
+
+@hot_path
+def _descend_numpy(np, ctrie, dsts, cur, depths, stop_masks, rows):
+    """Lockstep restricted descent for every lane: (best codes, refs).
+
+    Lanes join the walk once the level reaches their start depth; a lane
+    retires when its next child is absent or (with ``stop_masks``) when
+    the vertex it just entered carries its record's Claim-1 stop bit.
+    Per the scalar semantics the start vertex itself is never charged
+    nor matched; every *entered* vertex costs one reference, may update
+    the best marked code, and only then is its stop bit consulted.
+    """
+    width = ctrie.width
+    child = ctrie.child
+    node_result = ctrie.node_result
+    lanes = dsts.shape[0]
+    best = np.full(lanes, -1, dtype=np.int64)
+    refs = np.zeros(lanes, dtype=np.int64)
+    alive = np.ones(lanes, dtype=bool)
+    start = int(depths.min()) if lanes else width
+    for depth in range(start, width):
+        if not alive.any():
+            break
+        moving = alive & (depths <= depth)
+        if not moving.any():
+            continue
+        bits = (dsts >> (width - 1 - depth)) & 1
+        branch = child[2 * cur + bits]
+        entered = moving & (branch >= 0)
+        alive = alive & (~moving | entered)
+        cur = np.where(entered, branch, cur)
+        refs = refs + entered
+        codes = node_result[cur]
+        best = np.where(entered & (codes >= 0), codes, best)
+        if stop_masks is not None:
+            stop_bytes = stop_masks[rows, cur >> 3].astype(np.int64)
+            stopped = entered & ((stop_bytes >> (cur & 7)) & 1 > 0)
+            alive = alive & ~stopped
+    return best, refs
+
+
+@hot_path
+def _full_lookup_numpy(np, ctrie, dsts):
+    """Clueless Regular baseline, batched: (codes, memrefs)."""
+    lanes = dsts.shape[0]
+    cur = np.zeros(lanes, dtype=np.int64)
+    depths = np.zeros(lanes, dtype=np.int64)
+    best, refs = _descend_numpy(np, ctrie, dsts, cur, depths, None, None)
+    best = np.where(best >= 0, best, np.int64(ctrie.root_result))
+    return best, refs + 1  # the root itself is always touched
+
+
+@hot_path
+def _clue_lookup_numpy(np, ctable, dsts, clue_lens):
+    """Clue-assisted lookup, batched: (methods, codes, new_clues, memrefs)."""
+    ctrie = ctable.trie
+    width = ctable.width
+    lanes = dsts.shape[0]
+    methods = np.full(lanes, np.int64(CODE_FULL), dtype=np.int64)
+    codes = np.full(lanes, -1, dtype=np.int64)
+    memrefs = np.zeros(lanes, dtype=np.int64)
+    record = np.full(lanes, -1, dtype=np.int64)
+    carrying = (clue_lens >= 0) & (clue_lens <= width)
+    memrefs = memrefs + carrying  # every probe costs one reference
+    for length, keys, recs in ctable.levels:
+        level = carrying & (clue_lens == length)
+        if not level.any():
+            continue
+        if length:
+            wanted = dsts[level] >> (width - length)
+        else:
+            wanted = dsts[level] & 0
+        if keys.shape[0]:
+            position = np.minimum(
+                np.searchsorted(keys, wanted), keys.shape[0] - 1
+            )
+            record[level] = np.where(
+                keys[position] == wanted, recs[position], np.int64(-1)
+            )
+    hit = record >= 0
+    miss = carrying & ~hit
+    methods = np.where(miss, np.int64(CODE_CLUE_MISS), methods)
+    full_path = ~hit
+    if full_path.any():
+        full_codes, full_refs = _full_lookup_numpy(np, ctrie, dsts[full_path])
+        codes[full_path] = full_codes
+        memrefs[full_path] += full_refs
+    if ctable.records:
+        safe = np.maximum(record, 0)
+        fd = ctable.rec_fd[safe]
+        cont = ctable.rec_cont_node[safe]
+        immediate = hit & (cont < 0)
+        methods = np.where(immediate, np.int64(CODE_FD_IMMEDIATE), methods)
+        codes = np.where(immediate, fd, codes)
+        resumed = hit & (cont >= 0)
+        if resumed.any():
+            methods = np.where(resumed, np.int64(CODE_RESUMED), methods)
+            masks = ctable.stop_masks if ctable.has_stops else None
+            rows = (
+                ctable.rec_stop_row[safe][resumed]
+                if masks is not None
+                else None
+            )
+            best, refs = _descend_numpy(
+                np,
+                ctrie,
+                dsts[resumed],
+                cont[resumed],
+                ctable.rec_cont_depth[safe][resumed],
+                masks,
+                rows,
+            )
+            codes[resumed] = np.where(best >= 0, best, fd[resumed])
+            memrefs[resumed] += refs
+    lengths = ctrie.pool.lengths_array()
+    if len(lengths):
+        new_clues = np.where(
+            codes >= 0, lengths[np.maximum(codes, 0)], np.int64(-1)
+        )
+    else:  # empty pool: nothing ever matches, so no lane carries a clue
+        new_clues = np.full(lanes, -1, dtype=np.int64)
+    return methods, codes, new_clues, memrefs
+
+
+@hot_path
+def full_lookup_batch(ctrie: CompiledTrie, dsts, force_python: bool = False):
+    """Batched clueless lookups: ``(codes, memrefs)``.
+
+    ``dsts`` comes from :func:`as_destination_array`; codes decode
+    through ``ctrie.pool``.
+    """
+    if ctrie.backend == "numpy" and not force_python:
+        return _full_lookup_numpy(get_numpy(), ctrie, dsts)
+    return fallback.full_lookup_batch(ctrie, dsts)
+
+
+@hot_path
+def lookup_batch(
+    ctable: CompiledClueTable, dsts, clue_lens, force_python: bool = False
+):
+    """Batched clue-assisted lookups over a compiled table.
+
+    Returns ``(methods, codes, new_clues, memrefs)`` — method codes from
+    `repro.fastpath.backend`, result codes into ``ctable.trie.pool``,
+    the outgoing clue length per lane (−1 for no match), and the exact
+    object-graph memory-reference count per lane.
+    """
+    if ctable.backend == "numpy" and not force_python:
+        return _clue_lookup_numpy(get_numpy(), ctable, dsts, clue_lens)
+    return fallback.clue_lookup_batch(ctable, dsts, clue_lens)

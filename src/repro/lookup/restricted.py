@@ -38,6 +38,8 @@ Match = Optional[Tuple[Prefix, object]]
 class Continuation(abc.ABC):
     """A precomputed resumed-search object stored in a clue entry's Ptr."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def search(self, address: Address, counter: MemoryCounter) -> Match:
         """Look for a match longer than the clue; None if there is none."""
@@ -49,6 +51,8 @@ class TrieContinuation(Continuation):
     ``stops`` is the Advance method's per-vertex Claim 1 Boolean map; the
     Simple method passes None and walks until the path runs out.
     """
+
+    __slots__ = ("start", "width", "stops")
 
     def __init__(
         self,
@@ -83,6 +87,8 @@ class PatriciaContinuation(Continuation):
     vertex.  When the clue is an exact vertex, ``entry`` is that vertex and
     is *not* charged (the clue entry's Ptr already holds its record).
     """
+
+    __slots__ = ("entry", "entry_is_clue_vertex", "clue", "width", "stops")
 
     def __init__(
         self,
@@ -131,6 +137,8 @@ class SetContinuation(Continuation):
     entry's own cache line and cost no extra references.
     """
 
+    __slots__ = ("candidates", "width", "branching", "inline", "ranges")
+
     def __init__(
         self,
         candidates: List[Tuple[Prefix, object]],
@@ -168,6 +176,8 @@ class SetContinuation(Continuation):
 
 class LengthContinuation(Continuation):
     """Binary search over the potential set's lengths (Log W adaptation)."""
+
+    __slots__ = ("levels",)
 
     def __init__(self, candidates: List[Tuple[Prefix, object]], width: int):
         if not candidates:

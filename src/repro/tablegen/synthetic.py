@@ -75,8 +75,14 @@ class TableGenerator:
         shorter_pool: List[Prefix] = []
         attempts_left = count * 20
         for length in lengths:
-            while attempts_left:
+            # Cap the attempts spent on any single entry: a saturated
+            # length (e.g. all top blocks already chosen as /8s) would
+            # otherwise burn the whole global budget on one impossible
+            # draw and silently truncate every later length.
+            per_entry = 200
+            while attempts_left and per_entry:
                 attempts_left -= 1
+                per_entry -= 1
                 prefix = self._draw_prefix(rng, length, blocks, shorter_pool)
                 if prefix not in chosen:
                     chosen[prefix] = rng.choice(self.next_hops)

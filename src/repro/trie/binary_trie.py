@@ -22,6 +22,8 @@ from repro.trie.node import TrieNode
 class BinaryTrie:
     """A binary trie over prefixes of one address family."""
 
+    __slots__ = ("width", "root", "_size")
+
     def __init__(self, width: int = 32):
         self.width = width
         self.root = TrieNode(Prefix.root(width))

@@ -1,0 +1,56 @@
+"""RC111 batch-kernel-loop: no per-element Python inside batch kernels."""
+
+import pathlib
+
+from repro.analyzer import SourceFile, analyze
+from repro.analyzer.rules import BatchKernelLoopRule
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "analyzer_fixtures"
+
+
+def load(name):
+    return SourceFile(name, (FIXTURES / name).read_text(encoding="utf-8"))
+
+
+def run(*sources):
+    return analyze(list(sources), [BatchKernelLoopRule()])
+
+
+def test_flags_every_disguised_batch_loop():
+    result = run(load("bad_batchkernel.py"))
+    assert all(finding.code == "RC111" for finding in result.findings)
+    leaky = [
+        finding.message
+        for finding in result.findings
+        if "leaky_kernel" in finding.message
+    ]
+    assert len(leaky) == 5
+    assert sum("comprehension" in message for message in leaky) == 1
+    assert sum("element-by-element" in message for message in leaky) == 4
+    # Both batch parameters are reported by name.
+    assert any("'dsts'" in message for message in leaky)
+    assert any("'clue_lens'" in message for message in leaky)
+
+
+def test_bounded_and_undecorated_loops_pass():
+    result = run(load("bad_batchkernel.py"))
+    for finding in result.findings:
+        assert "clean_kernel" not in finding.message
+        assert "undecorated_fallback" not in finding.message
+
+
+def test_rule_is_inert_without_hot_path_functions():
+    source = SourceFile(
+        "plain.py",
+        "def walk(items):\n    return [item for item in items]\n",
+    )
+    assert run(source).findings == []
+
+
+def test_live_fastpath_kernels_are_clean():
+    root = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+    sources = [
+        SourceFile(str(path), path.read_text(encoding="utf-8"))
+        for path in sorted((root / "fastpath").glob("*.py"))
+    ]
+    assert run(*sources).findings == []

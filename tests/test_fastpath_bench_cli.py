@@ -1,0 +1,116 @@
+"""The fastpath benchmark driver and its `bench-fastpath` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import run_fastpath_bench, sample_destination_values
+from repro.fastpath import HAVE_NUMPY
+from repro.tablegen import generate_table
+
+
+class FakeClock:
+    """Deterministic monotonic clock: one tick per reading."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def test_bench_payload_shape_and_certification():
+    payload = run_fastpath_bench(
+        table_size=150, packets=200, seed=1, clock=FakeClock()
+    )
+    assert payload["bench"] == "fastpath"
+    assert payload["certification"]["disagreements"] == 0
+    assert payload["certification"]["checked"] > 0
+    assert set(payload["algorithms"]) == {"regular", "simple", "advance"}
+    for summary in payload["algorithms"].values():
+        scalar, batched = summary["scalar"], summary["batched"]
+        assert scalar["elapsed_s"] is not None
+        assert batched["packets_per_sec"] is not None
+        assert summary["speedup"] is not None
+        # The memref accounting is identical by construction — the bench
+        # raises if the totals ever diverge.
+        assert scalar["memrefs_per_packet"] == batched["memrefs_per_packet"]
+    assert payload["backend"] == ("numpy" if HAVE_NUMPY else "python")
+
+
+def test_bench_without_clock_is_deterministic():
+    first = run_fastpath_bench(table_size=100, packets=150, seed=3)
+    second = run_fastpath_bench(table_size=100, packets=150, seed=3)
+    assert first == second
+    summary = first["algorithms"]["simple"]
+    assert summary["scalar"]["elapsed_s"] is None
+    assert summary["speedup"] is None
+    assert summary["scalar"]["memrefs_per_packet"] > 0
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs both backends")
+def test_force_python_matches_numpy_accounting():
+    fast = run_fastpath_bench(table_size=120, packets=150, seed=2)
+    slow = run_fastpath_bench(
+        table_size=120, packets=150, seed=2, force_python=True
+    )
+    assert slow["backend"] == "python"
+    for name in fast["algorithms"]:
+        assert (
+            fast["algorithms"][name]["scalar"]["memrefs_per_packet"]
+            == slow["algorithms"][name]["scalar"]["memrefs_per_packet"]
+        )
+
+
+def test_sampler_stays_under_sender_prefixes():
+    entries = generate_table(80, seed=4)
+    values = sample_destination_values(entries, 64, seed=5)
+    assert len(values) == 64
+    lengths = {prefix.length for prefix, _hop in entries}
+    from repro.addressing import Address
+    from repro.trie.binary_trie import BinaryTrie
+
+    trie = BinaryTrie(32)
+    for prefix, hop in entries:
+        trie.insert(prefix, hop)
+    for value in values:
+        assert trie.best_prefix(Address(value, 32)) is not None
+    assert lengths  # the table is non-trivial
+
+
+def test_cli_writes_payload_and_summarises(tmp_path, capsys):
+    output = tmp_path / "BENCH_fastpath.json"
+    code = main(
+        [
+            "bench-fastpath",
+            "--table-size", "120",
+            "--packets", "150",
+            "--seed", "1",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["certification"]["disagreements"] == 0
+    err = capsys.readouterr().err
+    assert "certified:" in err
+    assert "simple:" in err
+
+
+def test_cli_quick_clamps_scale(tmp_path):
+    output = tmp_path / "quick.json"
+    code = main(
+        [
+            "bench-fastpath",
+            "--quick",
+            "--table-size", "300",
+            "--packets", "250",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["table_size"] == 300  # already under the quick clamp
+    assert payload["packets"] == 250

@@ -1,0 +1,180 @@
+"""Compilation layer: object graph → flat arrays (repro.fastpath.compile)."""
+
+import pytest
+
+from repro.addressing import Prefix
+from repro.core.entry import ClueEntry
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.core.table import ClueTable
+from repro.fastpath import (
+    HAVE_NUMPY,
+    CompiledTrie,
+    FastpathUnsupported,
+    ResultPool,
+    compile_clue_table,
+    compile_trie,
+    numpy_eligible,
+)
+from repro.lookup.restricted import SetContinuation
+from repro.trie.binary_trie import BinaryTrie
+
+
+def small_trie(width=32):
+    trie = BinaryTrie(width)
+    trie.insert(Prefix(0b1010, 4, width), "a")
+    trie.insert(Prefix(0b10100110, 8, width), "b")
+    trie.insert(Prefix(0b0, 1, width), "c")
+    return trie
+
+
+# ----------------------------------------------------------------------
+# ResultPool
+# ----------------------------------------------------------------------
+def test_pool_interns_and_dedupes():
+    pool = ResultPool()
+    p = Prefix(0b101, 3, 32)
+    first = pool.intern(p, "hop")
+    again = pool.intern(p, "hop")
+    other = pool.intern(p, "other-hop")
+    assert first == again
+    assert other != first
+    assert pool.prefixes[first] == p
+    assert pool.next_hops[other] == "other-hop"
+    assert pool.lengths[first] == 3
+    assert len(pool) == 2
+
+
+def test_pool_accepts_unhashable_next_hops():
+    pool = ResultPool()
+    p = Prefix(1, 1, 32)
+    payload = ["not", "hashable"]
+    code = pool.intern(p, payload)
+    assert pool.next_hops[code] is payload
+    # Un-deduped, but still decodable.
+    assert pool.intern(p, payload) != code
+
+
+def test_pool_lengths_array_tracks_growth():
+    pool = ResultPool()
+    pool.intern(Prefix(0, 2, 32), "x")
+    first = pool.lengths_array()
+    assert list(first) == [2]
+    pool.intern(Prefix(0, 7, 32), "y")
+    assert list(pool.lengths_array()) == [2, 7]
+
+
+# ----------------------------------------------------------------------
+# CompiledTrie
+# ----------------------------------------------------------------------
+def test_compiled_trie_mirrors_structure():
+    trie = small_trie()
+    ctrie = compile_trie(trie)
+    # Every trie vertex got a dense id; the root is id 0.
+    assert ctrie.size == len(list(trie.nodes()))
+    assert ctrie.node_index[trie.root.prefix] == 0
+    # Child pointers land inside the table and reach every vertex.
+    reached = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for bit in (0, 1):
+            branch = int(ctrie.child[2 * node + bit])
+            if branch >= 0:
+                assert 0 <= branch < ctrie.size
+                assert branch not in reached
+                reached.add(branch)
+                frontier.append(branch)
+    assert reached == set(range(ctrie.size))
+    # Marked vertices carry a pool code decoding to their payload.
+    marked = 0
+    for node in trie.nodes():
+        code = int(ctrie.node_result[ctrie.node_index[node.prefix]])
+        if node.marked:
+            marked += 1
+            assert ctrie.pool.prefixes[code] == node.prefix
+            assert ctrie.pool.next_hops[code] == node.next_hop
+        else:
+            assert code == -1
+    assert marked == 3
+
+
+def test_compiled_trie_empty_and_root_result():
+    empty = compile_trie(BinaryTrie(32))
+    assert empty.size == 1
+    assert empty.root_result == -1
+
+    default_only = BinaryTrie(32)
+    default_only.insert(Prefix(0, 0, 32), "default")
+    ctrie = compile_trie(default_only)
+    assert ctrie.root_result >= 0
+    assert ctrie.pool.next_hops[ctrie.root_result] == "default"
+
+
+def test_backend_selection_follows_width():
+    assert compile_trie(small_trie()).backend == (
+        "numpy" if HAVE_NUMPY else "python"
+    )
+    wide = BinaryTrie(128)
+    wide.insert(Prefix(1, 8, 128), "w")
+    assert compile_trie(wide).backend == "python"
+    assert not numpy_eligible(128)
+
+
+def test_shared_pool_between_trie_and_tables():
+    trie = small_trie()
+    receiver = ReceiverState(
+        [(node.prefix, node.next_hop) for node in trie.nodes() if node.marked]
+    )
+    builder = SimpleMethod(receiver, "regular")
+    table = builder.build_table(list(trie.prefixes()))
+    ctrie = compile_trie(receiver.trie)
+    ctable = compile_clue_table(table, ctrie)
+    assert ctable.trie is ctrie
+    # And compiling from the raw BinaryTrie works too.
+    other = compile_clue_table(table, receiver.trie)
+    assert isinstance(other.trie, CompiledTrie)
+
+
+# ----------------------------------------------------------------------
+# CompiledClueTable edge cases
+# ----------------------------------------------------------------------
+def test_inactive_entries_are_omitted():
+    trie = small_trie()
+    receiver = ReceiverState([(Prefix(0b1010, 4, 32), "a")])
+    builder = SimpleMethod(receiver, "regular")
+    table = builder.build_table(list(trie.prefixes()))
+    live = compile_clue_table(table, receiver.trie)
+    for entry in table.entries():
+        entry.deactivate()
+        break
+    dead = compile_clue_table(table, receiver.trie)
+    assert dead.records == live.records - 1
+
+
+def test_foreign_continuation_is_unsupported():
+    table = ClueTable()
+    clue = Prefix(0b1, 1, 32)
+    table.insert(
+        ClueEntry(
+            clue,
+            None,
+            None,
+            continuation=SetContinuation([(Prefix(0b11, 2, 32), "s")], 32),
+        )
+    )
+    with pytest.raises(FastpathUnsupported):
+        compile_clue_table(table, BinaryTrie(32))
+
+
+def test_clue_width_mismatch_is_unsupported():
+    table = ClueTable()
+    table.insert(ClueEntry(Prefix(0, 4, 128), Prefix(0, 0, 128), "d"))
+    with pytest.raises(FastpathUnsupported):
+        compile_clue_table(table, BinaryTrie(32))
+
+
+def test_empty_table_compiles_to_zero_records():
+    ctable = compile_clue_table(ClueTable(), BinaryTrie(32))
+    assert ctable.records == 0
+    assert ctable.levels == ()

@@ -1,0 +1,194 @@
+"""Batch kernels vs the scalar object-graph path on crafted tables."""
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.fastpath import (
+    CODE_CLUE_MISS,
+    CODE_FD_IMMEDIATE,
+    CODE_FULL,
+    CODE_RESUMED,
+    HAVE_NUMPY,
+    certification_batch,
+    certify_clue,
+    certify_full,
+    compile_clue_table,
+    compile_trie,
+    as_destination_array,
+    as_length_array,
+    full_lookup_batch,
+    lookup_batch,
+)
+from repro.lookup.regular import RegularTrieLookup
+from repro.trie.binary_trie import BinaryTrie
+
+BACKENDS = [True] + ([False] if HAVE_NUMPY else [])
+
+
+def build(sender_entries, receiver_entries, method, width=32):
+    sender_trie = BinaryTrie(width)
+    for prefix, hop in sender_entries:
+        sender_trie.insert(prefix, hop)
+    state = ReceiverState(receiver_entries, width)
+    if method == "simple":
+        builder = SimpleMethod(state, "regular")
+    else:
+        builder = AdvanceMethod(sender_trie, state, "regular")
+    table = builder.build_table(list(sender_trie.prefixes()))
+    base = RegularTrieLookup(receiver_entries, width)
+    scalar = ClueAssistedLookup(
+        RegularTrieLookup(receiver_entries, width), table
+    )
+    ctrie = compile_trie(state.trie)
+    return sender_trie, base, scalar, ctrie, compile_clue_table(table, ctrie)
+
+
+SENDER = [
+    (Prefix(0b0, 1, 32), "s0"),
+    (Prefix(0b10, 2, 32), "s1"),
+    (Prefix(0b1011, 4, 32), "s2"),
+    (Prefix(0b10110001, 8, 32), "s3"),
+]
+RECEIVER = [
+    (Prefix(0b10, 2, 32), "r1"),
+    (Prefix(0b1011, 4, 32), "r2"),
+    (Prefix(0b101100, 6, 32), "r3"),
+    (Prefix(0b0, 1, 32), "r0"),
+]
+
+
+@pytest.mark.parametrize("force_python", BACKENDS)
+@pytest.mark.parametrize("method", ["simple", "advance"])
+def test_kernels_certify_on_crafted_pair(method, force_python):
+    sender_trie, base, scalar, ctrie, ctable = build(SENDER, RECEIVER, method)
+    dsts, lens = certification_batch(
+        sender_trie, SENDER + RECEIVER, randoms_per_prefix=2
+    )
+    assert certify_full(ctrie, base, dsts, force_python=force_python) > 0
+    assert certify_clue(
+        ctable, scalar, dsts, lens, force_python=force_python
+    ) == len(dsts)
+
+
+@pytest.mark.parametrize("force_python", BACKENDS)
+def test_every_method_code_is_exercised(force_python):
+    _trie, _base, _scalar, _ctrie, ctable = build(SENDER, RECEIVER, "advance")
+    values = [
+        0b10110001 << 24,  # deep sender BMP, resumed below the clue
+        0b10 << 30,  # exact clue vertex hit
+        0b01 << 30,  # clueless lane
+        0b11 << 30,  # clue the table never built
+    ]
+    lens = [8, 2, -1, 1]
+    methods, codes, new_clues, memrefs = lookup_batch(
+        ctable,
+        as_destination_array(values),
+        as_length_array(lens),
+        force_python=force_python,
+    )
+    seen = {int(code) for code in methods}
+    assert CODE_FULL in seen
+    assert {CODE_FD_IMMEDIATE, CODE_RESUMED} & seen
+    # Lane 3 stamps a clue (length 1) that is not a sender prefix, so the
+    # table probe misses and the lane pays probe + full lookup.
+    assert int(methods[3]) == CODE_CLUE_MISS
+    assert int(memrefs[3]) > int(memrefs[1])
+    # New clues are the receiver BMP length or -1 when nothing matched.
+    pool = ctable.trie.pool
+    for lane in range(len(values)):
+        code = int(codes[lane])
+        expected = pool.prefixes[code].length if code >= 0 else -1
+        assert int(new_clues[lane]) == expected
+
+
+@pytest.mark.parametrize("force_python", BACKENDS)
+def test_default_route_only_receiver(force_python):
+    receiver = [(Prefix(0, 0, 32), "default")]
+    sender_trie, base, scalar, ctrie, ctable = build(SENDER, receiver, "simple")
+    dsts, lens = certification_batch(sender_trie, SENDER + receiver)
+    certify_full(ctrie, base, dsts, force_python=force_python)
+    certify_clue(ctable, scalar, dsts, lens, force_python=force_python)
+    codes, memrefs = full_lookup_batch(
+        ctrie, as_destination_array([0, 2**32 - 1]), force_python=force_python
+    )
+    pool = ctrie.pool
+    for lane in (0, 1):
+        assert pool.next_hops[int(codes[lane])] == "default"
+        assert int(memrefs[lane]) == 1  # the root is the whole walk
+
+
+@pytest.mark.parametrize("force_python", BACKENDS)
+def test_empty_receiver_and_empty_clue_table(force_python):
+    sender_trie, base, scalar, ctrie, ctable = build(SENDER, [], "simple")
+    # Simple builds records pointing at the receiver trie; with no
+    # receiver routes the compiled table still certifies (every lane is
+    # a no-match full walk or an FD-of-None hit).
+    dsts, lens = certification_batch(sender_trie, SENDER)
+    certify_full(ctrie, base, dsts, force_python=force_python)
+    certify_clue(ctable, scalar, dsts, lens, force_python=force_python)
+
+
+@pytest.mark.parametrize("force_python", BACKENDS)
+def test_clue_zero_resolves_like_scalar(force_python):
+    sender = [(Prefix(0, 0, 32), "origin")] + SENDER
+    sender_trie, base, scalar, ctrie, ctable = build(sender, RECEIVER, "advance")
+    values = [0b1011 << 28, 0b01 << 30, 123456789]
+    lens = [0, 0, 0]
+    methods, codes, _new, memrefs = lookup_batch(
+        ctable,
+        as_destination_array(values),
+        as_length_array(lens),
+        force_python=force_python,
+    )
+    for lane, value in enumerate(values):
+        from repro.lookup.counters import MemoryCounter
+
+        counter = MemoryCounter()
+        expected = scalar.lookup(
+            Address(value, 32), Address(value, 32).prefix(0), counter
+        )
+        assert int(memrefs[lane]) == counter.accesses
+        pool = ctable.trie.pool
+        code = int(codes[lane])
+        got = pool.next_hops[code] if code >= 0 else None
+        assert got == expected.next_hop
+
+
+@pytest.mark.parametrize("force_python", BACKENDS)
+def test_empty_batch(force_python):
+    _trie, _base, _scalar, ctrie, ctable = build(SENDER, RECEIVER, "simple")
+    codes, memrefs = full_lookup_batch(
+        ctrie, as_destination_array([]), force_python=force_python
+    )
+    assert len(codes) == 0 and len(memrefs) == 0
+    methods, codes, new_clues, memrefs = lookup_batch(
+        ctable,
+        as_destination_array([]),
+        as_length_array([]),
+        force_python=force_python,
+    )
+    assert len(methods) == 0
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs both backends")
+@pytest.mark.parametrize("method", ["simple", "advance"])
+def test_numpy_and_fallback_agree(method):
+    sender_trie, _base, _scalar, ctrie, ctable = build(SENDER, RECEIVER, method)
+    dsts, lens = certification_batch(sender_trie, SENDER + RECEIVER)
+    fast = lookup_batch(
+        ctable, as_destination_array(dsts), as_length_array(lens)
+    )
+    slow = lookup_batch(
+        ctable,
+        as_destination_array(dsts),
+        as_length_array(lens),
+        force_python=True,
+    )
+    for fast_column, slow_column in zip(fast, slow):
+        assert [int(value) for value in fast_column] == [
+            int(value) for value in slow_column
+        ]

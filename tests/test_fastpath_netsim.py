@@ -1,0 +1,179 @@
+"""Batched forwarding vs the scalar data path, end to end.
+
+`Network.run_batched` / `ClueRouter.process_batch` must deliver every
+packet along the same path with the same per-hop memory-reference
+accounting as the per-packet `forward` loop.  With pre-processed clue
+tables the hop traces match bit for bit; in learning mode the paths and
+deliveries still match while the *methods* may differ inside a batch
+(the table is frozen per batch, so same-clue packets share the miss —
+the documented epoch-learning semantics).
+"""
+
+import random
+
+import pytest
+
+from repro.addressing import Address, Prefix
+from repro.netsim import Network
+from repro.netsim.router import ClueRouter, LegacyRouter
+from repro.routing import (
+    PathVectorRouting,
+    hierarchy_topology,
+    originate_prefixes,
+)
+from repro.telemetry import LookupInstruments, MetricsRegistry
+
+
+def build_network(preprocess):
+    graph = hierarchy_topology(
+        backbone=2, regionals_per_backbone=2, stubs_per_regional=2, seed=7
+    )
+    originate_prefixes(graph, per_node=4, seed=7, roles=("stub", "regional"))
+    routing = PathVectorRouting(graph)
+    routing.run()
+    assert routing.converged()
+    network = Network.from_pathvector(routing, technique="regular")
+    for router in network.routers.values():
+        router.preprocess = preprocess
+    return graph, network
+
+
+def destinations_for(graph, count, seed):
+    rng = random.Random(seed)
+    prefixes = [
+        prefix
+        for node in graph.nodes
+        for prefix in graph.nodes[node].get("originated", ())
+    ]
+    return [
+        rng.choice(prefixes).random_address(rng) for _ in range(count)
+    ]
+
+
+def trace_tuples(report):
+    return [
+        (hop.router, hop.accesses, hop.bmp, hop.incoming_clue_length, hop.method)
+        for hop in report.packet.trace
+    ]
+
+
+@pytest.mark.parametrize("start_role", ["stub", "backbone"])
+def test_preprocessed_batches_match_scalar_exactly(start_role):
+    graph, batched_net = build_network(preprocess=True)
+    _graph, scalar_net = build_network(preprocess=True)
+    start = next(
+        node for node in graph.nodes if graph.nodes[node]["role"] == start_role
+    )
+    destinations = destinations_for(graph, 40, seed=3)
+    batched = batched_net.run_batched(destinations, start)
+    scalar = [scalar_net.send(destination, start) for destination in destinations]
+    assert len(batched) == len(scalar)
+    for fast, slow in zip(batched, scalar):
+        assert fast.delivered == slow.delivered
+        assert fast.path == slow.path
+        assert fast.exit_reason == slow.exit_reason
+        assert trace_tuples(fast) == trace_tuples(slow)
+
+
+def test_learning_batches_deliver_identically():
+    graph, batched_net = build_network(preprocess=False)
+    _graph, scalar_net = build_network(preprocess=False)
+    start = next(
+        node for node in graph.nodes if graph.nodes[node]["role"] == "stub"
+    )
+    destinations = destinations_for(graph, 60, seed=5)
+    batched = batched_net.run_batched(destinations, start)
+    scalar = [scalar_net.send(destination, start) for destination in destinations]
+    for fast, slow in zip(batched, scalar):
+        assert fast.delivered == slow.delivered
+        assert fast.path == slow.path
+        assert fast.exit_reason == slow.exit_reason
+    # And the batch actually learned: a second identical batch runs all
+    # clue-carrying hops as hits through the compiled tables.
+    again = batched_net.run_batched(destinations, start)
+    for first, second in zip(batched, again):
+        assert second.path == first.path
+
+
+def test_batch_learns_each_missed_clue_once():
+    receiver = [(Prefix(0b10, 2, 32), "east"), (Prefix(0, 0, 32), "west")]
+    router = ClueRouter("r", receiver, technique="regular", method="simple")
+    from repro.netsim import Packet
+
+    same_clue = [
+        Packet(Address((0b10 << 30) | host, 32)) for host in range(8)
+    ]
+    for packet in same_clue:
+        packet.clue.length = 2
+    hops = router.process_batch(same_clue, None)
+    assert hops == ["east"] * 8
+    lookup = router._lookups[None]
+    # One table record, one miss counted per lane, learned once.
+    assert len(lookup.table) == 1
+    assert lookup.misses == 8 and lookup.hits == 0
+    hops = router.process_batch(same_clue, None)
+    assert hops == ["east"] * 8
+    assert lookup.hits == 8
+
+
+def test_apply_update_invalidates_compiled_tables():
+    receiver = [(Prefix(0b10, 2, 32), "east")]
+    router = ClueRouter("r", receiver, technique="regular", method="simple")
+    from repro.netsim import Packet
+
+    def batch():
+        packets = [Packet(Address(0b10 << 30, 32))]
+        packets[0].clue.length = 2
+        return router.process_batch(packets, None)
+
+    batch()
+    assert batch() == ["east"]
+    assert router._compiled  # a compiled table is cached
+    router.apply_update(add=[(Prefix(0b10, 2, 32), "south")], remove=[])
+    assert not router._compiled
+    assert batch() == ["south"]
+
+
+def test_legacy_router_batches_match_scalar():
+    entries = [(Prefix(0b10, 2, 32), "east"), (Prefix(0, 0, 32), "west")]
+    batched_router = LegacyRouter("l", entries, technique="regular")
+    scalar_router = LegacyRouter("l2", entries, technique="regular")
+    from repro.netsim import Packet
+
+    rng = random.Random(9)
+    packets = [Packet(Address(rng.getrandbits(32), 32)) for _ in range(32)]
+    twins = [Packet(Address(p.destination.value, 32)) for p in packets]
+    hops = batched_router.process_batch(packets, None)
+    expected = [scalar_router.process(packet, None) for packet in twins]
+    assert hops == expected
+    for fast, slow in zip(packets, twins):
+        assert trace_tuples_of(fast) == trace_tuples_of(slow)
+
+
+def trace_tuples_of(packet):
+    return [
+        (hop.accesses, hop.bmp, hop.incoming_clue_length, hop.method)
+        for hop in packet.trace
+    ]
+
+
+def test_batch_telemetry_equals_per_packet_telemetry():
+    graph, batched_net = build_network(preprocess=True)
+    _graph, scalar_net = build_network(preprocess=True)
+    batched_net.instruments = LookupInstruments(MetricsRegistry())
+    scalar_net.instruments = LookupInstruments(MetricsRegistry())
+    for network in (batched_net, scalar_net):
+        for router in network.routers.values():
+            router.set_instruments(network.instruments)
+    start = next(
+        node for node in graph.nodes if graph.nodes[node]["role"] == "stub"
+    )
+    destinations = destinations_for(graph, 30, seed=11)
+    batched_net.run_batched(destinations, start)
+    for destination in destinations:
+        scalar_net.send(destination, start)
+    from repro.telemetry.export import render_prometheus
+
+    fast = render_prometheus(batched_net.instruments.registry)
+    slow = render_prometheus(scalar_net.instruments.registry)
+    assert fast == slow

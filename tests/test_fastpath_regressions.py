@@ -1,0 +1,106 @@
+"""Pinning regressions from the fastpath work.
+
+* The batched samplers must be *stream-identical* to the historical
+  per-packet RNG loops — same samples AND same RNG state afterwards, so
+  any code drawing from the same `random.Random` downstream sees the
+  exact numbers it always did.
+* `generate_table` used to truncate silently at large counts: a single
+  saturated prefix length (only 48 /8 top blocks exist) burned the whole
+  global attempt budget, so a 20 000-entry request returned 48 entries.
+"""
+
+import random
+
+from repro.addressing import Address
+from repro.experiments import (
+    uniform_destination_sample,
+    zipf_destination_sample,
+)
+from repro.tablegen import generate_table
+from repro.tablegen.synthetic import DEFAULT_TOP_BLOCKS
+from repro.trie.binary_trie import BinaryTrie
+
+
+def small_trie(width=32):
+    entries = generate_table(60, seed=9, width=width)
+    trie = BinaryTrie(width)
+    for prefix, hop in entries:
+        trie.insert(prefix, hop)
+    return entries, trie
+
+
+# ----------------------------------------------------------------------
+# uniform sampler: one getrandbits(width * n) == n x getrandbits(width)
+# ----------------------------------------------------------------------
+def reference_uniform(trie, count, seed, width):
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(count):
+        destination = Address(rng.getrandbits(width), width)
+        samples.append((destination, trie.best_prefix(destination)))
+    return samples, rng
+
+
+def test_uniform_sampler_is_stream_identical():
+    for width in (32, 128):
+        _entries, trie = small_trie(width)
+        for count in (0, 1, 7, 64):
+            expected, reference_rng = reference_uniform(trie, count, 5, width)
+            got = uniform_destination_sample(trie, count, seed=5, width=width)
+            assert [
+                (address.value, prefix) for address, prefix in got
+            ] == [(address.value, prefix) for address, prefix in expected]
+            # The RNG state continues identically after the batch draw.
+            continued = random.Random(5)
+            continued.getrandbits(width * count) if count else None
+            assert continued.random() == reference_rng.random()
+
+
+# ----------------------------------------------------------------------
+# zipf sampler: hoisted cumulative weights == random.choices per packet
+# ----------------------------------------------------------------------
+def reference_zipf(entries, trie, count, seed, exponent):
+    rng = random.Random(seed)
+    ranked = list(entries)
+    rng.shuffle(ranked)
+    weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(ranked))]
+    samples = []
+    while len(samples) < count:
+        prefix, _hop = rng.choices(ranked, weights=weights, k=1)[0]
+        destination = prefix.random_address(rng)
+        clue = trie.best_prefix(destination)
+        if clue is not None:
+            samples.append((destination, clue))
+    return samples
+
+
+def test_zipf_sampler_is_stream_identical():
+    entries, trie = small_trie()
+    for exponent in (0.0, 0.8, 1.4):
+        expected = reference_zipf(entries, trie, 40, 7, exponent)
+        got = zipf_destination_sample(
+            entries, trie, 40, seed=7, exponent=exponent
+        )
+        assert [
+            (address.value, prefix) for address, prefix in got
+        ] == [(address.value, prefix) for address, prefix in expected]
+
+
+# ----------------------------------------------------------------------
+# tablegen: large counts no longer truncate
+# ----------------------------------------------------------------------
+def test_generate_table_survives_saturated_lengths():
+    count = 6000
+    entries = generate_table(count, seed=42)
+    # The old failure mode returned DEFAULT_TOP_BLOCKS (48) entries: the
+    # first impossible /8 draw consumed the entire global budget.
+    assert len(entries) > DEFAULT_TOP_BLOCKS * 10
+    assert len(entries) >= int(count * 0.97)
+    assert len({prefix for prefix, _hop in entries}) == len(entries)
+
+
+def test_generate_table_small_streams_unchanged():
+    # The per-entry attempt cap must not perturb draws that never hit it.
+    assert generate_table(300, seed=1) == generate_table(300, seed=1)
+    lengths = {prefix.length for prefix, _hop in generate_table(300, seed=1)}
+    assert len(lengths) > 3
