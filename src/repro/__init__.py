@@ -29,8 +29,10 @@ Sub-packages: :mod:`repro.addressing` (prefixes), :mod:`repro.trie`
 LPM baselines), :mod:`repro.core` (the clue scheme itself),
 :mod:`repro.tablegen` (synthetic neighbouring tables),
 :mod:`repro.routing` (path-vector / link-state substrates),
-:mod:`repro.netsim` (multi-hop simulation, MPLS, deployment studies) and
-:mod:`repro.experiments` (the paper's evaluation harness).
+:mod:`repro.netsim` (multi-hop simulation, MPLS, deployment studies),
+:mod:`repro.experiments` (the paper's evaluation harness) and
+:mod:`repro.serve` (the sharded serving plane over the compiled
+fast path).
 """
 
 from repro.addressing import Address, Prefix
@@ -54,6 +56,13 @@ from repro.lookup import (
     MultiwayRangeLookup,
     PatriciaLookup,
     RegularTrieLookup,
+)
+from repro.serve import (
+    ServeConfig,
+    ServeEngine,
+    ServeReport,
+    ShardPlan,
+    ZipfLoadGenerator,
 )
 from repro.trie import BinaryTrie, PatriciaTrie, TrieOverlay
 
@@ -80,7 +89,12 @@ __all__ = [
     "Prefix",
     "ReceiverState",
     "RegularTrieLookup",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeReport",
+    "ShardPlan",
     "SimpleMethod",
     "TrieOverlay",
+    "ZipfLoadGenerator",
     "__version__",
 ]

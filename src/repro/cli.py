@@ -19,7 +19,11 @@ Subcommands mirror the common workflows:
   never-wrong-forwarding invariant;
 * ``lint``      — the :mod:`repro.analyzer` static-analysis pass over
   ``src/repro``; the exit code counts findings above the committed
-  baseline.
+  baseline;
+* ``serve``     — the sharded serving plane: certified per-shard
+  compiled tables, request batching with shed/block backpressure, a
+  seeded Zipf/bursty load generator and a differential never-wrong
+  audit, emitting ``BENCH_serve.json``.
 
 Tables may come from files (one ``prefix next_hop`` per line, RIB style)
 or from the built-in synthetic pairs (``--synthetic``).
@@ -438,6 +442,58 @@ def _cmd_bench_fastpath(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.fastpath import CertificationError
+    from repro.serve import ServeConfig, ServeEngine
+
+    if args.quick:
+        args.table_size = min(args.table_size, 2000)
+        args.requests = min(args.requests, 120000)
+        args.universe = min(args.universe, 2048)
+        args.audit = min(args.audit, 1000)
+    config = ServeConfig(
+        shards=args.shards,
+        partition=args.partition,
+        method=args.method,
+        policy=args.policy,
+        table_size=args.table_size,
+        requests=args.requests,
+        max_batch=args.batch_max,
+        max_wait=args.max_wait,
+        queue_capacity=args.queue_capacity,
+        zipf_alpha=args.alpha,
+        universe=args.universe,
+        rate=args.rate,
+        audit_samples=args.audit,
+        seed=args.seed,
+        force_python=args.force_python,
+    )
+    try:
+        engine = ServeEngine(config)
+    except CertificationError as error:
+        print("SHARD CERTIFICATION FAILED: %s" % error, file=sys.stderr)
+        return 2
+    # The serving engine is wall-clock-free by design (RC103); the CLI
+    # is the one place the real clock is injected, and passing the
+    # callable is not a timing call on a library path.
+    report = engine.run(clock=time.perf_counter)
+    text = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(report.summary(), file=sys.stderr)
+    if not report.passed():
+        print("AUDIT FAILED: sharded path disagreed with the oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -648,6 +704,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--force-python", action="store_true",
                        help="time the pure-Python fallback kernels")
     bench.set_defaults(func=_cmd_bench_fastpath)
+
+    serve = sub.add_parser(
+        "serve",
+        help="sharded serving plane: batching, backpressure, Zipf load "
+             "(BENCH_serve.json)",
+    )
+    serve.add_argument("--shards", type=int, default=4,
+                       help="worker shards (default 4)")
+    serve.add_argument("--partition", choices=("range", "hash"),
+                       default="range",
+                       help="destination partitioning (default range)")
+    serve.add_argument("--method", choices=("advance", "simple"),
+                       default="advance",
+                       help="clue-table construction (default advance)")
+    serve.add_argument("--policy", choices=("shed", "block"), default="shed",
+                       help="backpressure when a queue fills (default shed)")
+    serve.add_argument("--table-size", type=int, default=20000,
+                       help="synthetic sender-table size (default 20000)")
+    serve.add_argument("--requests", type=int, default=1000000,
+                       help="lookups to replay (default 1000000)")
+    serve.add_argument("--batch-max", type=int, default=256,
+                       help="max coalesced batch size (default 256)")
+    serve.add_argument("--max-wait", type=int, default=4,
+                       help="ticks a partial batch may wait (default 4)")
+    serve.add_argument("--queue-capacity", type=int, default=4096,
+                       help="per-shard queue bound (default 4096)")
+    serve.add_argument("--alpha", type=float, default=1.1,
+                       help="Zipf popularity skew; 0 = uniform (default 1.1)")
+    serve.add_argument("--rate", type=float, default=512.0,
+                       help="mean arrivals per tick (default 512)")
+    serve.add_argument("--universe", type=int, default=4096,
+                       help="distinct destinations in the workload")
+    serve.add_argument("--audit", type=int, default=2000,
+                       help="live requests replayed against the oracle")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--quick", action="store_true",
+                       help="CI mode: clamp to 2000 prefixes / 120k requests")
+    serve.add_argument("--output", default=None,
+                       help="write BENCH_serve.json here (default stdout)")
+    serve.add_argument("--force-python", action="store_true",
+                       help="serve on the pure-Python fallback kernels")
+    serve.set_defaults(func=_cmd_serve)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

@@ -1,0 +1,54 @@
+"""repro.serve — the sharded serving plane over the compiled fast path.
+
+The subsystem answers the systems question the paper leaves open: what
+does clue-assisted lookup buy when it is deployed as a *service* —
+partitioned across worker shards, fed by bursty heavy-tail traffic,
+with finite queues in front of every worker?  Six modules, one story:
+
+* :mod:`repro.serve.dispatch` — destination → shard (range or hash).
+* :mod:`repro.serve.shard` — a compiled-and-certified table slice.
+* :mod:`repro.serve.batcher` — kernel-sized coalescing, bounded queues,
+  explicit shed/block backpressure.
+* :mod:`repro.serve.loadgen` — seeded Zipf + bursty arrivals.
+* :mod:`repro.serve.engine` — the deterministic tick loop plus the
+  never-wrong-forwarding differential audit.
+* :mod:`repro.serve.report` — exact latency percentiles and the
+  ``BENCH_serve.json`` payload.
+
+Everything replays bit-identically from a seed; wall-clock throughput
+exists only when the CLI injects a clock (RC103).
+"""
+
+from repro.serve.batcher import (
+    BACKPRESSURE_POLICIES,
+    BatchPolicy,
+    RequestBatcher,
+)
+from repro.serve.dispatch import PARTITION_MODES, ShardPlan, route_batch
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.loadgen import LoadProfile, Workload, ZipfLoadGenerator
+from repro.serve.report import (
+    ServeReport,
+    latency_summary,
+    percentile_from_counts,
+)
+from repro.serve.shard import Shard, build_shards
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BatchPolicy",
+    "LoadProfile",
+    "PARTITION_MODES",
+    "RequestBatcher",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeReport",
+    "Shard",
+    "ShardPlan",
+    "Workload",
+    "ZipfLoadGenerator",
+    "build_shards",
+    "latency_summary",
+    "percentile_from_counts",
+    "route_batch",
+]

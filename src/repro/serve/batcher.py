@@ -1,0 +1,172 @@
+"""Request coalescing: kernel-sized batches under a max-size/max-wait policy.
+
+A :class:`RequestBatcher` fronts one shard.  Incoming lookups join a
+bounded FIFO; a batch is released as soon as ``max_batch`` requests are
+queued (an oversize burst releases several full batches in one tick),
+and a partial batch is released once the *oldest* queued request has
+waited ``max_wait`` ticks — the classic latency/throughput coalescing
+trade-off, made explicit and testable.
+
+Backpressure is a first-class outcome, not an exception: when the queue
+is full, ``shed`` policy drops the overflow (counted per shard — the
+report and the ``serve_shed_total`` series account every drop), while
+``block`` policy refuses the overflow and the engine holds it upstream
+in an ingress backlog, trading drops for latency.  :meth:`offer`
+returns how many requests were accepted so the caller always knows
+which tail was refused.
+
+Time is a caller-supplied integer tick, never a wall clock (RC103):
+the whole serving plane replays bit-identically from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lookup.hotpath import hot_path
+
+#: Backpressure policies: drop the overflow vs. refuse it (hold upstream).
+BACKPRESSURE_POLICIES = ("shed", "block")
+
+
+class BatchPolicy:
+    """The coalescing knobs shared by every shard's batcher."""
+
+    __slots__ = ("max_batch", "max_wait", "capacity", "policy")
+
+    def __init__(
+        self,
+        max_batch: int = 256,
+        max_wait: int = 4,
+        capacity: int = 4096,
+        policy: str = "shed",
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1, got %d" % max_batch)
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0, got %d" % max_wait)
+        if capacity < max_batch:
+            raise ValueError(
+                "capacity %d cannot be smaller than max_batch %d"
+                % (capacity, max_batch)
+            )
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                "unknown backpressure policy %r (choose from %s)"
+                % (policy, "/".join(BACKPRESSURE_POLICIES))
+            )
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.capacity = capacity
+        self.policy = policy
+
+    def __repr__(self) -> str:
+        return "BatchPolicy(max_batch=%d, max_wait=%d, capacity=%d, %r)" % (
+            self.max_batch,
+            self.max_wait,
+            self.capacity,
+            self.policy,
+        )
+
+
+class RequestBatcher:
+    """A bounded coalescing queue in front of one shard.
+
+    The queue is three parallel Python lists (destination value, clue
+    length, arrival tick); batches hand contiguous slices to the kernel
+    packer, so the per-request bookkeeping cost is one append and one
+    slice copy regardless of batch size.
+    """
+
+    __slots__ = ("policy", "shed", "accepted", "_values", "_lens", "_ticks")
+
+    def __init__(self, policy: Optional[BatchPolicy] = None):
+        self.policy = policy if policy is not None else BatchPolicy()
+        #: Requests dropped by shed backpressure since construction.
+        self.shed = 0
+        #: Requests admitted to the queue since construction.
+        self.accepted = 0
+        self._values: List[int] = []
+        self._lens: List[int] = []
+        self._ticks: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth (the ``serve_queue_depth`` gauge value)."""
+        return len(self._values)
+
+    def offer(self, values, lens, tick: int, arrivals=None) -> int:
+        """Enqueue up to capacity; returns how many were accepted.
+
+        ``tick`` stamps the arrival time of every request unless
+        ``arrivals`` carries per-request ticks (blocked requests being
+        retried keep their *original* arrival, so their latency includes
+        the time they spent refused upstream).  Overflow handling is the
+        policy's call: ``shed`` counts and drops the tail, ``block``
+        just refuses it (the caller keeps it and retries next tick —
+        upstream backpressure).
+        """
+        room = self.policy.capacity - len(self._values)
+        count = len(values)
+        take = count if count <= room else room
+        if take:
+            self._values.extend(values[:take])
+            self._lens.extend(lens[:take])
+            if arrivals is None:
+                self._ticks.extend([tick] * take)
+            else:
+                self._ticks.extend(arrivals[:take])
+            self.accepted += take
+        overflow = count - take
+        if overflow and self.policy.policy == "shed":
+            self.shed += overflow
+            return count  # consumed: the tail was dropped, not refused
+        return take
+
+    @hot_path
+    def take_batch(self, tick: int):
+        """Release one due batch, or ``None`` if nothing is due yet.
+
+        Due means either a full ``max_batch`` is queued, or the oldest
+        request has waited ``max_wait`` ticks.  Call repeatedly per tick
+        until it returns ``None`` — an oversize burst releases several
+        full batches back to back.  Returns ``(values, lens, ticks)``
+        slices; an empty queue never yields an (empty) batch.
+        """
+        queued = len(self._values)
+        if not queued:
+            return None
+        policy = self.policy
+        size = policy.max_batch
+        if queued < size:
+            if tick - self._ticks[0] < policy.max_wait:
+                return None
+            size = queued
+        batch = (self._values[:size], self._lens[:size], self._ticks[:size])
+        del self._values[:size]
+        del self._lens[:size]
+        del self._ticks[:size]
+        return batch
+
+    def drain_all(self, tick: int) -> List[Tuple[list, list, list]]:
+        """Flush everything queued as maximal batches (end-of-run drain)."""
+        batches = []
+        while self._values:
+            size = min(self.policy.max_batch, len(self._values))
+            batches.append(
+                (self._values[:size], self._lens[:size], self._ticks[:size])
+            )
+            del self._values[:size]
+            del self._lens[:size]
+            del self._ticks[:size]
+        return batches
+
+    def __repr__(self) -> str:
+        return "RequestBatcher(depth=%d, shed=%d, %r)" % (
+            len(self._values),
+            self.shed,
+            self.policy,
+        )

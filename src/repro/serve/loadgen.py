@@ -1,0 +1,261 @@
+"""Seeded, replayable traffic: Zipf destination popularity, bursty arrivals.
+
+Production lookup traffic is nothing like the §6 uniform destination
+sample: a few destinations dominate (heavy-tail popularity) and packets
+arrive in bursts, not a smooth stream.  The generator models both with
+two seeded knobs:
+
+* **Popularity** — a universe of ``profile.universe`` concrete
+  destination addresses is sampled under the sender's prefixes, then
+  rank *r* receives weight ``(r + 1) ** -zipf_alpha``; draws invert the
+  cumulative distribution, so ``zipf_alpha = 0`` degenerates to the
+  paper's uniform sampling and ``~1.1`` gives classic Zipf skew.
+* **Burstiness** — a two-state (calm/burst) arrival process: each tick
+  draws a Poisson arrival count around ``rate`` (times ``burst_boost``
+  while bursting); bursts start with probability ``burst_prob`` per calm
+  tick and end with probability ``1 / burst_mean`` per burst tick.
+
+Every request carries the clue a well-formed upstream would stamp: the
+sender trie's BMP length for its destination, precomputed once per
+universe entry and gathered per request.
+
+The whole workload — destination values, clue lengths, per-tick arrival
+offsets — is materialized up front as flat arrays (numpy when available,
+lists otherwise), so generating millions of requests costs a handful of
+vectorized draws, and two generators with the same seed and profile
+produce bit-identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import List, Optional
+
+from repro.addressing import Address
+from repro.experiments.fastbench import sample_destination_values
+from repro.fastpath.backend import get_numpy, numpy_eligible
+
+
+class LoadProfile:
+    """Traffic-shape knobs (all deterministic given the seed)."""
+
+    __slots__ = (
+        "zipf_alpha",
+        "universe",
+        "rate",
+        "burst_prob",
+        "burst_mean",
+        "burst_boost",
+    )
+
+    def __init__(
+        self,
+        zipf_alpha: float = 1.1,
+        universe: int = 4096,
+        rate: float = 512.0,
+        burst_prob: float = 0.05,
+        burst_mean: float = 8.0,
+        burst_boost: float = 4.0,
+    ):
+        if zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be >= 0")
+        if universe < 1:
+            raise ValueError("universe must be >= 1")
+        if rate <= 0:
+            raise ValueError("rate must be > 0 arrivals/tick")
+        if not 0.0 <= burst_prob <= 1.0:
+            raise ValueError("burst_prob must be within [0, 1]")
+        if burst_mean < 1.0:
+            raise ValueError("burst_mean must be >= 1 tick")
+        if burst_boost < 1.0:
+            raise ValueError("burst_boost must be >= 1")
+        self.zipf_alpha = zipf_alpha
+        self.universe = universe
+        self.rate = rate
+        self.burst_prob = burst_prob
+        self.burst_mean = burst_mean
+        self.burst_boost = burst_boost
+
+    def __repr__(self) -> str:
+        return (
+            "LoadProfile(zipf_alpha=%g, universe=%d, rate=%g, "
+            "burst_prob=%g, burst_mean=%g, burst_boost=%g)"
+            % (
+                self.zipf_alpha,
+                self.universe,
+                self.rate,
+                self.burst_prob,
+                self.burst_mean,
+                self.burst_boost,
+            )
+        )
+
+
+class Workload:
+    """A materialized run: flat request arrays plus per-tick offsets.
+
+    Requests ``offsets[t]:offsets[t + 1]`` arrive on tick ``t``; the
+    arrays are numpy when the backend allows, plain lists otherwise
+    (the kernels accept either — same contract as
+    ``as_destination_array``).
+    """
+
+    __slots__ = ("values", "clue_lens", "offsets", "burst_ticks")
+
+    def __init__(self, values, clue_lens, offsets, burst_ticks: int):
+        self.values = values
+        self.clue_lens = clue_lens
+        self.offsets = offsets
+        #: Ticks spent in the burst state (workload-shape diagnostics).
+        self.burst_ticks = burst_ticks
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def ticks(self) -> int:
+        """Number of arrival ticks in the run."""
+        return len(self.offsets) - 1
+
+    def __repr__(self) -> str:
+        return "Workload(requests=%d, ticks=%d, burst_ticks=%d)" % (
+            len(self.values),
+            self.ticks,
+            self.burst_ticks,
+        )
+
+
+class ZipfLoadGenerator:
+    """Seeded heavy-tail request stream over a sender-derived universe."""
+
+    def __init__(
+        self,
+        sender_entries,
+        sender_trie,
+        profile: Optional[LoadProfile] = None,
+        seed: int = 0,
+        width: int = 32,
+    ):
+        self.profile = profile if profile is not None else LoadProfile()
+        self.seed = seed
+        self.width = width
+        self.universe_values = sample_destination_values(
+            sender_entries, self.profile.universe, seed=seed, width=width
+        )
+        #: The clue a well-formed upstream stamps per universe entry:
+        #: its sender-BMP length (−1 if the sender has no match).
+        self.universe_lens: List[int] = []
+        for value in self.universe_values:
+            bmp = sender_trie.best_prefix(Address(value, width))
+            self.universe_lens.append(bmp.length if bmp is not None else -1)
+        # Zipf CDF over popularity ranks (rank = universe position; the
+        # universe sample is already seed-shuffled across the space).
+        alpha = self.profile.zipf_alpha
+        weights = [
+            (rank + 1) ** -alpha for rank in range(self.profile.universe)
+        ]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight
+            cumulative.append(running / total)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    # ------------------------------------------------------------------
+    def _arrival_counts(self, total: int, rng) -> "tuple[list, int]":
+        """Per-tick arrival counts summing to exactly ``total``."""
+        profile = self.profile
+        counts: List[int] = []
+        produced = 0
+        bursting = False
+        burst_ticks = 0
+        end_prob = 1.0 / profile.burst_mean
+        while produced < total:
+            if bursting:
+                burst_ticks += 1
+                if rng.random() < end_prob:
+                    bursting = False
+            elif rng.random() < profile.burst_prob:
+                bursting = True
+            rate = profile.rate * (profile.burst_boost if bursting else 1.0)
+            count = _poisson(rng, rate)
+            if produced + count > total:
+                count = total - produced
+            produced += count
+            counts.append(count)
+        return counts, burst_ticks
+
+    def generate(self, total: int) -> Workload:
+        """Materialize ``total`` requests; same seed ⇒ identical workload."""
+        if total < 1:
+            raise ValueError("total must be >= 1, got %d" % total)
+        np = get_numpy()
+        if np is not None and numpy_eligible(self.width):
+            rng = np.random.default_rng(self.seed + 1)
+            counts, burst_ticks = self._arrival_counts(
+                total, _NumpyUniform(rng)
+            )
+            draws = rng.random(total)
+            cdf = np.asarray(self._cdf)
+            picks = np.minimum(
+                np.searchsorted(cdf, draws, side="right"), len(cdf) - 1
+            )
+            uni_values = np.asarray(self.universe_values, dtype=np.int64)
+            uni_lens = np.asarray(self.universe_lens, dtype=np.int64)
+            values = uni_values[picks]
+            clue_lens = uni_lens[picks]
+            offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(np.asarray(counts, dtype=np.int64), out=offsets[1:])
+            return Workload(values, clue_lens, offsets, burst_ticks)
+        rng = random.Random(self.seed + 1)
+        counts, burst_ticks = self._arrival_counts(total, rng)
+        cdf = self._cdf
+        top = len(cdf) - 1
+        values: List[int] = []
+        clue_lens: List[int] = []
+        for _ in range(total):
+            pick = bisect_left(cdf, rng.random())
+            if pick > top:
+                pick = top
+            values.append(self.universe_values[pick])
+            clue_lens.append(self.universe_lens[pick])
+        offsets = [0]
+        for count in counts:
+            offsets.append(offsets[-1] + count)
+        return Workload(values, clue_lens, offsets, burst_ticks)
+
+
+class _NumpyUniform:
+    """Adapter giving ``numpy.random.Generator`` the ``random.Random``
+    scalar surface the arrival loop uses (``random()`` and Poisson)."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng):
+        self._rng = rng
+
+    def random(self) -> float:
+        return float(self._rng.random())
+
+    def poisson(self, rate: float) -> int:
+        return int(self._rng.poisson(rate))
+
+
+def _poisson(rng, rate: float) -> int:
+    """A Poisson-ish arrival count from whichever RNG we were handed.
+
+    numpy draws real Poisson counts; the stdlib fallback uses the
+    integer part plus a Bernoulli fraction — deterministic, mean-exact,
+    and close enough for a load model that only needs burst structure.
+    """
+    draw = getattr(rng, "poisson", None)
+    if draw is not None:
+        return int(draw(rate))
+    base = int(rate)
+    frac = rate - base
+    if frac > 0.0 and rng.random() < frac:
+        base += 1
+    return base

@@ -1,0 +1,210 @@
+"""Worker shards: a compiled-and-certified slice of the lookup tables.
+
+Each :class:`Shard` owns the receiver-table prefixes whose address
+ranges overlap its destination range (see
+:meth:`repro.serve.dispatch.ShardPlan.prefix_shards` — prefixes shorter
+than the shard grid are replicated, everything else lands on exactly
+one shard) and a clue table built over the sender prefixes overlapping
+the same range.  Because every prefix that can match a destination owned
+by the shard is present in the slice, the shard-local lookup returns the
+same ``(prefix, next_hop)`` decision as the full-table scalar path — the
+engine's differential audit re-verifies that end to end on live traffic.
+
+Building reuses the existing machinery unchanged: the slice becomes a
+``ReceiverState``, the Simple/Advance builders produce the clue table,
+``repro.fastpath.compile`` freezes both into flat arrays, and — the
+certification gate — ``certify_full``/``certify_clue`` must pass over a
+deterministic sweep before the shard is allowed to serve a single
+request.  An uncertified shard raises; the serving plane never starts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.advance import AdvanceMethod
+from repro.core.lookup import ClueAssistedLookup
+from repro.core.receiver import ReceiverState
+from repro.core.simple import SimpleMethod
+from repro.fastpath.certify import (
+    certification_batch,
+    certify_clue,
+    certify_full,
+)
+from repro.fastpath.compile import compile_clue_table, compile_trie
+from repro.fastpath.kernels import lookup_batch
+from repro.lookup.hotpath import hot_path
+from repro.lookup.regular import RegularTrieLookup
+from repro.serve.dispatch import ShardPlan
+
+METHODS = ("simple", "advance")
+
+
+class Shard:
+    """One worker: a certified compiled table slice plus its counters."""
+
+    __slots__ = (
+        "shard_id",
+        "width",
+        "entries",
+        "clue_universe",
+        "state",
+        "ctrie",
+        "ctable",
+        "scalar",
+        "certified_lanes",
+        "force_python",
+        "requests",
+        "batches",
+        "metrics",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        entries: List[Tuple[object, object]],
+        clue_universe: List[object],
+        sender_trie,
+        method: str = "advance",
+        width: int = 32,
+        seed: int = 0,
+        force_python: bool = False,
+        metrics=None,
+    ):
+        if method not in METHODS:
+            raise ValueError("method must be one of %s" % (METHODS,))
+        self.shard_id = shard_id
+        self.width = width
+        self.entries = list(entries)
+        self.clue_universe = list(clue_universe)
+        self.force_python = force_python
+        self.requests = 0
+        self.batches = 0
+        #: Pre-bound per-shard instrument view (``ShardInstruments``);
+        #: ``None`` keeps the shard usable without telemetry.
+        self.metrics = metrics
+        self.state = ReceiverState(self.entries, width)
+        if method == "advance":
+            builder = AdvanceMethod(sender_trie, self.state, "regular")
+        else:
+            builder = SimpleMethod(self.state, "regular")
+        table = builder.build_table(self.clue_universe)
+        self.ctrie = compile_trie(self.state.trie)
+        self.ctable = compile_clue_table(table, self.ctrie)
+        #: The shard-local scalar twin — certification target and the
+        #: per-request reference the engine's audit decodes against.
+        self.scalar = ClueAssistedLookup(
+            RegularTrieLookup(self.entries, width), table
+        )
+        self.certified_lanes = self._certify(sender_trie, seed)
+
+    def _certify(self, sender_trie, seed: int) -> int:
+        """The gate: kernels must agree with the scalar slice, exactly.
+
+        Raises :class:`repro.fastpath.certify.CertificationError` on the
+        first divergence; the engine refuses to build a serving plane
+        around a shard that did not pass.
+        """
+        sweep = list(self.entries)
+        sweep.extend((clue, None) for clue in self.clue_universe)
+        if not sweep:
+            return 0
+        dsts, lens = certification_batch(
+            sender_trie, sweep, width=self.width, seed=seed
+        )
+        checked = certify_full(
+            self.ctrie,
+            RegularTrieLookup(self.entries, self.width),
+            dsts,
+            force_python=self.force_python,
+        )
+        checked += certify_clue(
+            self.ctable, self.scalar, dsts, lens, force_python=self.force_python
+        )
+        return checked
+
+    @hot_path
+    def process(self, dsts, clue_lens):
+        """Serve one coalesced batch: result codes + memref counts.
+
+        ``dsts``/``clue_lens`` come packed from the batcher
+        (``as_destination_array`` layout); the returned codes decode
+        through ``self.ctable.trie.pool``.  One kernel invocation per
+        batch — no per-request Python.
+        """
+        methods, codes, new_clues, memrefs = lookup_batch(
+            self.ctable, dsts, clue_lens, force_python=self.force_python
+        )
+        lanes = len(dsts)
+        self.requests += lanes
+        self.batches += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.requests.inc(lanes)
+            metrics.batches.inc()
+            metrics.batch_size.observe(lanes)
+        return codes, memrefs
+
+    def decode(self, code: int) -> Tuple[Optional[object], Optional[object]]:
+        """``(prefix, next_hop)`` for one result code (audit/report path)."""
+        pool = self.ctable.trie.pool
+        if code < 0:
+            return None, None
+        return pool.prefixes[code], pool.next_hops[code]
+
+    def __repr__(self) -> str:
+        return "Shard(id=%d, prefixes=%d, clues=%d)" % (
+            self.shard_id,
+            len(self.entries),
+            len(self.clue_universe),
+        )
+
+
+def build_shards(
+    plan: ShardPlan,
+    receiver_entries,
+    sender_trie,
+    method: str = "advance",
+    width: int = 32,
+    seed: int = 0,
+    force_python: bool = False,
+    instruments=None,
+) -> List[Shard]:
+    """Partition the tables along ``plan`` and build every shard.
+
+    Each receiver entry and each sender prefix (the clue universe) is
+    placed on every shard its address range overlaps; each shard then
+    compiles and certifies independently.  Returns the shards in id
+    order.
+    """
+    entry_slices: List[List[Tuple[object, object]]] = [
+        [] for _ in range(plan.shards)
+    ]
+    for prefix, next_hop in receiver_entries:
+        for shard in plan.prefix_shards(prefix):
+            entry_slices[shard].append((prefix, next_hop))
+    clue_slices: List[List[object]] = [[] for _ in range(plan.shards)]
+    for clue in sender_trie.prefixes():
+        for shard in plan.prefix_shards(clue):
+            clue_slices[shard].append(clue)
+    shards = []
+    for shard_id in range(plan.shards):
+        metrics = (
+            instruments.bind_shard(str(shard_id))
+            if instruments is not None
+            else None
+        )
+        shards.append(
+            Shard(
+                shard_id,
+                entry_slices[shard_id],
+                clue_slices[shard_id],
+                sender_trie,
+                method=method,
+                width=width,
+                seed=seed,
+                force_python=force_python,
+                metrics=metrics,
+            )
+        )
+    return shards

@@ -32,6 +32,11 @@ metric                                kind       labels
 ``clue_guard_rejections_total``       counter    router, reason
 ``neighbors_quarantined_total``       counter    router
 ``degraded_lookup_accesses``          histogram  router
+``serve_requests_total``              counter    shard
+``serve_batches_total``               counter    shard
+``serve_shed_total``                  counter    shard
+``serve_queue_depth``                 gauge      shard
+``serve_batch_size``                  histogram  shard
 ====================================  =========  =====================
 
 Identities the series satisfy by construction (and the end-to-end tests
@@ -73,6 +78,13 @@ DIRECT_UPSTREAM = "direct"
 #: (``clue_table_staleness``): deactivated records still awaiting their
 #: deferred rebuild.  Zero means the pair is fully converged.
 STALENESS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Released batch sizes (``serve_batch_size``): powers of two up to the
+#: kernel-sized default; a healthy batcher sits near ``max_batch``,
+#: max-wait flushes of a trickling queue populate the low buckets.
+BATCH_SIZE_BUCKETS = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
 
 
 class RouterInstruments:
@@ -206,6 +218,29 @@ class GuardInstruments:
         return "GuardInstruments(%r)" % self.owner
 
 
+class ShardInstruments:
+    """Per-shard bound view of the serving-plane series (repro.serve).
+
+    Every handle is pre-bound at shard construction so the batch path
+    (``Shard.process``, the engine tick loop) records without a single
+    ``labels(...)`` call — the same zero-allocation discipline as
+    :class:`RouterInstruments`.
+    """
+
+    __slots__ = ("owner", "requests", "batches", "shed", "queue_depth", "batch_size")
+
+    def __init__(self, instruments: "LookupInstruments", owner: str):
+        self.owner = owner
+        self.requests = instruments.serve_requests.labels(owner)
+        self.batches = instruments.serve_batches.labels(owner)
+        self.shed = instruments.serve_shed.labels(owner)
+        self.queue_depth = instruments.serve_queue_depth.labels(owner)
+        self.batch_size = instruments.serve_batch_size.labels(owner)
+
+    def __repr__(self) -> str:
+        return "ShardInstruments(%r)" % self.owner
+
+
 class LookupInstruments:
     """The canonical metric set over one registry, plus an optional tracer."""
 
@@ -321,6 +356,33 @@ class LookupInstruments:
             labels=("router",),
             buckets=DEFAULT_BUCKETS,
         )
+        # -- serving-plane series (repro.serve) ---------------------------
+        self.serve_requests = reg.counter(
+            "serve_requests_total",
+            "Lookup requests served through the batched shard plane",
+            labels=("shard",),
+        )
+        self.serve_batches = reg.counter(
+            "serve_batches_total",
+            "Coalesced batches released to the shard kernels",
+            labels=("shard",),
+        )
+        self.serve_shed = reg.counter(
+            "serve_shed_total",
+            "Requests dropped by shed backpressure at a full shard queue",
+            labels=("shard",),
+        )
+        self.serve_queue_depth = reg.gauge(
+            "serve_queue_depth",
+            "Pending requests in a shard's batcher queue (end of tick)",
+            labels=("shard",),
+        )
+        self.serve_batch_size = reg.histogram(
+            "serve_batch_size",
+            "Requests per released batch (max-size vs max-wait mix)",
+            labels=("shard",),
+            buckets=BATCH_SIZE_BUCKETS,
+        )
 
     # -- binding --------------------------------------------------------
     def bind_router(self, owner: str) -> RouterInstruments:
@@ -355,6 +417,11 @@ class LookupInstruments:
     def bind_guard(self, router: str) -> "GuardInstruments":
         """A per-router guard monitor (the GuardedLookup telemetry sink)."""
         return GuardInstruments(self, router)
+
+    # -- serving-plane recording ------------------------------------------
+    def bind_shard(self, shard: str) -> ShardInstruments:
+        """A per-shard serving-plane view with every label pre-bound."""
+        return ShardInstruments(self, shard)
 
     # -- churn recording -------------------------------------------------
     def record_update(self, kind: str, count: int = 1) -> None:

@@ -30,13 +30,14 @@ class TestPackageSurface:
         import repro.lookup
         import repro.netsim
         import repro.routing
+        import repro.serve
         import repro.tablegen
         import repro.trie
 
         for module in (
             repro.addressing, repro.analysis, repro.classify, repro.core,
             repro.experiments, repro.lookup, repro.netsim, repro.routing,
-            repro.tablegen, repro.trie,
+            repro.serve, repro.tablegen, repro.trie,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)

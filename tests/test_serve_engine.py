@@ -1,0 +1,211 @@
+"""End-to-end tests for the sharded serving engine and its CLI.
+
+The engine's contract: seeded runs replay bit-identically (the whole
+``BENCH_serve.json`` payload, not just totals), the conservation law
+``completed + shed == offered`` holds under both backpressure policies,
+the differential audit finds zero disagreements between the sharded
+path and the full-table oracle, and the CLI exposes all of it with the
+wall clock injected only at the very top (RC103).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ServeConfig, ServeEngine
+
+
+def small_config(**overrides):
+    base = dict(
+        shards=3,
+        table_size=400,
+        requests=6000,
+        universe=256,
+        rate=256.0,
+        audit_samples=300,
+        seed=7,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return ServeEngine(small_config()).run().as_dict()
+
+
+class TestEngineRun:
+    def test_completes_every_request_without_pressure(self, small_report):
+        totals = small_report["totals"]
+        assert totals["offered"] == 6000
+        assert totals["completed"] == 6000
+        assert totals["shed"] == 0
+        assert totals["batches"] > 0
+
+    def test_latency_percentiles_are_exact_ticks(self, small_report):
+        latency = small_report["latency"]
+        assert latency["count"] == 6000
+        assert latency["unit"] == "ticks"
+        for key in ("p50", "p99", "p999"):
+            assert isinstance(latency[key], int)
+        assert 0 <= latency["p50"] <= latency["p99"] <= latency["p999"]
+        assert latency["p999"] <= latency["max"]
+
+    def test_audit_is_clean_and_certification_counted(self, small_report):
+        assert small_report["audit"]["checked"] == 300
+        assert small_report["audit"]["disagreements"] == 0
+        assert small_report["certification"]["lanes"] > 0
+        assert small_report["certification"]["disagreements"] == 0
+
+    def test_every_shard_served_and_counts_reconcile(self, small_report):
+        shards = small_report["shards"]
+        assert len(shards) == 3
+        assert all(shard["requests"] > 0 for shard in shards)
+        assert (
+            sum(shard["requests"] for shard in shards)
+            == small_report["totals"]["completed"]
+        )
+
+    def test_no_clock_means_no_wall_figures(self, small_report):
+        assert small_report["totals"]["elapsed_s"] is None
+        assert small_report["totals"]["sustained_pps"] is None
+
+    def test_injected_clock_fills_in_pps(self):
+        ticks = iter(range(1000))
+        # A fake monotonic clock: the engine must never read time itself.
+        report = ServeEngine(small_config(requests=500)).run(
+            clock=lambda: float(next(ticks))
+        )
+        totals = report.as_dict()["totals"]
+        assert totals["elapsed_s"] is not None
+        assert totals["sustained_pps"] is not None
+
+
+class TestDeterminism:
+    def test_same_seed_same_payload(self):
+        first = ServeEngine(small_config()).run().as_dict()
+        second = ServeEngine(small_config()).run().as_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_different_seed_different_workload(self, small_report):
+        other = ServeEngine(small_config(seed=8)).run().as_dict()
+        assert (
+            other["latency"] != small_report["latency"]
+            or other["totals"]["ticks"] != small_report["totals"]["ticks"]
+        )
+
+
+class TestBackpressurePolicies:
+    def test_shed_conserves_and_counts(self):
+        config = small_config(
+            policy="shed",
+            max_batch=16,
+            queue_capacity=16,
+            rate=2048.0,
+            audit_samples=0,
+        )
+        totals = ServeEngine(config).run().as_dict()["totals"]
+        assert totals["shed"] > 0
+        assert totals["completed"] + totals["shed"] == totals["offered"]
+
+    def test_block_never_drops(self):
+        config = small_config(
+            policy="block",
+            max_batch=16,
+            queue_capacity=32,
+            rate=2048.0,
+            audit_samples=100,
+        )
+        report = ServeEngine(config).run()
+        totals = report.as_dict()["totals"]
+        assert totals["shed"] == 0
+        assert totals["completed"] == totals["offered"]
+        assert report.passed()
+
+    def test_blocking_shows_up_as_latency(self):
+        relaxed = small_config(audit_samples=0, rate=512.0)
+        squeezed = small_config(
+            policy="block",
+            max_batch=16,
+            queue_capacity=16,
+            rate=2048.0,
+            audit_samples=0,
+        )
+        fast = ServeEngine(relaxed).run().as_dict()["latency"]
+        slow = ServeEngine(squeezed).run().as_dict()["latency"]
+        assert slow["p99"] > fast["p99"]
+
+
+class TestPartitionModes:
+    @pytest.mark.parametrize("partition", ["range", "hash"])
+    @pytest.mark.parametrize("method", ["advance", "simple"])
+    def test_modes_and_methods_audit_clean(self, partition, method):
+        config = small_config(
+            partition=partition,
+            method=method,
+            requests=2000,
+            audit_samples=200,
+        )
+        report = ServeEngine(config).run()
+        assert report.passed()
+        assert report.as_dict()["totals"]["completed"] == 2000
+
+    def test_force_python_matches_numpy_results(self):
+        numpy_run = ServeEngine(small_config(requests=1500)).run().as_dict()
+        python_run = ServeEngine(
+            small_config(requests=1500, force_python=True)
+        ).run().as_dict()
+        assert numpy_run["latency"] == python_run["latency"]
+        assert numpy_run["totals"]["completed"] == (
+            python_run["totals"]["completed"]
+        )
+        assert python_run["backend"] == "python"
+
+
+class TestServeCli:
+    def test_cli_writes_payload_and_exits_zero(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "serve",
+                "--shards", "2",
+                "--table-size", "300",
+                "--requests", "2000",
+                "--universe", "128",
+                "--audit", "200",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["bench"] == "serve"
+        assert payload["audit"]["disagreements"] == 0
+        assert payload["totals"]["sustained_pps"] is not None
+        assert payload["latency"]["p999"] is not None
+        err = capsys.readouterr().err
+        assert "sustained" in err and "audit" in err
+
+    def test_cli_quick_clamps_scale(self, tmp_path):
+        output = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "serve",
+                "--quick",
+                "--requests", "3000",
+                "--table-size", "300",
+                "--universe", "128",
+                "--audit", "150",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["config"]["table_size"] <= 2000
+        assert payload["config"]["requests"] <= 120000
+
+    def test_cli_rejects_bad_partition(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--partition", "modulo"])
