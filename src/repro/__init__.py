@@ -30,12 +30,20 @@ LPM baselines), :mod:`repro.core` (the clue scheme itself),
 :mod:`repro.tablegen` (synthetic neighbouring tables),
 :mod:`repro.routing` (path-vector / link-state substrates),
 :mod:`repro.netsim` (multi-hop simulation, MPLS, deployment studies),
-:mod:`repro.experiments` (the paper's evaluation harness) and
+:mod:`repro.experiments` (the paper's evaluation harness),
 :mod:`repro.serve` (the sharded serving plane over the compiled
-fast path).
+fast path) and :mod:`repro.control` (the link-state IGP whose SPF
+routes feed the clue data path live).
 """
 
 from repro.addressing import Address, Prefix
+from repro.control import (
+    ControlEngine,
+    ControlPlane,
+    ControlProcess,
+    ControlReport,
+    build_control_scenario,
+)
 from repro.core import (
     AdvanceMethod,
     ClueAssistedLookup,
@@ -78,6 +86,10 @@ __all__ = [
     "ClueEntry",
     "ClueHeader",
     "ClueTable",
+    "ControlEngine",
+    "ControlPlane",
+    "ControlProcess",
+    "ControlReport",
     "IndexedClueLookup",
     "LearningClueLookup",
     "LogWLookup",
@@ -97,4 +109,5 @@ __all__ = [
     "TrieOverlay",
     "ZipfLoadGenerator",
     "__version__",
+    "build_control_scenario",
 ]

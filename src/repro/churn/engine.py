@@ -35,6 +35,7 @@ import networkx as nx
 
 from repro.core.maintenance import MaintainedClueTable
 from repro.churn.audit import AuditReport, ConsistencyAuditor
+from repro.churn.feed import build_adjacency_pairs
 from repro.churn.stream import ANNOUNCE, UpdateStream
 from repro.netsim.invariant import wrong_hops
 from repro.netsim.packet import Packet
@@ -268,21 +269,11 @@ class ChurnEngine:
         #: adjacency; the receiver side *shares* the router's own
         #: ReceiverState, so a route change mutates one structure that
         #: both the data path and the maintenance machinery observe.
-        self.pairs: Dict[Tuple[str, str], MaintainedClueTable] = {}
-        for r_name in sorted(self._clue_routers):
-            router = self._clue_routers[r_name]
-            for s_name in sorted(router._neighbor_tries):
-                if s_name not in network.routers:
-                    continue
-                sender = network.routers[s_name]
-                maintained = MaintainedClueTable(
-                    sender.receiver.entries,
-                    router.receiver,
-                    technique=self.technique,
-                    width=router.receiver.width,
-                )
-                router.attach_maintained(s_name, maintained)
-                self.pairs[(s_name, r_name)] = maintained
+        #: Construction is shared with the control-plane delta feed
+        #: (:func:`repro.churn.feed.build_adjacency_pairs`).
+        self.pairs: Dict[Tuple[str, str], MaintainedClueTable] = (
+            build_adjacency_pairs(network, self.technique)
+        )
 
     # ------------------------------------------------------------------
     def _adjacency_graph(self) -> nx.Graph:

@@ -23,7 +23,12 @@ Subcommands mirror the common workflows:
 * ``serve``     — the sharded serving plane: certified per-shard
   compiled tables, request batching with shed/block backpressure, a
   seeded Zipf/bursty load generator and a differential never-wrong
-  audit, emitting ``BENCH_serve.json``.
+  audit, emitting ``BENCH_serve.json``;
+* ``control``   — convergence under load: a seeded link-state IGP
+  (hello/adjacency, LSA flooding, SPF) computes the routing tables
+  live while flaps, cost changes and crashes perturb it; SPF deltas
+  feed the clue tables and a brute-force shortest-path certifier
+  gates the result, emitting ``BENCH_control.json``.
 
 Tables may come from files (one ``prefix next_hop`` per line, RIB style)
 or from the built-in synthetic pairs (``--synthetic``).
@@ -343,6 +348,86 @@ def _cmd_faults(args) -> int:
     return 0 if report.passed() else 1
 
 
+def _cmd_control(args) -> int:
+    import json
+
+    from repro.control import (
+        ControlConvergenceError,
+        ControlInvariantError,
+        build_control_scenario,
+    )
+    from repro.telemetry.export import render_prometheus
+
+    if args.quick:
+        args.per_node = min(args.per_node, 6)
+        args.ticks = min(args.ticks, 80)
+        args.traffic = min(args.traffic, 6)
+    try:
+        scenario = build_control_scenario(
+            routers=args.routers,
+            per_node=args.per_node,
+            seed=args.seed,
+            technique=args.technique,
+            ticks=args.ticks,
+            flaps=args.flaps,
+            crashes=args.crashes,
+            cost_changes=args.cost_changes,
+            hello_interval=args.hello_interval,
+            dead_interval=args.dead_interval,
+            retransmit_interval=args.retransmit_interval,
+        )
+    except ControlConvergenceError as error:
+        print("WARMUP NEVER CONVERGED: %s" % error, file=sys.stderr)
+        return 2
+    try:
+        report = scenario.network.run_with_control(
+            scenario.plane,
+            scenario.plan,
+            ticks=args.ticks,
+            traffic_per_tick=args.traffic,
+            cost_changes=scenario.cost_changes,
+            rebuild_budget=args.rebuild_budget,
+            seed=args.seed,
+            hard_invariant=not args.soft_invariant,
+        )
+    except ControlInvariantError as error:
+        print("CONTROL INVARIANT VIOLATED: %s" % error, file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        text = render_prometheus(scenario.network.instruments.registry)
+    else:
+        payload = {"scenario": scenario.config}
+        payload.update(report.as_dict())
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    summary = report.summary()
+    print(
+        "control: %d ticks (%d converged), %d episodes, %d oracle "
+        "divergences, %d wrong hops; %s"
+        % (
+            summary["ticks"],
+            summary["ticks_converged"],
+            summary["episodes"],
+            summary["next_hop_divergences"] + summary["table_divergences"],
+            summary["wrong_hops"],
+            summary["claim"],
+        ),
+        file=sys.stderr,
+    )
+    if summary["next_hop_divergences"] or summary["table_divergences"]:
+        print(
+            "ORACLE DIVERGENCE: post-convergence tables differ from the "
+            "brute-force shortest-path certifier",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if report.passed() else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analyzer import (
         analyze_paths,
@@ -653,6 +738,48 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--format", choices=("json", "prom"), default="json",
                         help="report format (default json)")
     faults.set_defaults(func=_cmd_faults)
+
+    control = sub.add_parser(
+        "control",
+        help="convergence under load: a link-state IGP drives the clue "
+             "data path (BENCH_control.json)",
+    )
+    control.add_argument("--routers", type=int, default=12,
+                         help="mesh size (default 12)")
+    control.add_argument("--per-node", type=int, default=8,
+                         help="originated prefixes per router")
+    control.add_argument("--ticks", type=int, default=120,
+                         help="simulation ticks after warmup (default 120)")
+    control.add_argument("--traffic", type=int, default=8,
+                         help="packets forwarded per tick")
+    control.add_argument("--flaps", type=int, default=2,
+                         help="link-flap windows to schedule")
+    control.add_argument("--crashes", type=int, default=1,
+                         help="router crash-restart windows to schedule")
+    control.add_argument("--cost-changes", type=int, default=2,
+                         help="link-cost changes to schedule")
+    control.add_argument("--hello-interval", type=int, default=1,
+                         help="ticks between hellos (default 1)")
+    control.add_argument("--dead-interval", type=int, default=4,
+                         help="silent ticks before an adjacency dies")
+    control.add_argument("--retransmit-interval", type=int, default=2,
+                         help="ticks before an unacked LSA is resent")
+    control.add_argument("--rebuild-budget", type=int, default=None,
+                         help="max clue entries rebuilt per tick "
+                              "(default: drain the backlog)")
+    control.add_argument("--soft-invariant", action="store_true",
+                         help="record wrong hops instead of raising")
+    control.add_argument("--technique", default="patricia",
+                         choices=("regular", "patricia", "binary", "6way"))
+    control.add_argument("--seed", type=int, default=0)
+    control.add_argument("--quick", action="store_true",
+                         help="CI mode: clamp prefixes/ticks/traffic "
+                              "(the 12-router mesh is kept)")
+    control.add_argument("--output", default=None,
+                         help="write BENCH_control.json here (default stdout)")
+    control.add_argument("--format", choices=("json", "prom"), default="json",
+                         help="report format (default json)")
+    control.set_defaults(func=_cmd_control)
 
     lint = sub.add_parser(
         "lint",

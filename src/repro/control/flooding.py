@@ -1,0 +1,84 @@
+"""Reliable-flooding bookkeeping: per-neighbour retransmission lists.
+
+Every LSA sent to a neighbour stays on that neighbour's pending list
+until an :class:`~repro.control.lsa.LsAck` covering its ``(origin,
+seq)`` arrives; while pending it is retransmitted every
+``retransmit_interval`` ticks.  The list is keyed by *origin*, so
+queueing a newer LSA for an origin silently replaces the stale pending
+copy — exactly the OSPF rule that a retransmission always carries the
+freshest instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.control.lsa import RouterLSA
+
+
+class FloodingState:
+    """Unacknowledged-LSA tracking for one router's neighbours."""
+
+    __slots__ = ("retransmit_interval", "_pending")
+
+    def __init__(self, retransmit_interval: int = 2):
+        if retransmit_interval < 1:
+            raise ValueError("retransmit interval must be >= 1")
+        self.retransmit_interval = retransmit_interval
+        #: neighbor -> origin -> (freshest pending LSA, next-due tick)
+        self._pending: Dict[str, Dict[str, Tuple[RouterLSA, int]]] = {}
+
+    def queue(self, neighbor: str, lsa: RouterLSA, tick: int) -> None:
+        """Track ``lsa`` as sent-but-unacked to ``neighbor`` at ``tick``."""
+        per_origin = self._pending.setdefault(neighbor, {})
+        per_origin[lsa.origin] = (lsa, tick + self.retransmit_interval)
+
+    def ack(self, neighbor: str, keys: Iterable[Tuple[str, int]]) -> int:
+        """Clear pending entries covered by ``(origin, seq)`` acks.
+
+        An ack for seq N covers any pending instance with seq <= N, so
+        a late ack never cancels a *newer* pending LSA.  Returns the
+        number of entries cleared.
+        """
+        per_origin = self._pending.get(neighbor)
+        if not per_origin:
+            return 0
+        cleared = 0
+        for origin, seq in keys:
+            entry = per_origin.get(origin)
+            if entry is not None and entry[0].seq <= seq:
+                del per_origin[origin]
+                cleared += 1
+        if not per_origin:
+            self._pending.pop(neighbor, None)
+        return cleared
+
+    def due(self, tick: int) -> List[Tuple[str, List[RouterLSA]]]:
+        """Pending LSAs whose retransmission timer expired, rescheduled."""
+        out: List[Tuple[str, List[RouterLSA]]] = []
+        for neighbor in sorted(self._pending):
+            per_origin = self._pending[neighbor]
+            expired = [
+                origin
+                for origin in sorted(per_origin)
+                if per_origin[origin][1] <= tick
+            ]
+            if not expired:
+                continue
+            batch = []
+            for origin in expired:
+                lsa, _due = per_origin[origin]
+                per_origin[origin] = (lsa, tick + self.retransmit_interval)
+                batch.append(lsa)
+            out.append((neighbor, batch))
+        return out
+
+    def clear_neighbor(self, neighbor: str) -> None:
+        """Drop all pending state for a dead adjacency."""
+        self._pending.pop(neighbor, None)
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+    def unacked_count(self) -> int:
+        return sum(len(per) for per in self._pending.values())

@@ -1,0 +1,118 @@
+"""Link-state advertisements and the control-plane message vocabulary.
+
+A :class:`RouterLSA` is the unit of link-state knowledge: one router's
+view of itself — which adjacencies it considers fully up (with their
+costs) and which prefixes it originates.  Freshness is a sequence
+number, OSPF-style: a higher ``seq`` for the same origin always
+replaces a lower one, and content is never compared across equal
+sequence numbers (the originator bumps ``seq`` on every change, so
+equal-seq copies are identical by construction).
+
+Three message types cross a link, all delivered with one tick of
+latency by the :class:`~repro.control.plane.ControlPlane` wire:
+
+* :class:`Hello` — periodic liveness, carrying the names of the
+  neighbours the sender currently hears (the receiver learns two-way
+  connectivity by finding itself in that list);
+* :class:`LsUpdate` — a batch of LSAs being flooded; reliable, because
+  the sender retransmits until each LSA is acknowledged;
+* :class:`LsAck` — acknowledges ``(origin, seq)`` pairs, stopping the
+  matching retransmissions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.addressing import Prefix
+
+#: Ticks after which an un-refreshed LSA is purged from an LSDB.  High
+#: enough that no scenario in this repo ages a live LSA out; the purge
+#: path exists (and is tested) for protocol completeness.
+DEFAULT_MAX_AGE = 4096
+
+
+def _prefix_key(prefix: Prefix) -> Tuple[int, int]:
+    return (prefix.length, prefix.bits)
+
+
+class RouterLSA:
+    """One router's advertised state at one sequence number."""
+
+    __slots__ = ("origin", "seq", "links", "prefixes")
+
+    def __init__(
+        self,
+        origin: str,
+        seq: int,
+        links: Iterable[Tuple[str, int]],
+        prefixes: Iterable[Prefix],
+    ):
+        if seq < 1:
+            raise ValueError("LSA sequence numbers start at 1")
+        self.origin = origin
+        self.seq = seq
+        #: ``(neighbor, cost)`` for every adjacency the origin considers
+        #: FULL, sorted for deterministic digests and floods.
+        self.links: Tuple[Tuple[str, int], ...] = tuple(sorted(links))
+        self.prefixes: Tuple[Prefix, ...] = tuple(
+            sorted(prefixes, key=_prefix_key)
+        )
+
+    def key(self) -> Tuple[str, int]:
+        """The retransmission/ack identity: ``(origin, seq)``."""
+        return (self.origin, self.seq)
+
+    def is_newer_than(self, other: "RouterLSA") -> bool:
+        """Freshness is the sequence number alone (same-origin only)."""
+        return self.seq > other.seq
+
+    def neighbor_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _cost in self.links)
+
+    def __repr__(self) -> str:
+        return "RouterLSA(%r, seq=%d, %d links, %d prefixes)" % (
+            self.origin,
+            self.seq,
+            len(self.links),
+            len(self.prefixes),
+        )
+
+
+class Hello:
+    """Periodic liveness, carrying the sender's currently-heard neighbours."""
+
+    __slots__ = ("sender", "seen")
+
+    def __init__(self, sender: str, seen: Iterable[str]):
+        self.sender = sender
+        self.seen: Tuple[str, ...] = tuple(sorted(seen))
+
+    def __repr__(self) -> str:
+        return "Hello(%r, seen=%s)" % (self.sender, list(self.seen))
+
+
+class LsUpdate:
+    """A flooded batch of LSAs (initial flood or retransmission)."""
+
+    __slots__ = ("sender", "lsas")
+
+    def __init__(self, sender: str, lsas: Iterable[RouterLSA]):
+        self.sender = sender
+        self.lsas: Tuple[RouterLSA, ...] = tuple(lsas)
+
+    def __repr__(self) -> str:
+        return "LsUpdate(%r, %d lsas)" % (self.sender, len(self.lsas))
+
+
+class LsAck:
+    """Acknowledges ``(origin, seq)`` pairs from a received LsUpdate."""
+
+    __slots__ = ("sender", "keys")
+
+    def __init__(self, sender: str, keys: Iterable[Tuple[str, int]]):
+        self.sender = sender
+        self.keys: Tuple[Tuple[str, int], ...] = tuple(keys)
+
+    def __repr__(self) -> str:
+        return "LsAck(%r, %d keys)" % (self.sender, len(self.keys))

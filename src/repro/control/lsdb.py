@@ -1,0 +1,110 @@
+"""The link-state database: one synchronised copy per router.
+
+Stores the freshest known :class:`~repro.control.lsa.RouterLSA` per
+origin, ages entries toward a max-age purge, and derives the weighted
+topology that SPF runs over.  An edge exists only when **both**
+endpoints advertise it (bidirectional agreement) — this is what makes
+a crashed router's ghost LSA harmless: its neighbours re-originate
+without the dead links, so the ghost's edges drop out of the derived
+topology even though the ghost itself lingers until max-age.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.control.lsa import RouterLSA
+
+
+class LinkStateDatabase:
+    """Freshest-LSA-per-origin store with aging and topology derivation."""
+
+    __slots__ = ("_lsas", "_installed_at")
+
+    def __init__(self):
+        self._lsas: Dict[str, RouterLSA] = {}
+        self._installed_at: Dict[str, int] = {}
+
+    def get(self, origin: str) -> Optional[RouterLSA]:
+        return self._lsas.get(origin)
+
+    def origins(self) -> List[str]:
+        return sorted(self._lsas)
+
+    def lsas(self) -> List[RouterLSA]:
+        return [self._lsas[origin] for origin in sorted(self._lsas)]
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+    def install(self, lsa: RouterLSA, tick: int) -> None:
+        """Unconditionally install (used for self-origination)."""
+        self._lsas[lsa.origin] = lsa
+        self._installed_at[lsa.origin] = tick
+
+    def consider(self, lsa: RouterLSA, tick: int) -> bool:
+        """Install ``lsa`` if strictly newer than the held copy.
+
+        Returns True when installed (the caller should flood onward) and
+        False for duplicates/stale copies (ack, but do not re-flood).
+        """
+        held = self._lsas.get(lsa.origin)
+        if held is not None and not lsa.is_newer_than(held):
+            return False
+        self.install(lsa, tick)
+        return True
+
+    def newer_than(self, lsa: RouterLSA) -> Optional[RouterLSA]:
+        """Our strictly-newer copy for the same origin, if any."""
+        held = self._lsas.get(lsa.origin)
+        if held is not None and held.is_newer_than(lsa):
+            return held
+        return None
+
+    def age_out(
+        self, tick: int, max_age: int, keep: Iterable[str] = ()
+    ) -> List[str]:
+        """Purge LSAs installed ``max_age`` or more ticks ago.
+
+        Origins in ``keep`` (a router always keeps its own LSA — it
+        refreshes by re-origination, not by aging) are exempt.  Returns
+        the purged origins, sorted.
+        """
+        protected = frozenset(keep)
+        purged = sorted(
+            origin
+            for origin, installed in self._installed_at.items()
+            if origin not in protected and tick - installed >= max_age
+        )
+        for origin in purged:
+            del self._lsas[origin]
+            del self._installed_at[origin]
+        return purged
+
+    def digest(self) -> Tuple:
+        """A comparable fingerprint: databases agree iff digests agree."""
+        return tuple(
+            (lsa.origin, lsa.seq, lsa.links, lsa.prefixes)
+            for lsa in self.lsas()
+        )
+
+    def topology(self) -> Dict[str, Dict[str, int]]:
+        """The bidirectionally-agreed weighted graph, as adjacency dicts.
+
+        Every origin appears as a node; an edge ``u — v`` appears only
+        when u's LSA lists v *and* v's LSA lists u, with the edge cost
+        being the max of the two advertised directions (a safe merge
+        while a cost change is still propagating).
+        """
+        advertised: Dict[str, Dict[str, int]] = {
+            origin: dict(lsa.links) for origin, lsa in self._lsas.items()
+        }
+        graph: Dict[str, Dict[str, int]] = {
+            origin: {} for origin in advertised
+        }
+        for origin, links in advertised.items():
+            for neighbor, cost in links.items():
+                back = advertised.get(neighbor, {}).get(origin)
+                if back is not None:
+                    graph[origin][neighbor] = max(cost, back)
+        return graph

@@ -1,0 +1,73 @@
+"""Per-neighbour adjacency state machines.
+
+A three-state reduction of the OSPF neighbour FSM, sufficient for a
+tick-synchronous simulation with implicit database exchange:
+
+* ``DOWN`` — nothing heard within the dead interval;
+* ``INIT`` — the neighbour's hellos arrive, but it does not yet list us
+  (one-way connectivity);
+* ``FULL`` — two-way connectivity confirmed; the adjacency carries
+  floods and appears in the router's own LSA.
+
+On the DOWN→FULL edge the process performs a full-database send to the
+new neighbour (the stand-in for OSPF's ExStart/Exchange/Loading
+phases — with one-tick lossless links and reliable flooding, pushing
+every LSA and letting acks settle reaches the same synchronised state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+STATE_DOWN = "down"
+STATE_INIT = "init"
+STATE_FULL = "full"
+
+
+class Adjacency:
+    """Liveness and two-way state for one directly-attached neighbour."""
+
+    __slots__ = ("neighbor", "cost", "state", "last_heard")
+
+    def __init__(self, neighbor: str, cost: int):
+        self.neighbor = neighbor
+        self.cost = cost
+        self.state = STATE_DOWN
+        #: Tick of the most recent hello from this neighbour, or None.
+        self.last_heard: Optional[int] = None
+
+    def is_full(self) -> bool:
+        return self.state == STATE_FULL
+
+    def hello_received(self, tick: int, two_way: bool) -> str:
+        """Record a hello; return the (possibly unchanged) new state."""
+        self.last_heard = tick
+        if two_way:
+            self.state = STATE_FULL
+        elif self.state == STATE_DOWN:
+            self.state = STATE_INIT
+        else:
+            # Lost two-way (the neighbour restarted and no longer lists
+            # us) drops a FULL adjacency back to INIT; INIT stays INIT.
+            self.state = STATE_INIT
+        return self.state
+
+    def is_dead(self, tick: int, dead_interval: int) -> bool:
+        """True when the dead interval elapsed with no hello."""
+        if self.state == STATE_DOWN:
+            return False
+        if self.last_heard is None:
+            return True
+        return tick - self.last_heard > dead_interval
+
+    def bring_down(self) -> str:
+        self.state = STATE_DOWN
+        self.last_heard = None
+        return self.state
+
+    def __repr__(self) -> str:
+        return "Adjacency(%r, cost=%d, state=%s)" % (
+            self.neighbor,
+            self.cost,
+            self.state,
+        )

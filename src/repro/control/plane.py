@@ -1,0 +1,241 @@
+"""The control-plane wire: tick-synchronous message delivery.
+
+Hosts one :class:`~repro.control.process.ControlProcess` per router of
+a netsim topology graph and moves their messages with exactly one tick
+of latency.  Links and routers go down and come back under fault-plan
+control; a message is silently dropped when, at delivery time, either
+endpoint is down or the link between them is — which is precisely what
+makes the ack/retransmit machinery earn its keep.
+
+Delivery order is deterministic (sorted by sender, receiver, queue
+position).  An optional seeded ``rng`` shuffles delivery order per tick
+to exercise interleaving robustness in property tests without
+sacrificing reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.addressing import Prefix
+from repro.control.lsa import DEFAULT_MAX_AGE, Hello
+from repro.control.neighbor import STATE_FULL
+from repro.control.process import ControlProcess
+
+
+class ControlConvergenceError(RuntimeError):
+    """The plane failed to converge within an expected bound."""
+
+
+class ControlPlane:
+    """All control processes of one topology plus the wire between them."""
+
+    def __init__(
+        self,
+        graph,
+        *,
+        hello_interval: int = 1,
+        dead_interval: int = 4,
+        retransmit_interval: int = 2,
+        max_age: int = DEFAULT_MAX_AGE,
+        instruments=None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.graph = graph
+        self.instruments = instruments
+        self.rng = rng
+        self.tick_index = 0
+        self.down_links: Set[FrozenSet[str]] = set()
+        self.down_routers: Set[str] = set()
+        self.processes: Dict[str, ControlProcess] = {}
+        for name in sorted(graph.nodes):
+            costs = {
+                neighbor: int(graph.edges[name, neighbor].get("cost", 1))
+                for neighbor in graph.neighbors(name)
+            }
+            prefixes = list(graph.nodes[name].get("originated", []))
+            telemetry = (
+                instruments.bind_control(name)
+                if instruments is not None
+                else None
+            )
+            self.processes[name] = ControlProcess(
+                name,
+                costs,
+                prefixes,
+                hello_interval=hello_interval,
+                dead_interval=dead_interval,
+                retransmit_interval=retransmit_interval,
+                max_age=max_age,
+                telemetry=telemetry,
+            )
+        #: (sender, receiver, message) triples landing next tick.
+        self._in_flight: List[Tuple[str, str, object]] = []
+
+    # ------------------------------------------------------------------
+    # topology perturbation
+    # ------------------------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        self.down_routers.add(name)
+
+    def restart(self, name: str) -> None:
+        self.down_routers.discard(name)
+        process = self.processes[name]
+        # Costs may have changed while the router was down; a cold
+        # restart reads the current interface configuration.
+        for neighbor in self.graph.neighbors(name):
+            process.adjacencies[neighbor].cost = int(
+                self.graph.edges[name, neighbor].get("cost", 1)
+            )
+        process.restart(self.tick_index)
+        for dest, message in self.processes[name].pending_emissions():
+            self._in_flight.append((name, dest, message))
+
+    def set_down_links(self, links: Set[FrozenSet[str]]) -> None:
+        self.down_links = set(links)
+
+    def set_link_cost(self, a: str, b: str, cost: int) -> None:
+        """An operator changes a link's cost; both ends re-advertise."""
+        if cost < 1:
+            raise ValueError("link costs must be >= 1")
+        self.graph.edges[a, b]["cost"] = cost
+        for endpoint, other in ((a, b), (b, a)):
+            if endpoint not in self.down_routers:
+                process = self.processes[endpoint]
+                process.set_link_cost(other, cost, self.tick_index)
+                for dest, message in process.pending_emissions():
+                    self._in_flight.append((endpoint, dest, message))
+
+    # ------------------------------------------------------------------
+    # the tick loop
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one tick: deliver, run begin/receive/finish phases."""
+        self.tick_index += 1
+        tick = self.tick_index
+        deliveries = self._in_flight
+        self._in_flight = []
+        if self.rng is not None:
+            self.rng.shuffle(deliveries)
+        outbox: List[Tuple[str, str, object]] = []
+        for name in self._live_routers():
+            for dest, message in self.processes[name].begin_tick(tick):
+                outbox.append((name, dest, message))
+        for sender, receiver, message in deliveries:
+            if self._blocked(sender, receiver):
+                continue
+            for dest, reply in self.processes[receiver].receive(
+                message, tick
+            ):
+                outbox.append((receiver, dest, reply))
+        for name in self._live_routers():
+            self.processes[name].finish_tick(tick)
+        self._in_flight = outbox
+
+    def run_until_converged(self, limit: int) -> int:
+        """Tick until :meth:`converged`; returns ticks used.
+
+        Raises :class:`ControlConvergenceError` past ``limit`` — a
+        bounded loop by construction.
+        """
+        for used in range(1, limit + 1):
+            self.tick()
+            if self.converged():
+                return used
+        raise ControlConvergenceError(
+            "no convergence within %d ticks" % limit
+        )
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def routes(self) -> Dict[str, Dict[Prefix, str]]:
+        """Per-live-router prefix routing tables (the clue-path feed)."""
+        return {
+            name: dict(self.processes[name].routes)
+            for name in self._live_routers()
+        }
+
+    def next_hop_tables(self) -> Dict[str, Dict[str, str]]:
+        """Per-live-router SPF next-hop tables (for certification)."""
+        return {
+            name: dict(self.processes[name].next_hops)
+            for name in self._live_routers()
+        }
+
+    def live_topology(self) -> Dict[str, Dict[str, int]]:
+        """The physical truth: up routers, up links, current costs."""
+        live: Dict[str, Dict[str, int]] = {}
+        for name in self._live_routers():
+            live[name] = {}
+            for neighbor in sorted(self.graph.neighbors(name)):
+                if neighbor in self.down_routers:
+                    continue
+                if frozenset((name, neighbor)) in self.down_links:
+                    continue
+                live[name][neighbor] = int(
+                    self.graph.edges[name, neighbor].get("cost", 1)
+                )
+        return live
+
+    def converged(self) -> bool:
+        """Quiescence + correctness of every live router's view.
+
+        Converged means: every live physical link is a FULL adjacency
+        on both ends, no LSA awaits an ack, no non-hello message is in
+        flight, all live LSDBs carry an identical digest, and the
+        topology that digest encodes matches the live physical topology.
+        """
+        live = self.live_topology()
+        names = sorted(live)
+        if not names:
+            return True
+        for name in names:
+            process = self.processes[name]
+            for neighbor in live[name]:
+                if process.adjacencies[neighbor].state != STATE_FULL:
+                    return False
+            if process.flooding.unacked_count() > 0:
+                return False
+            if process.dirty:
+                return False
+        for sender, receiver, message in self._in_flight:
+            if isinstance(message, Hello):
+                continue
+            if not self._blocked(sender, receiver):
+                return False
+        digests = {self.processes[name].lsdb.digest() for name in names}
+        if len(digests) != 1:
+            return False
+        view = self.processes[names[0]].lsdb.topology()
+        seen_edges = {
+            frozenset((a, b)): cost
+            for a, neighbors in view.items()
+            for b, cost in neighbors.items()
+        }
+        live_edges = {
+            frozenset((a, b)): cost
+            for a, neighbors in live.items()
+            for b, cost in neighbors.items()
+        }
+        return seen_edges == live_edges
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _live_routers(self) -> List[str]:
+        return [
+            name
+            for name in sorted(self.processes)
+            if name not in self.down_routers
+        ]
+
+    def _blocked(self, sender: str, receiver: str) -> bool:
+        if sender in self.down_routers or receiver in self.down_routers:
+            return True
+        return frozenset((sender, receiver)) in self.down_links

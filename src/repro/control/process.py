@@ -1,0 +1,330 @@
+"""The per-router IGP process: hellos, flooding, LSDB, SPF, routes.
+
+One :class:`ControlProcess` per router.  The surrounding
+:class:`~repro.control.plane.ControlPlane` drives it tick by tick:
+
+1. ``begin_tick`` — dead-interval checks, hello emission, and due
+   retransmissions;
+2. ``receive`` — one call per delivered message (hello / LsUpdate /
+   LsAck), producing floods and acks;
+3. ``finish_tick`` — LSDB aging, then (only if something changed) an
+   SPF run that refreshes both the router-level next-hop table and the
+   prefix-level routing table that feeds the clue data path.
+
+Crash–restart follows the OSPF ghost-LSA rule: a restarted process
+comes up with sequence number 0, and on hearing a *stale copy of its
+own LSA* it out-sequences the ghost (``seq = ghost + 1``) and
+re-floods, so the network converges on the post-restart reality
+without waiting for max-age.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.addressing import Prefix
+from repro.control.flooding import FloodingState
+from repro.control.lsa import (
+    DEFAULT_MAX_AGE,
+    Hello,
+    LsAck,
+    LsUpdate,
+    RouterLSA,
+)
+from repro.control.lsdb import LinkStateDatabase
+from repro.control.neighbor import (
+    STATE_DOWN,
+    STATE_FULL,
+    Adjacency,
+)
+from repro.control.spf import shortest_path_first
+
+#: An emission: (destination router, message object).
+Emission = Tuple[str, object]
+
+
+class ControlProcess:
+    """The link-state protocol engine for one router."""
+
+    def __init__(
+        self,
+        name: str,
+        link_costs: Mapping[str, int],
+        prefixes: Iterable[Prefix],
+        *,
+        hello_interval: int = 1,
+        dead_interval: int = 4,
+        retransmit_interval: int = 2,
+        max_age: int = DEFAULT_MAX_AGE,
+        telemetry=None,
+    ):
+        if hello_interval < 1:
+            raise ValueError("hello interval must be >= 1")
+        if dead_interval <= hello_interval:
+            raise ValueError("dead interval must exceed the hello interval")
+        self.name = name
+        self.hello_interval = hello_interval
+        self.dead_interval = dead_interval
+        self.max_age = max_age
+        self.prefixes: Tuple[Prefix, ...] = tuple(prefixes)
+        self.telemetry = telemetry
+        self.adjacencies: Dict[str, Adjacency] = {
+            neighbor: Adjacency(neighbor, cost)
+            for neighbor, cost in sorted(link_costs.items())
+        }
+        self.lsdb = LinkStateDatabase()
+        self.flooding = FloodingState(retransmit_interval)
+        self.seq = 0
+        self.dirty = True
+        #: Tick of the last self-origination, driving periodic refresh
+        #: at half the max age (OSPF's LSRefreshTime-vs-MaxAge pairing)
+        #: so a live router's LSA never ages out of a neighbour's LSDB.
+        self._last_originated = 0
+        #: Destination router -> first-hop neighbour (SPF output).
+        self.next_hops: Dict[str, str] = {}
+        #: Prefix -> next-hop router name (what the clue data path gets;
+        #: locally-originated prefixes map to this router itself).
+        self.routes: Dict[Prefix, str] = {}
+        self.spf_runs = 0
+        self.lsas_sent = 0
+        self._outbox: List[Emission] = []
+        self._originate(tick=0)
+
+    # ------------------------------------------------------------------
+    # tick phases
+    # ------------------------------------------------------------------
+
+    def begin_tick(self, tick: int) -> List[Emission]:
+        """Dead-neighbour detection, hellos, and due retransmissions."""
+        for neighbor in sorted(self.adjacencies):
+            adjacency = self.adjacencies[neighbor]
+            if adjacency.is_dead(tick, self.dead_interval):
+                self._transition(adjacency, adjacency.bring_down())
+                self.flooding.clear_neighbor(neighbor)
+                self._originate(tick)
+        if tick - self._last_originated >= max(1, self.max_age // 2):
+            self._originate(tick)
+        if tick % self.hello_interval == 0:
+            heard = tuple(
+                neighbor
+                for neighbor in sorted(self.adjacencies)
+                if self.adjacencies[neighbor].state != STATE_DOWN
+            )
+            hello = Hello(self.name, heard)
+            for neighbor in sorted(self.adjacencies):
+                self._outbox.append((neighbor, hello))
+        for neighbor, lsas in self.flooding.due(tick):
+            self._emit_update(neighbor, lsas)
+        return self._drain()
+
+    def receive(self, message: object, tick: int) -> List[Emission]:
+        """Process one delivered control message."""
+        if isinstance(message, Hello):
+            self._receive_hello(message, tick)
+        elif isinstance(message, LsUpdate):
+            self._receive_update(message, tick)
+        elif isinstance(message, LsAck):
+            self.flooding.ack(message.sender, message.keys)
+        else:
+            raise TypeError(
+                "unknown control message %r" % type(message).__name__
+            )
+        return self._drain()
+
+    def finish_tick(self, tick: int) -> None:
+        """Age the LSDB, then recompute routes if anything changed."""
+        purged = self.lsdb.age_out(tick, self.max_age, keep=(self.name,))
+        if purged:
+            self.dirty = True
+        if not self.dirty:
+            return
+        self.dirty = False
+        topology = self.lsdb.topology()
+        _dist, first = shortest_path_first(topology, self.name)
+        self.next_hops = first
+        routes: Dict[Prefix, str] = {}
+        for origin in self.lsdb.origins():
+            if origin == self.name:
+                hop = self.name
+            else:
+                maybe = first.get(origin)
+                if maybe is None:
+                    continue
+                hop = maybe
+            lsa = self.lsdb.get(origin)
+            if lsa is None:
+                continue
+            for prefix in lsa.prefixes:
+                routes[prefix] = hop
+        self.routes = routes
+        self.spf_runs += 1
+        if self.telemetry is not None:
+            self.telemetry.record_spf()
+
+    def restart(self, tick: int) -> None:
+        """Cold restart: adjacencies down, LSDB empty, seq reset.
+
+        The pre-crash sequence number is deliberately forgotten — the
+        ghost-LSA rule in :meth:`_receive_update` recovers it from the
+        first stale self-originated copy a neighbour floods back.
+        """
+        for adjacency in self.adjacencies.values():
+            adjacency.bring_down()
+        self.lsdb = LinkStateDatabase()
+        self.flooding.clear()
+        self.seq = 0
+        self.next_hops = {}
+        self.routes = {}
+        self._outbox = []
+        self.dirty = True
+        self._originate(tick)
+
+    def set_link_cost(self, neighbor: str, cost: int, tick: int) -> None:
+        """An operator cost change on an attached link; re-advertise."""
+        adjacency = self.adjacencies.get(neighbor)
+        if adjacency is None:
+            raise KeyError(
+                "%s has no link to %s" % (self.name, neighbor)
+            )
+        if adjacency.cost == cost:
+            return
+        adjacency.cost = cost
+        self._originate(tick)
+
+    def pending_emissions(self) -> List[Emission]:
+        return self._drain()
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def _receive_hello(self, message: Hello, tick: int) -> None:
+        adjacency = self.adjacencies.get(message.sender)
+        if adjacency is None:
+            return
+        previous = adjacency.state
+        current = adjacency.hello_received(
+            tick, two_way=self.name in message.seen
+        )
+        if current == previous:
+            return
+        self._transition(adjacency, current)
+        if current == STATE_FULL:
+            # Database sync to the fresh adjacency: re-originate (our
+            # LSA now lists it), then push the whole LSDB its way.
+            self._originate(tick)
+            self._emit_update(message.sender, self.lsdb.lsas(), tick=tick)
+        elif previous == STATE_FULL:
+            # Lost two-way without going dead: withdraw the link.
+            self.flooding.clear_neighbor(message.sender)
+            self._originate(tick)
+
+    def _receive_update(self, message: LsUpdate, tick: int) -> None:
+        acks: List[Tuple[str, int]] = []
+        for lsa in message.lsas:
+            acks.append(lsa.key())
+            if lsa.origin == self.name:
+                self._receive_own(lsa, message.sender, tick)
+                continue
+            if self.lsdb.consider(lsa, tick):
+                self.dirty = True
+                for neighbor in self._full_neighbors():
+                    if neighbor != message.sender:
+                        self._emit_update(neighbor, [lsa], tick=tick)
+            else:
+                newer = self.lsdb.newer_than(lsa)
+                if newer is not None:
+                    # The sender is behind; flood our fresher copy back.
+                    self._emit_update(message.sender, [newer], tick=tick)
+        self._outbox.append((message.sender, LsAck(self.name, acks)))
+
+    def _receive_own(self, ghost: RouterLSA, sender: str, tick: int) -> None:
+        """A copy of our own LSA arrived — normal echo or restart ghost."""
+        if ghost.seq < self.seq:
+            # Stale echo of a previous instance; the ack (already
+            # queued by the caller) plus our fresher copy corrects it.
+            mine = self.lsdb.get(self.name)
+            if mine is not None:
+                self._emit_update(sender, [mine], tick=tick)
+            return
+        mine = self.lsdb.get(self.name)
+        if (
+            ghost.seq == self.seq
+            and mine is not None
+            and ghost.links == mine.links
+            and ghost.prefixes == mine.prefixes
+        ):
+            # Exact echo of our current instance (a neighbour's
+            # database sync includes it); the ack suffices.
+            return
+        # A pre-restart incarnation survives in the network, either
+        # strictly ahead of us or colliding at our current sequence
+        # number with different content.  Out-sequence it and re-flood.
+        self.seq = ghost.seq
+        self._originate(tick)
+
+    # ------------------------------------------------------------------
+    # origination and flooding
+    # ------------------------------------------------------------------
+
+    def _originate(self, tick: int) -> None:
+        self.seq += 1
+        self._last_originated = tick
+        links = tuple(
+            (neighbor, adjacency.cost)
+            for neighbor, adjacency in sorted(self.adjacencies.items())
+            if adjacency.is_full()
+        )
+        lsa = RouterLSA(self.name, self.seq, links, self.prefixes)
+        self.lsdb.install(lsa, tick)
+        self.dirty = True
+        for neighbor in self._full_neighbors():
+            self._emit_update(neighbor, [lsa], tick=tick)
+
+    def _emit_update(
+        self,
+        neighbor: str,
+        lsas: Iterable[RouterLSA],
+        tick: Optional[int] = None,
+    ) -> None:
+        """Send an LsUpdate; with a ``tick``, also start retransmission.
+
+        Retransmissions from :meth:`begin_tick` arrive with ``tick``
+        None because :meth:`FloodingState.due` already rescheduled them.
+        """
+        batch = list(lsas)
+        if not batch:
+            return
+        if tick is not None:
+            for lsa in batch:
+                self.flooding.queue(neighbor, lsa, tick)
+        self._outbox.append((neighbor, LsUpdate(self.name, tuple(batch))))
+        self.lsas_sent += len(batch)
+        if self.telemetry is not None:
+            self.telemetry.record_flood(len(batch))
+
+    def _full_neighbors(self) -> List[str]:
+        return [
+            neighbor
+            for neighbor in sorted(self.adjacencies)
+            if self.adjacencies[neighbor].is_full()
+        ]
+
+    def _transition(self, adjacency: Adjacency, state: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_transition(state)
+
+    def _drain(self) -> List[Emission]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def __repr__(self) -> str:
+        full = len(self._full_neighbors())
+        return "ControlProcess(%r, seq=%d, %d/%d full, %d lsas)" % (
+            self.name,
+            self.seq,
+            full,
+            len(self.adjacencies),
+            len(self.lsdb),
+        )

@@ -1,0 +1,148 @@
+"""Shortest-path-first and the brute-force certifier that gates it.
+
+Both the production SPF (heap Dijkstra) and the certifier (bounded
+Bellman–Ford relaxation, deliberately a *different* algorithm) resolve
+equal-cost ties with one canonical rule so their outputs are
+bit-comparable:
+
+    next_hop(s, d) = the lexicographically smallest neighbour n of s
+                     with  w(s, n) + dist(n, d) == dist(s, d)
+
+The Dijkstra implementation realises this by popping ``(dist, name)``
+pairs (so equal-distance nodes settle in name order) and propagating
+the minimum first hop through equal-cost relaxations: any tight
+predecessor ``u`` of ``v`` has ``dist(u) < dist(v)`` (edge weights are
+>= 1), hence settles — with its first hop final — before ``v`` is
+popped, so by induction ``v``'s recorded first hop is the minimum over
+all shortest s→v paths, which equals the closed form above.
+
+:func:`certify_next_hops` recomputes every router's table from scratch
+with the closed form and reports each divergence — this is the
+"post-convergence tables must match the oracle exactly" gate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Tuple
+
+Topology = Mapping[str, Mapping[str, int]]
+
+
+def shortest_path_first(
+    topology: Topology, source: str
+) -> Tuple[Dict[str, int], Dict[str, str]]:
+    """Dijkstra from ``source``: ``(distances, first_hops)``.
+
+    ``first_hops`` maps every reachable destination (excluding the
+    source itself) to the canonical first-hop neighbour.
+    """
+    dist: Dict[str, int] = {source: 0}
+    first: Dict[str, str] = {}
+    if source not in topology:
+        return dist, first
+    heap: List[Tuple[int, str]] = [(0, source)]
+    settled = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor in sorted(topology.get(node, {})):
+            cost = topology[node][neighbor]
+            if cost < 1:
+                raise ValueError(
+                    "edge %s-%s has cost %d; costs must be >= 1"
+                    % (node, neighbor, cost)
+                )
+            candidate = d + cost
+            hop = neighbor if node == source else first[node]
+            known = dist.get(neighbor)
+            if known is None or candidate < known:
+                dist[neighbor] = candidate
+                first[neighbor] = hop
+                heapq.heappush(heap, (candidate, neighbor))
+            elif candidate == known and hop < first[neighbor]:
+                first[neighbor] = hop
+    return dist, first
+
+
+def next_hop_table(topology: Topology, source: str) -> Dict[str, str]:
+    """The SPF next-hop table: destination -> first-hop neighbour."""
+    _dist, first = shortest_path_first(topology, source)
+    return first
+
+
+def brute_force_distances(topology: Topology, source: str) -> Dict[str, int]:
+    """Single-source distances by bounded Bellman–Ford relaxation.
+
+    Independent of the Dijkstra path above on purpose: |V| rounds of
+    full-edge relaxation (early exit once a round changes nothing).
+    """
+    dist: Dict[str, int] = {source: 0}
+    for _round in range(max(1, len(topology))):
+        changed = False
+        for node in sorted(topology):
+            base = dist.get(node)
+            if base is None:
+                continue
+            for neighbor in sorted(topology[node]):
+                candidate = base + topology[node][neighbor]
+                known = dist.get(neighbor)
+                if known is None or candidate < known:
+                    dist[neighbor] = candidate
+                    changed = True
+        if not changed:
+            break
+    return dist
+
+
+def oracle_next_hops(topology: Topology, source: str) -> Dict[str, str]:
+    """The canonical next-hop table, computed by the closed form."""
+    dist_from: Dict[str, Dict[str, int]] = {
+        node: brute_force_distances(topology, node) for node in topology
+    }
+    return _closed_form(topology, source, dist_from)
+
+
+def _closed_form(
+    topology: Topology,
+    source: str,
+    dist_from: Mapping[str, Mapping[str, int]],
+) -> Dict[str, str]:
+    table: Dict[str, str] = {}
+    own = dist_from.get(source, {source: 0})
+    for dest in sorted(topology):
+        if dest == source or dest not in own:
+            continue
+        total = own[dest]
+        for neighbor in sorted(topology.get(source, {})):
+            via = dist_from[neighbor].get(dest)
+            if via is not None and topology[source][neighbor] + via == total:
+                table[dest] = neighbor
+                break
+    return table
+
+
+def certify_next_hops(
+    topology: Topology, tables: Mapping[str, Mapping[str, str]]
+) -> List[Tuple[str, str, str, str]]:
+    """Compare per-router next-hop ``tables`` against the brute oracle.
+
+    Returns one ``(source, dest, found, expected)`` tuple per
+    divergence — missing entries appear as ``""`` — sorted, empty when
+    the tables are bit-identical to the oracle.
+    """
+    dist_from = {
+        node: brute_force_distances(topology, node) for node in topology
+    }
+    violations: List[Tuple[str, str, str, str]] = []
+    for source in sorted(topology):
+        expected = _closed_form(topology, source, dist_from)
+        found = tables.get(source, {})
+        for dest in sorted(set(expected) | set(found)):
+            got = found.get(dest, "")
+            want = expected.get(dest, "")
+            if got != want:
+                violations.append((source, dest, got, want))
+    return violations

@@ -32,6 +32,7 @@ from repro.faults.inject import (
     FaultPlan,
     LIE_MODES,
     LinkDownEvent,
+    flap_crash_plan,
     random_topology_events,
 )
 
@@ -52,5 +53,6 @@ __all__ = [
     "FaultPlan",
     "LinkDownEvent",
     "LIE_MODES",
+    "flap_crash_plan",
     "random_topology_events",
 ]

@@ -331,6 +331,49 @@ class FaultPlan:
         )
 
 
+def flap_crash_plan(
+    routers: List[str],
+    links: List[Tuple[str, str]],
+    ticks: int,
+    *,
+    flaps: int = 0,
+    crashes: int = 0,
+    seed: int = 0,
+    duration: int = 10,
+    settle: int = 16,
+) -> FaultPlan:
+    """A topology-only plan for perturbing the link-state control plane.
+
+    Unlike :func:`random_topology_events` (which pairs arbitrary router
+    names), flap events here are drawn from the *actual* ``links`` of
+    the topology — flapping a non-existent link would not perturb an
+    IGP at all.  ``duration`` should exceed the IGP's dead interval, or
+    a flap ends before any adjacency notices; the default comfortably
+    exceeds the default dead interval of 4 ticks.  Events are scheduled
+    in ``[1, ticks - duration - settle)`` so the plane has a quiet tail
+    to reconverge in before final oracle certification.
+    """
+    if duration < 1 or settle < 0:
+        raise ValueError("need duration >= 1 and settle >= 0")
+    rng = _derived_rng(seed, "control-topology")
+    names = sorted(routers)
+    edges = sorted(tuple(sorted(edge)) for edge in links)
+    last_start = max(2, ticks - duration - settle)
+    link_events: List[LinkDownEvent] = []
+    crash_events: List[CrashEvent] = []
+    if edges:
+        for _ in range(flaps):
+            tick = rng.randrange(1, last_start)
+            a, b = edges[rng.randrange(len(edges))]
+            link_events.append(LinkDownEvent(tick, a, b, duration))
+    if names:
+        for _ in range(crashes):
+            tick = rng.randrange(1, last_start)
+            router = names[rng.randrange(len(names))]
+            crash_events.append(CrashEvent(tick, router, duration))
+    return FaultPlan(seed=seed, link_downs=link_events, crashes=crash_events)
+
+
 def random_topology_events(
     routers: List[str],
     rounds: int,

@@ -286,6 +286,44 @@ class Network:
         )
         return engine.run(rounds, traffic_per_round)
 
+    def run_with_control(
+        self,
+        plane,
+        plan=None,
+        ticks: int = 100,
+        traffic_per_tick: int = 8,
+        *,
+        cost_changes=(),
+        rebuild_budget: Optional[int] = None,
+        seed: int = 0,
+        hard_invariant: bool = True,
+        technique: Optional[str] = None,
+    ):
+        """Drive this network under a live link-state control plane.
+
+        Builds a :class:`repro.control.engine.ControlEngine` coupling
+        the fabric to ``plane`` (a
+        :class:`~repro.control.plane.ControlPlane`) — SPF route deltas
+        flow into the forwarding tables through the churn-maintenance
+        feed, an optional fault ``plan``'s flaps/crashes perturb the
+        IGP itself, and every forwarded packet is audited against the
+        never-wrong oracle.  Returns the engine's
+        :class:`~repro.control.engine.ControlReport`.
+        """
+        from repro.control.engine import ControlEngine
+
+        engine = ControlEngine(
+            self,
+            plane,
+            plan,
+            cost_changes=cost_changes,
+            rebuild_budget=rebuild_budget,
+            seed=seed,
+            hard_invariant=hard_invariant,
+            technique=technique,
+        )
+        return engine.run(ticks, traffic_per_tick)
+
     def metrics_report(
         self, fmt: str = "json", refresh_gauges: bool = True
     ) -> str:

@@ -22,6 +22,9 @@ from repro.telemetry.export import (
     render_prometheus,
 )
 from repro.telemetry.instruments import (
+    ADJACENCY_STATES,
+    CONVERGENCE_BUCKETS,
+    ControlInstruments,
     DEPTH_BUCKETS,
     DIRECT_UPSTREAM,
     LookupInstruments,
@@ -52,6 +55,9 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "ADJACENCY_STATES",
+    "CONVERGENCE_BUCKETS",
+    "ControlInstruments",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_TRACE_CAPACITY",

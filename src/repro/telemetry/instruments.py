@@ -37,6 +37,11 @@ metric                                kind       labels
 ``serve_shed_total``                  counter    shard
 ``serve_queue_depth``                 gauge      shard
 ``serve_batch_size``                  histogram  shard
+``control_lsas_flooded_total``        counter    router
+``control_spf_runs_total``            counter    router
+``control_adjacency_transitions_total``  counter  router, state
+``control_table_updates_total``       counter    router
+``control_convergence_ticks``         histogram  (none)
 ====================================  =========  =====================
 
 Identities the series satisfy by construction (and the end-to-end tests
@@ -85,6 +90,17 @@ STALENESS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 BATCH_SIZE_BUCKETS = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
 )
+
+#: Length in ticks of control-plane disruption episodes
+#: (``control_convergence_ticks``): from the tick convergence is first
+#: lost to the tick the plane is quiescent and correct again.
+CONVERGENCE_BUCKETS = (
+    1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+)
+
+#: Adjacency states whose transition counters are pre-bound per router
+#: (the ``state`` label of ``control_adjacency_transitions_total``).
+ADJACENCY_STATES = ("down", "init", "full")
 
 
 class RouterInstruments:
@@ -241,6 +257,46 @@ class ShardInstruments:
         return "ShardInstruments(%r)" % self.owner
 
 
+class ControlInstruments:
+    """Per-router bound view of the control-plane series (repro.control).
+
+    Every handle — including one transition counter per adjacency
+    state — is pre-bound at process construction, so the per-tick
+    protocol loop records without a single ``labels(...)`` call.
+    """
+
+    __slots__ = ("owner", "lsas_flooded", "spf_runs", "table_updates", "_transitions")
+
+    def __init__(self, instruments: "LookupInstruments", owner: str):
+        self.owner = owner
+        self.lsas_flooded = instruments.control_lsas_flooded.labels(owner)
+        self.spf_runs = instruments.control_spf_runs.labels(owner)
+        self.table_updates = instruments.control_table_updates.labels(owner)
+        self._transitions = {
+            state: instruments.control_adjacency_transitions.labels(
+                owner, state
+            )
+            for state in ADJACENCY_STATES
+        }
+
+    def record_flood(self, count: int = 1) -> None:
+        if count:
+            self.lsas_flooded.inc(count)
+
+    def record_spf(self) -> None:
+        self.spf_runs.inc()
+
+    def record_transition(self, state: str) -> None:
+        self._transitions[state].inc()
+
+    def record_table_updates(self, count: int) -> None:
+        if count:
+            self.table_updates.inc(count)
+
+    def __repr__(self) -> str:
+        return "ControlInstruments(%r)" % self.owner
+
+
 class LookupInstruments:
     """The canonical metric set over one registry, plus an optional tracer."""
 
@@ -383,6 +439,32 @@ class LookupInstruments:
             labels=("shard",),
             buckets=BATCH_SIZE_BUCKETS,
         )
+        # -- control-plane series (repro.control) --------------------------
+        self.control_lsas_flooded = reg.counter(
+            "control_lsas_flooded_total",
+            "LSAs sent in LsUpdate messages (fresh floods + retransmissions)",
+            labels=("router",),
+        )
+        self.control_spf_runs = reg.counter(
+            "control_spf_runs_total",
+            "Shortest-path-first recomputations triggered by LSDB changes",
+            labels=("router",),
+        )
+        self.control_adjacency_transitions = reg.counter(
+            "control_adjacency_transitions_total",
+            "Neighbour state-machine transitions, by state entered",
+            labels=("router", "state"),
+        )
+        self.control_table_updates = reg.counter(
+            "control_table_updates_total",
+            "Prefix-level routing-table deltas the SPF feed applied",
+            labels=("router",),
+        )
+        self.control_convergence_ticks = reg.histogram(
+            "control_convergence_ticks",
+            "Ticks from losing control-plane convergence to regaining it",
+            buckets=CONVERGENCE_BUCKETS,
+        )
 
     # -- binding --------------------------------------------------------
     def bind_router(self, owner: str) -> RouterInstruments:
@@ -422,6 +504,15 @@ class LookupInstruments:
     def bind_shard(self, shard: str) -> ShardInstruments:
         """A per-shard serving-plane view with every label pre-bound."""
         return ShardInstruments(self, shard)
+
+    # -- control-plane recording ------------------------------------------
+    def bind_control(self, router: str) -> ControlInstruments:
+        """A per-router control-plane view with every label pre-bound."""
+        return ControlInstruments(self, router)
+
+    def record_convergence_episode(self, ticks: int) -> None:
+        """Account one completed control-plane disruption episode."""
+        self.control_convergence_ticks.observe(ticks)
 
     # -- churn recording -------------------------------------------------
     def record_update(self, kind: str, count: int = 1) -> None:

@@ -25,6 +25,7 @@ class TestPackageSurface:
         import repro.addressing
         import repro.analysis
         import repro.classify
+        import repro.control
         import repro.core
         import repro.experiments
         import repro.lookup
@@ -35,9 +36,9 @@ class TestPackageSurface:
         import repro.trie
 
         for module in (
-            repro.addressing, repro.analysis, repro.classify, repro.core,
-            repro.experiments, repro.lookup, repro.netsim, repro.routing,
-            repro.serve, repro.tablegen, repro.trie,
+            repro.addressing, repro.analysis, repro.classify, repro.control,
+            repro.core, repro.experiments, repro.lookup, repro.netsim,
+            repro.routing, repro.serve, repro.tablegen, repro.trie,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)

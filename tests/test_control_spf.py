@@ -1,0 +1,149 @@
+"""Property tests: the production SPF equals the brute-force oracle.
+
+The control plane's correctness gate rests on two independent
+implementations of shortest-path routing agreeing bit-for-bit: the heap
+Dijkstra the routers actually run, and a bounded Bellman–Ford
+relaxation plus closed-form next-hop derivation used only for
+certification.  Hypothesis drives random seeded mesh topologies with
+random costs; on every one, every router's distances and next-hop
+tables must match exactly — including equal-cost ties, which both
+sides break toward the lexicographically smallest neighbour.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import (
+    brute_force_distances,
+    certify_next_hops,
+    next_hop_table,
+    oracle_next_hops,
+    shortest_path_first,
+)
+from repro.routing.topology import mesh_topology
+
+
+def _random_topology(seed, routers=8, max_cost=4):
+    """A seeded mesh as the plain adjacency mapping SPF consumes."""
+    graph = mesh_topology(routers, degree=min(3, routers - 1), seed=seed)
+    rng = random.Random("spf-test:%d" % seed)
+    topology = {name: {} for name in sorted(graph.nodes)}
+    for a, b in sorted(graph.edges):
+        cost = rng.randrange(1, max_cost + 1)
+        topology[a][b] = cost
+        topology[b][a] = cost
+    return topology
+
+
+class TestCanonicalTieBreak:
+    def test_equal_cost_paths_pick_smallest_neighbor(self):
+        # s reaches d at cost 2 via both a and b; a < b wins.
+        topology = {
+            "s": {"a": 1, "b": 1},
+            "a": {"s": 1, "d": 1},
+            "b": {"s": 1, "d": 1},
+            "d": {"a": 1, "b": 1},
+        }
+        assert next_hop_table(topology, "s")["d"] == "a"
+        assert oracle_next_hops(topology, "s")["d"] == "a"
+
+    def test_direct_edge_loses_to_cheaper_path(self):
+        topology = {
+            "s": {"a": 1, "d": 5},
+            "a": {"s": 1, "d": 1},
+            "d": {"s": 5, "a": 1},
+        }
+        dist, first = shortest_path_first(topology, "s")
+        assert dist["d"] == 2
+        assert first["d"] == "a"
+
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ValueError):
+            shortest_path_first({"a": {"b": 0}, "b": {"a": 0}}, "a")
+
+
+class TestDisconnection:
+    def test_unreachable_nodes_absent_from_both(self):
+        topology = {"a": {"b": 1}, "b": {"a": 1}, "c": {"d": 1}, "d": {"c": 1}}
+        assert next_hop_table(topology, "a") == {"b": "b"}
+        assert oracle_next_hops(topology, "a") == {"b": "b"}
+        assert "c" not in brute_force_distances(topology, "a")
+
+    def test_unknown_source_yields_empty_table(self):
+        dist, first = shortest_path_first({"a": {"b": 1}, "b": {"a": 1}}, "z")
+        assert dist == {"z": 0}
+        assert first == {}
+
+
+class TestAgainstOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        routers=st.integers(min_value=3, max_value=14),
+        max_cost=st.integers(min_value=1, max_value=6),
+    )
+    def test_spf_next_hops_equal_oracle(self, seed, routers, max_cost):
+        topology = _random_topology(seed, routers=routers, max_cost=max_cost)
+        for source in topology:
+            assert next_hop_table(topology, source) == oracle_next_hops(
+                topology, source
+            ), "source %s diverged on seed %d" % (source, seed)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        routers=st.integers(min_value=3, max_value=14),
+    )
+    def test_spf_distances_equal_brute_force(self, seed, routers):
+        topology = _random_topology(seed, routers=routers)
+        for source in topology:
+            dist, _first = shortest_path_first(topology, source)
+            assert dist == brute_force_distances(topology, source)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_certifier_passes_honest_tables(self, seed):
+        topology = _random_topology(seed)
+        tables = {
+            source: next_hop_table(topology, source) for source in topology
+        }
+        assert certify_next_hops(topology, tables) == []
+
+
+class TestCertifierCatchesTampering:
+    def test_doctored_next_hop_is_flagged(self):
+        topology = _random_topology(7)
+        tables = {
+            source: next_hop_table(topology, source) for source in topology
+        }
+        source = sorted(tables)[0]
+        dest = sorted(tables[source])[-1]
+        tables[source][dest] = "bogus"
+        violations = certify_next_hops(topology, tables)
+        assert (source, dest) in {(s, d) for s, d, _g, _w in violations}
+
+    def test_missing_entry_is_flagged_as_empty(self):
+        topology = _random_topology(9)
+        tables = {
+            source: next_hop_table(topology, source) for source in topology
+        }
+        source = sorted(tables)[0]
+        dest = sorted(tables[source])[0]
+        del tables[source][dest]
+        violations = certify_next_hops(topology, tables)
+        assert any(
+            s == source and d == dest and got == ""
+            for s, d, got, _w in violations
+        )
+
+    def test_extra_entry_is_flagged(self):
+        topology = _random_topology(11)
+        tables = {
+            source: next_hop_table(topology, source) for source in topology
+        }
+        source = sorted(tables)[0]
+        tables[source]["phantom"] = "nowhere"
+        violations = certify_next_hops(topology, tables)
+        assert any(d == "phantom" for _s, d, _g, _w in violations)
