@@ -32,8 +32,10 @@ LPM baselines), :mod:`repro.core` (the clue scheme itself),
 :mod:`repro.netsim` (multi-hop simulation, MPLS, deployment studies),
 :mod:`repro.experiments` (the paper's evaluation harness),
 :mod:`repro.serve` (the sharded serving plane over the compiled
-fast path) and :mod:`repro.control` (the link-state IGP whose SPF
-routes feed the clue data path live).
+fast path), :mod:`repro.resilience` (fault-tolerant serving:
+replicated certified slices, failover, deadlines/retries/hedging,
+and the chaos benchmark) and :mod:`repro.control` (the link-state
+IGP whose SPF routes feed the clue data path live).
 """
 
 from repro.addressing import Address, Prefix
@@ -65,6 +67,14 @@ from repro.lookup import (
     PatriciaLookup,
     RegularTrieLookup,
 )
+from repro.resilience import (
+    ChaosEngine,
+    ReplicaPlan,
+    ResilienceConfig,
+    ResilienceReport,
+    ShardHealth,
+    ShardHealthPolicy,
+)
 from repro.serve import (
     ServeConfig,
     ServeEngine,
@@ -82,6 +92,7 @@ __all__ = [
     "BASELINES",
     "BinaryRangeLookup",
     "BinaryTrie",
+    "ChaosEngine",
     "ClueAssistedLookup",
     "ClueEntry",
     "ClueHeader",
@@ -101,9 +112,14 @@ __all__ = [
     "Prefix",
     "ReceiverState",
     "RegularTrieLookup",
+    "ReplicaPlan",
+    "ResilienceConfig",
+    "ResilienceReport",
     "ServeConfig",
     "ServeEngine",
     "ServeReport",
+    "ShardHealth",
+    "ShardHealthPolicy",
     "ShardPlan",
     "SimpleMethod",
     "TrieOverlay",

@@ -17,6 +17,7 @@ from repro.analyzer.rules.hygiene import (
     MutableDefaultRule,
 )
 from repro.analyzer.rules.loops import UnboundedLoopRule
+from repro.analyzer.rules.retry import BoundedRetryRule
 from repro.analyzer.rules.rng import SeededRngRule
 from repro.analyzer.rules.telemetry_catalogue import TelemetryCatalogueRule
 from repro.analyzer.rules.todo import StrayTodoRule
@@ -25,6 +26,7 @@ __all__ = [
     "AssertInLibraryRule",
     "BareExceptRule",
     "BatchKernelLoopRule",
+    "BoundedRetryRule",
     "HotPathPurityRule",
     "MutableDefaultRule",
     "PublicApiRule",

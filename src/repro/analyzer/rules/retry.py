@@ -1,0 +1,139 @@
+"""RC112 — bounded retry budgets.
+
+The resilience layer re-dispatches failed requests, and a retry loop
+whose budget lives only in prose is one refactor away from a hot spin:
+a crashed replica that never comes back turns "retry until it works"
+into "retry forever".  The engine's own machinery threads an explicit
+``max_retries`` budget through every re-dispatch; this rule holds the
+whole tree to that standard.
+
+A ``while`` loop is *retry-flavored* when an identifier mentioning
+``retry`` or ``attempt`` appears in its test or body.  Such a loop must
+carry a statically visible bound:
+
+* ``while True:`` retry loops are always flagged — the budget, if any,
+  hides in a ``break`` the reader has to hunt for;
+* otherwise the loop test must either compare against something
+  (``while attempts < budget:``) or name a counter the body visibly
+  decrements (``while budget: ... budget -= 1`` — the countdown
+  idiom).
+
+Loops that retry via recursion, scheduling queues, or ``for`` loops
+over ``range(budget)`` are inherently bounded and out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analyzer.engine import Finding, Rule, SourceFile, register
+
+#: Substrings marking an identifier as retry bookkeeping.
+_RETRY_MARKERS = ("retry", "retries", "attempt")
+
+
+def _is_constant_true(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value) is True
+
+
+def _retry_names(nodes: Iterable[ast.AST]) -> Set[str]:
+    """Identifiers mentioning retry/attempt anywhere in ``nodes``."""
+    names: Set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name):
+                candidate = node.id
+            elif isinstance(node, ast.Attribute):
+                candidate = node.attr
+            else:
+                continue
+            lowered = candidate.lower()
+            if any(marker in lowered for marker in _RETRY_MARKERS):
+                names.add(candidate)
+    return names
+
+
+def _test_names(test: ast.expr) -> Set[str]:
+    """Plain variable names the loop condition reads."""
+    return {
+        node.id for node in ast.walk(test) if isinstance(node, ast.Name)
+    }
+
+
+def _decremented_names(body: Iterable[ast.stmt]) -> Set[str]:
+    """Names the body counts down: ``x -= k`` or ``x = x - k``."""
+    names: Set[str] = set()
+    for statement in body:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Sub)
+                and isinstance(node.target, ast.Name)
+            ):
+                names.add(node.target.id)
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.BinOp)
+                and isinstance(node.value.op, ast.Sub)
+                and isinstance(node.value.left, ast.Name)
+                and node.value.left.id == node.targets[0].id
+            ):
+                names.add(node.targets[0].id)
+    return names
+
+
+@register
+class BoundedRetryRule(Rule):
+    code = "RC112"
+    name = "bounded-retry"
+    rationale = (
+        "a retry loop without an explicit budget spins forever once "
+        "the retried operation stops ever succeeding — the resilience "
+        "engine's max_retries discipline, enforced tree-wide"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if source.tree is None:
+            return findings
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.While):
+                continue
+            involved = _retry_names([node.test])
+            involved.update(_retry_names(node.body))
+            if not involved:
+                continue
+            label = ", ".join(repr(name) for name in sorted(involved))
+            if _is_constant_true(node.test):
+                findings.append(
+                    source.finding(
+                        self,
+                        node,
+                        "retry loop (%s) runs as while True: — carry "
+                        "the budget in the loop condition, e.g. "
+                        "while attempts < max_retries:" % label,
+                    )
+                )
+                continue
+            has_compare = any(
+                isinstance(child, ast.Compare)
+                for child in ast.walk(node.test)
+            )
+            if has_compare:
+                continue
+            if _test_names(node.test) & _decremented_names(node.body):
+                # Truthiness countdown: while budget: ... budget -= 1.
+                continue
+            findings.append(
+                source.finding(
+                    self,
+                    node,
+                    "retry loop (%s) has no statically visible budget "
+                    "— compare against a bound or count one down in "
+                    "the loop body" % label,
+                )
+            )
+        return findings

@@ -24,6 +24,12 @@ Subcommands mirror the common workflows:
   compiled tables, request batching with shed/block backpressure, a
   seeded Zipf/bursty load generator and a differential never-wrong
   audit, emitting ``BENCH_serve.json``;
+* ``chaos``     — fault-tolerant serving: the R-way replicated plane
+  under a seeded shard fault schedule (crashes with rebuild +
+  re-certification, slow replicas, dropped batches) with deadlines,
+  bounded retries, hedging, health-steered failover and a degraded
+  full-table path; every served answer is audited, emitting
+  ``BENCH_resilience.json``;
 * ``control``   — convergence under load: a seeded link-state IGP
   (hello/adjacency, LSA flooding, SPF) computes the routing tables
   live while flaps, cost changes and crashes perturb it; SPF deltas
@@ -579,6 +585,64 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+    import time
+
+    from repro.fastpath import CertificationError
+    from repro.resilience import ChaosEngine, ResilienceConfig
+
+    if args.quick:
+        args.table_size = min(args.table_size, 2000)
+        args.requests = min(args.requests, 120000)
+        args.universe = min(args.universe, 2048)
+    config = ResilienceConfig(
+        shards=args.shards,
+        replication=args.replication,
+        partition=args.partition,
+        method=args.method,
+        policy=args.policy,
+        table_size=args.table_size,
+        requests=args.requests,
+        max_batch=args.batch_max,
+        max_wait=args.max_wait,
+        queue_capacity=args.queue_capacity,
+        zipf_alpha=args.alpha,
+        universe=args.universe,
+        rate=args.rate,
+        seed=args.seed,
+        force_python=args.force_python,
+        deadline_ticks=args.deadline,
+        hedge_ticks=args.hedge_after,
+        max_retries=args.max_retries,
+        rebuild_ticks=args.rebuild_ticks,
+    )
+    try:
+        engine = ChaosEngine(config)
+    except CertificationError as error:
+        print("SHARD CERTIFICATION FAILED: %s" % error, file=sys.stderr)
+        return 2
+    plan = engine.default_plan(
+        crashes=args.crashes, slowdowns=args.slowdowns, drops=args.drops
+    )
+    # The chaos engine is wall-clock-free by design (RC103); the CLI is
+    # the one place the real clock is injected, and passing the callable
+    # is not a timing call on a library path.
+    report = engine.bench(plan, clock=time.perf_counter)
+    text = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(report.summary(), file=sys.stderr)
+    if not report.passed():
+        print("AUDIT FAILED: a served answer disagreed with the oracle "
+              "or requests went unaccounted", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_space(args) -> int:
     report = space_report(args.entries, args.pointer_fraction)
     rows = [[key, value] for key, value in sorted(report.items())]
@@ -873,6 +937,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--force-python", action="store_true",
                        help="serve on the pure-Python fallback kernels")
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-tolerant serving: replica failover, deadlines, "
+             "hedging, shard chaos (BENCH_resilience.json)",
+    )
+    chaos.add_argument("--shards", type=int, default=2,
+                       help="table slices (default 2)")
+    chaos.add_argument("--replication", type=int, default=2,
+                       help="replicas per slice (default 2)")
+    chaos.add_argument("--partition", choices=("range", "hash"),
+                       default="range",
+                       help="destination partitioning (default range)")
+    chaos.add_argument("--method", choices=("advance", "simple"),
+                       default="advance",
+                       help="clue-table construction (default advance)")
+    chaos.add_argument("--policy", choices=("shed", "block"), default="shed",
+                       help="backpressure when every replica is full "
+                            "(default shed)")
+    chaos.add_argument("--table-size", type=int, default=20000,
+                       help="synthetic sender-table size (default 20000)")
+    chaos.add_argument("--requests", type=int, default=250000,
+                       help="lookups to replay (default 250000)")
+    chaos.add_argument("--batch-max", type=int, default=256,
+                       help="max coalesced batch size (default 256)")
+    chaos.add_argument("--max-wait", type=int, default=4,
+                       help="ticks a partial batch may wait (default 4)")
+    chaos.add_argument("--queue-capacity", type=int, default=4096,
+                       help="per-replica queue bound (default 4096)")
+    chaos.add_argument("--alpha", type=float, default=1.1,
+                       help="Zipf popularity skew; 0 = uniform (default 1.1)")
+    chaos.add_argument("--rate", type=float, default=512.0,
+                       help="mean arrivals per tick (default 512)")
+    chaos.add_argument("--universe", type=int, default=4096,
+                       help="distinct destinations in the workload")
+    chaos.add_argument("--deadline", type=int, default=32,
+                       help="per-request deadline budget in ticks")
+    chaos.add_argument("--hedge-after", type=int, default=6,
+                       help="ticks pending before hedged re-dispatch")
+    chaos.add_argument("--max-retries", type=int, default=3,
+                       help="bounded retry budget per request")
+    chaos.add_argument("--rebuild-ticks", type=int, default=8,
+                       help="ticks a crashed replica takes to rebuild")
+    chaos.add_argument("--crashes", type=int, default=1,
+                       help="replica crash/restart episodes to schedule")
+    chaos.add_argument("--slowdowns", type=int, default=1,
+                       help="slow-replica windows to schedule")
+    chaos.add_argument("--drops", type=int, default=1,
+                       help="batch-drop windows to schedule")
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI mode: clamp to 2000 prefixes / 120k requests")
+    chaos.add_argument("--output", default=None,
+                       help="write BENCH_resilience.json here "
+                            "(default stdout)")
+    chaos.add_argument("--force-python", action="store_true",
+                       help="serve on the pure-Python fallback kernels")
+    chaos.set_defaults(func=_cmd_chaos)
 
     space = sub.add_parser("space", help="§3.5 clue-table space model")
     space.add_argument("--entries", type=int, default=60000)

@@ -28,12 +28,17 @@ from repro.faults.guard import (
     TRUSTED,
 )
 from repro.faults.inject import (
+    BatchDropEvent,
     CrashEvent,
     FaultPlan,
     LIE_MODES,
     LinkDownEvent,
+    ReplicaCrashEvent,
+    ShardFaultPlan,
+    SlowReplicaEvent,
     flap_crash_plan,
     random_topology_events,
+    shard_chaos_plan,
 )
 
 __all__ = [
@@ -49,10 +54,15 @@ __all__ = [
     "PROBATION",
     "QUARANTINED",
     "REJECT_REASONS",
+    "BatchDropEvent",
     "CrashEvent",
     "FaultPlan",
     "LinkDownEvent",
     "LIE_MODES",
+    "ReplicaCrashEvent",
+    "ShardFaultPlan",
+    "SlowReplicaEvent",
     "flap_crash_plan",
     "random_topology_events",
+    "shard_chaos_plan",
 ]

@@ -43,6 +43,10 @@ KIND_DROP = "record_drop"
 KIND_LINK_DOWN = "link_down"
 KIND_CRASH = "router_crash"
 KIND_RESTART = "router_restart"
+KIND_SHARD_CRASH = "shard_crash"
+KIND_SHARD_RESTART = "shard_restart"
+KIND_SHARD_SLOW = "shard_slow"
+KIND_BATCH_DROP = "batch_drop"
 
 #: Byzantine lie modes.
 LIE_RANDOM = "random"
@@ -372,6 +376,258 @@ def flap_crash_plan(
             router = names[rng.randrange(len(names))]
             crash_events.append(CrashEvent(tick, router, duration))
     return FaultPlan(seed=seed, link_downs=link_events, crashes=crash_events)
+
+
+# ----------------------------------------------------------------------
+# Shard-level faults (the serving plane, repro.resilience)
+# ----------------------------------------------------------------------
+
+
+class ReplicaCrashEvent:
+    """Replica ``(shard, replica)`` crashes at ``tick``.
+
+    The worker is down for ``duration`` ticks; at ``tick + duration``
+    the chaos engine begins the off-hot-path rebuild that re-certifies
+    the slice and re-admits the worker through probation.
+    """
+
+    __slots__ = ("tick", "shard", "replica", "duration")
+
+    def __init__(self, tick: int, shard: int, replica: int, duration: int = 1):
+        if tick < 0 or duration < 1:
+            raise ValueError("need tick >= 0 and duration >= 1")
+        if shard < 0 or replica < 0:
+            raise ValueError("shard and replica indices must be >= 0")
+        self.tick = tick
+        self.shard = shard
+        self.replica = replica
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return "ReplicaCrashEvent(t%d, %d.%d, %d ticks)" % (
+            self.tick, self.shard, self.replica, self.duration,
+        )
+
+
+class SlowReplicaEvent:
+    """Replica ``(shard, replica)`` serves slowly in a tick window.
+
+    Every batch the worker releases during ``[tick, tick + duration)``
+    completes ``extra_ticks`` later than its nominal service time —
+    the classic gray-failure mode that hedging exists for.
+    """
+
+    __slots__ = ("tick", "shard", "replica", "duration", "extra_ticks")
+
+    def __init__(
+        self,
+        tick: int,
+        shard: int,
+        replica: int,
+        duration: int = 1,
+        extra_ticks: int = 1,
+    ):
+        if tick < 0 or duration < 1:
+            raise ValueError("need tick >= 0 and duration >= 1")
+        if shard < 0 or replica < 0:
+            raise ValueError("shard and replica indices must be >= 0")
+        if extra_ticks < 1:
+            raise ValueError("extra_ticks must be >= 1")
+        self.tick = tick
+        self.shard = shard
+        self.replica = replica
+        self.duration = duration
+        self.extra_ticks = extra_ticks
+
+    def __repr__(self) -> str:
+        return "SlowReplicaEvent(t%d, %d.%d, %d ticks, +%d)" % (
+            self.tick, self.shard, self.replica, self.duration,
+            self.extra_ticks,
+        )
+
+
+class BatchDropEvent:
+    """Replica ``(shard, replica)`` drops released batches in a window.
+
+    Batches the worker releases during ``[tick, tick + duration)`` are
+    lost whole — the requests they carried must be retried (or served
+    degraded) by the engine's recovery machinery.
+    """
+
+    __slots__ = ("tick", "shard", "replica", "duration")
+
+    def __init__(self, tick: int, shard: int, replica: int, duration: int = 1):
+        if tick < 0 or duration < 1:
+            raise ValueError("need tick >= 0 and duration >= 1")
+        if shard < 0 or replica < 0:
+            raise ValueError("shard and replica indices must be >= 0")
+        self.tick = tick
+        self.shard = shard
+        self.replica = replica
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return "BatchDropEvent(t%d, %d.%d, %d ticks)" % (
+            self.tick, self.shard, self.replica, self.duration,
+        )
+
+
+class ShardFaultPlan:
+    """A deterministic schedule of shard-level serving-plane faults.
+
+    The query methods are pure functions of the tick, so the chaos
+    engine can replay the same plan twice (baseline run vs. fault run)
+    and across processes with bit-identical outcomes.  Executed events
+    are accounted through :meth:`count_event`, mirroring
+    :class:`FaultPlan` — the plan declares, the engine executes and
+    reports.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crashes: Iterable[ReplicaCrashEvent] = (),
+        slowdowns: Iterable[SlowReplicaEvent] = (),
+        batch_drops: Iterable[BatchDropEvent] = (),
+    ):
+        self.seed = seed
+        self.crashes = list(crashes)
+        self.slowdowns = list(slowdowns)
+        self.batch_drops = list(batch_drops)
+        #: Injections executed so far, by kind.
+        self.counts: Dict[str, int] = {}
+        #: Optional telemetry sink with a ``record_fault(kind)`` method.
+        self.telemetry = None
+
+    # ------------------------------------------------------------------
+    def count_event(self, kind: str, n: int = 1) -> None:
+        """Account ``n`` injections the engine executed for this plan."""
+        self.counts[kind] = self.counts.get(kind, 0) + n
+        if self.telemetry is not None:
+            self.telemetry.record_fault(kind, n)
+
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    # -- schedule queries ------------------------------------------------
+    def crashes_at(self, tick: int) -> List[ReplicaCrashEvent]:
+        """Crash events whose window opens exactly at ``tick``."""
+        return [event for event in self.crashes if event.tick == tick]
+
+    def restarts_at(self, tick: int) -> List[ReplicaCrashEvent]:
+        """Crash events whose down window ends exactly at ``tick``."""
+        return [
+            event
+            for event in self.crashes
+            if event.tick + event.duration == tick
+        ]
+
+    def slow_penalty(self, shard: int, replica: int, tick: int) -> int:
+        """Extra service ticks for a batch released by the worker now."""
+        extra = 0
+        for event in self.slowdowns:
+            if (
+                event.shard == shard
+                and event.replica == replica
+                and event.tick <= tick < event.tick + event.duration
+            ):
+                extra += event.extra_ticks
+        return extra
+
+    def drops_batch(self, shard: int, replica: int, tick: int) -> bool:
+        """True if a batch the worker releases now is lost whole."""
+        for event in self.batch_drops:
+            if (
+                event.shard == shard
+                and event.replica == replica
+                and event.tick <= tick < event.tick + event.duration
+            ):
+                return True
+        return False
+
+    def last_event_tick(self) -> int:
+        """The last tick any scheduled window is still open (or 0)."""
+        last = 0
+        for event in self.crashes:
+            last = max(last, event.tick + event.duration)
+        for event in self.slowdowns:
+            last = max(last, event.tick + event.duration)
+        for event in self.batch_drops:
+            last = max(last, event.tick + event.duration)
+        return last
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "crashes": len(self.crashes),
+            "slowdowns": len(self.slowdowns),
+            "batch_drops": len(self.batch_drops),
+            "last_event_tick": self.last_event_tick(),
+        }
+
+    def __repr__(self) -> str:
+        return "ShardFaultPlan(seed=%d, %d events, %d injected)" % (
+            self.seed,
+            len(self.crashes) + len(self.slowdowns) + len(self.batch_drops),
+            self.total_injected(),
+        )
+
+
+def shard_chaos_plan(
+    shards: int,
+    replicas: int,
+    ticks: int,
+    *,
+    crashes: int = 1,
+    slowdowns: int = 1,
+    drops: int = 1,
+    seed: int = 0,
+    duration: int = 24,
+    settle: int = 48,
+    extra_ticks: int = 3,
+) -> ShardFaultPlan:
+    """A seeded shard-level chaos schedule (the ``flap_crash_plan`` shape).
+
+    Events target a uniformly drawn ``(shard, replica)`` worker and are
+    scheduled in ``[1, ticks - duration - settle)`` so every window
+    opens while arrivals are still flowing and closes — including the
+    crash's rebuild and the deadline tail — before the run drains.
+    ``settle`` must therefore cover rebuild time plus the deadline
+    budget; the chaos engine's default plan passes one that does.
+    """
+    if shards < 1 or replicas < 1:
+        raise ValueError("need shards >= 1 and replicas >= 1")
+    if duration < 1 or settle < 0:
+        raise ValueError("need duration >= 1 and settle >= 0")
+    rng = _derived_rng(seed, "shard-chaos")
+    last_start = max(2, ticks - duration - settle)
+    crash_events: List[ReplicaCrashEvent] = []
+    slow_events: List[SlowReplicaEvent] = []
+    drop_events: List[BatchDropEvent] = []
+    for _ in range(crashes):
+        tick = rng.randrange(1, last_start)
+        shard = rng.randrange(shards)
+        replica = rng.randrange(replicas)
+        crash_events.append(ReplicaCrashEvent(tick, shard, replica, duration))
+    for _ in range(slowdowns):
+        tick = rng.randrange(1, last_start)
+        shard = rng.randrange(shards)
+        replica = rng.randrange(replicas)
+        slow_events.append(
+            SlowReplicaEvent(tick, shard, replica, duration, extra_ticks)
+        )
+    for _ in range(drops):
+        tick = rng.randrange(1, last_start)
+        shard = rng.randrange(shards)
+        replica = rng.randrange(replicas)
+        drop_events.append(BatchDropEvent(tick, shard, replica, duration))
+    return ShardFaultPlan(
+        seed=seed,
+        crashes=crash_events,
+        slowdowns=slow_events,
+        batch_drops=drop_events,
+    )
 
 
 def random_topology_events(

@@ -1,0 +1,76 @@
+"""repro.resilience — fault-tolerant serving over the replicated plane.
+
+The serving plane of :mod:`repro.serve` assumes every shard stays up;
+this subsystem drops that assumption and keeps the paper's never-wrong
+forwarding invariant anyway.  Four modules, one story:
+
+* :mod:`repro.resilience.replica` — every table slice built, compiled,
+  and certified R times, with a deterministic per-destination replica
+  preference order.
+* :mod:`repro.resilience.health` — a per-worker health FSM (healthy →
+  suspect → quarantined → probation, doubling cooldowns) that steers
+  dispatch away from sick replicas.
+* :mod:`repro.resilience.engine` — the chaos tick loop: deadline
+  budgets, bounded retries with exponential backoff, tick-based
+  hedging, failover, a full-table degraded path of last resort, crash
+  rebuild + re-certification off the hot path — and a full-population
+  audit proving every served answer right.
+* :mod:`repro.resilience.report` — the ``BENCH_resilience.json``
+  payload comparing the same seeded workload with and without faults.
+
+Fault schedules come from :func:`repro.faults.shard_chaos_plan`; time
+is an integer tick throughout (RC103), so every chaos run replays
+bit-identically from its seed.
+"""
+
+from repro.resilience.engine import (
+    ChaosEngine,
+    EXPIRED,
+    PENDING,
+    ResilienceConfig,
+    SERVED,
+    SHED,
+)
+from repro.resilience.health import (
+    HEALTH_STATE_CODES,
+    SHARD_HEALTH_STATES,
+    SHARD_HEALTHY,
+    SHARD_PROBATION,
+    SHARD_QUARANTINED,
+    SHARD_SUSPECT,
+    ShardHealth,
+    ShardHealthPolicy,
+)
+from repro.resilience.replica import (
+    MAX_REPLICATION,
+    ReplicaPlan,
+    build_replica_shard,
+    build_replica_shards,
+    partition_slices,
+    replica_rotation,
+)
+from repro.resilience.report import ResilienceReport
+
+__all__ = [
+    "ChaosEngine",
+    "EXPIRED",
+    "HEALTH_STATE_CODES",
+    "MAX_REPLICATION",
+    "PENDING",
+    "ReplicaPlan",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "SERVED",
+    "SHARD_HEALTHY",
+    "SHARD_HEALTH_STATES",
+    "SHARD_PROBATION",
+    "SHARD_QUARANTINED",
+    "SHARD_SUSPECT",
+    "SHED",
+    "ShardHealth",
+    "ShardHealthPolicy",
+    "build_replica_shard",
+    "build_replica_shards",
+    "partition_slices",
+    "replica_rotation",
+]

@@ -1,0 +1,262 @@
+"""Per-shard health: the FSM that steers dispatch away from sick workers.
+
+The neighbour-health machinery in :mod:`repro.faults.guard` tracks one
+*upstream* per sliding window of per-packet anomalies; this module is
+the same shape one level up — one :class:`ShardHealth` per replica
+worker, fed per-*batch* outcomes by the chaos engine, clocked by the
+engine's integer tick (RC103: no wall clocks anywhere in the plane).
+
+Four states::
+
+    healthy ──(window mismatch >= suspect)──> suspect
+    suspect ──(window mismatch >= quarantine, min samples)──> quarantined
+    quarantined ──(cooldown ticks elapse)──> probation
+    probation ──(probation_batches clean)──> healthy   (cooldown halves)
+    probation ──(any fault)──> quarantined             (cooldown doubles)
+
+Suspect workers still serve but are *deprioritized* — the dispatcher
+prefers healthy replicas, then probation (they must see traffic to be
+re-trusted), then suspect — while quarantined workers receive nothing
+at all.  Every re-quarantine doubles the next cooldown up to
+``cooldown_max``; a survived probation halves it back down (floored at
+the base), so transient gray failures do not scar a worker forever.
+A crashed worker is quarantined for accounting and re-admitted through
+probation once its slice has been rebuilt and re-certified
+(:meth:`ShardHealth.rebuilt`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+#: Health states a replica worker moves through.
+SHARD_HEALTHY = "healthy"
+SHARD_SUSPECT = "suspect"
+SHARD_QUARANTINED = "quarantined"
+SHARD_PROBATION = "probation"
+
+SHARD_HEALTH_STATES = (
+    SHARD_HEALTHY,
+    SHARD_SUSPECT,
+    SHARD_QUARANTINED,
+    SHARD_PROBATION,
+)
+
+#: Numeric codes for the ``shard_health_state`` gauge (stable, small).
+HEALTH_STATE_CODES = {
+    SHARD_HEALTHY: 0,
+    SHARD_SUSPECT: 1,
+    SHARD_QUARANTINED: 2,
+    SHARD_PROBATION: 3,
+}
+
+#: Dispatch preference per state (lower is better); quarantined workers
+#: are not dispatchable at all.  Probation outranks suspect because a
+#: probing worker must see traffic to earn back trust.
+_DISPATCH_RANKS = {
+    SHARD_HEALTHY: 0,
+    SHARD_PROBATION: 1,
+    SHARD_SUSPECT: 2,
+}
+
+
+class ShardHealthPolicy:
+    """Tunable knobs of the per-shard health FSM.
+
+    The defaults suspect a worker after a quarter of a 16-batch window
+    went bad, quarantine it at half (with at least 2 observed faults),
+    sit out 8 ticks, then re-admit it on a 2-batch probation; every
+    re-quarantine doubles the cooldown up to ``cooldown_max``.
+    """
+
+    __slots__ = (
+        "window",
+        "suspect_threshold",
+        "quarantine_threshold",
+        "min_samples",
+        "cooldown_base",
+        "cooldown_factor",
+        "cooldown_max",
+        "probation_batches",
+    )
+
+    def __init__(
+        self,
+        window: int = 16,
+        suspect_threshold: float = 0.25,
+        quarantine_threshold: float = 0.5,
+        min_samples: int = 2,
+        cooldown_base: int = 8,
+        cooldown_factor: float = 2.0,
+        cooldown_max: int = 128,
+        probation_batches: int = 2,
+    ):
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 0.0 < suspect_threshold <= 1.0:
+            raise ValueError("suspect_threshold must be in (0, 1]")
+        if not suspect_threshold <= quarantine_threshold <= 1.0:
+            raise ValueError(
+                "need suspect_threshold <= quarantine_threshold <= 1"
+            )
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        if cooldown_base < 1 or cooldown_max < cooldown_base:
+            raise ValueError("need 1 <= cooldown_base <= cooldown_max")
+        if cooldown_factor < 1.0:
+            raise ValueError("cooldown_factor must be >= 1")
+        if probation_batches < 1:
+            raise ValueError("probation_batches must be positive")
+        self.window = window
+        self.suspect_threshold = suspect_threshold
+        self.quarantine_threshold = quarantine_threshold
+        self.min_samples = min_samples
+        self.cooldown_base = cooldown_base
+        self.cooldown_factor = cooldown_factor
+        self.cooldown_max = cooldown_max
+        self.probation_batches = probation_batches
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            "ShardHealthPolicy(window=%d, suspect=%.2f, quarantine=%.2f, "
+            "cooldown=%d..%d)"
+            % (
+                self.window,
+                self.suspect_threshold,
+                self.quarantine_threshold,
+                self.cooldown_base,
+                self.cooldown_max,
+            )
+        )
+
+
+class ShardHealth:
+    """Sliding-window batch-outcome tracking for one replica worker."""
+
+    __slots__ = (
+        "policy",
+        "state",
+        "window",
+        "ok_total",
+        "faults_total",
+        "quarantines",
+        "until",
+        "probation_left",
+        "next_cooldown",
+    )
+
+    def __init__(self, policy: ShardHealthPolicy):
+        self.policy = policy
+        self.state = SHARD_HEALTHY
+        self.window: Deque[int] = deque(maxlen=policy.window)
+        self.ok_total = 0
+        self.faults_total = 0
+        self.quarantines = 0
+        #: Tick the current quarantine cooldown expires (meaningful only
+        #: while quarantined).
+        self.until = 0
+        self.probation_left = 0
+        self.next_cooldown = policy.cooldown_base
+
+    # ------------------------------------------------------------------
+    def mismatch_rate(self) -> float:
+        """Fault fraction over the sliding window of batch outcomes."""
+        if not self.window:
+            return 0.0
+        return sum(self.window) / len(self.window)
+
+    def _maybe_release(self, now: int) -> None:
+        if self.state == SHARD_QUARANTINED and now >= self.until:
+            self.state = SHARD_PROBATION
+            self.probation_left = self.policy.probation_batches
+
+    def dispatch_rank(self, now: int):
+        """Preference rank for dispatch now, or ``None`` if quarantined.
+
+        Lower ranks are preferred: healthy (0) < probation (1) <
+        suspect (2).  Querying a quarantined worker whose cooldown has
+        elapsed releases it to probation — tick-driven, so recovery
+        needs no separate bookkeeping sweep.
+        """
+        self._maybe_release(now)
+        return _DISPATCH_RANKS.get(self.state)
+
+    # ------------------------------------------------------------------
+    def record_ok(self, now: int) -> None:
+        """One batch completed cleanly on this worker."""
+        self.ok_total += 1
+        self.window.append(0)
+        if self.state == SHARD_PROBATION:
+            self.probation_left -= 1
+            if self.probation_left <= 0:
+                self.state = SHARD_HEALTHY
+                self.window.clear()
+                # A survived probation halves the next cooldown (floored
+                # at the base), so transient faults do not scar forever.
+                self.next_cooldown = max(
+                    self.policy.cooldown_base, self.next_cooldown // 2
+                )
+        elif self.state == SHARD_SUSPECT:
+            if self.mismatch_rate() < self.policy.suspect_threshold:
+                self.state = SHARD_HEALTHY
+
+    def record_fault(self, now: int) -> bool:
+        """One worker-attributable fault; True if quarantine fired."""
+        self.faults_total += 1
+        self.window.append(1)
+        if self.state == SHARD_PROBATION:
+            # A probing worker that faults goes straight back out.
+            self._quarantine(now)
+            return True
+        rate = self.mismatch_rate()
+        if (
+            sum(self.window) >= self.policy.min_samples
+            and rate >= self.policy.quarantine_threshold
+        ):
+            self._quarantine(now)
+            return True
+        if self.state == SHARD_HEALTHY and rate >= self.policy.suspect_threshold:
+            self.state = SHARD_SUSPECT
+        return False
+
+    def mark_down(self, now: int) -> None:
+        """The worker crashed: quarantine it for accounting.
+
+        The engine's ``down`` flag gates dispatch while the slice is
+        being rebuilt; this keeps the FSM (and the ``shard_health_state``
+        gauge) telling the same story.
+        """
+        self._quarantine(now)
+
+    def rebuilt(self, now: int) -> None:
+        """The slice was rebuilt and re-certified: re-admit on probation."""
+        self.state = SHARD_PROBATION
+        self.probation_left = self.policy.probation_batches
+        self.window.clear()
+
+    def _quarantine(self, now: int) -> None:
+        self.state = SHARD_QUARANTINED
+        self.quarantines += 1
+        self.until = now + self.next_cooldown
+        self.next_cooldown = min(
+            self.policy.cooldown_max,
+            int(self.next_cooldown * self.policy.cooldown_factor),
+        )
+        self.window.clear()
+
+    # ------------------------------------------------------------------
+    def state_code(self) -> int:
+        """The ``shard_health_state`` gauge value for the current state."""
+        return HEALTH_STATE_CODES[self.state]
+
+    def __repr__(self) -> str:
+        return "ShardHealth(%s, ok=%d, faults=%d, quarantines=%d)" % (
+            self.state,
+            self.ok_total,
+            self.faults_total,
+            self.quarantines,
+        )

@@ -78,7 +78,15 @@ class RequestBatcher:
     slice copy regardless of batch size.
     """
 
-    __slots__ = ("policy", "shed", "accepted", "_values", "_lens", "_ticks")
+    __slots__ = (
+        "policy",
+        "shed",
+        "accepted",
+        "released",
+        "_values",
+        "_lens",
+        "_ticks",
+    )
 
     def __init__(self, policy: Optional[BatchPolicy] = None):
         self.policy = policy if policy is not None else BatchPolicy()
@@ -86,6 +94,11 @@ class RequestBatcher:
         self.shed = 0
         #: Requests admitted to the queue since construction.
         self.accepted = 0
+        #: Requests handed out in released batches since construction.
+        #: Conservation holds at every instant:
+        #: ``accepted = released + depth`` and every offered request is
+        #: accepted, shed, or refused.
+        self.released = 0
         self._values: List[int] = []
         self._lens: List[int] = []
         self._ticks: List[int] = []
@@ -149,6 +162,7 @@ class RequestBatcher:
         del self._values[:size]
         del self._lens[:size]
         del self._ticks[:size]
+        self.released += size
         return batch
 
     def drain_all(self, tick: int) -> List[Tuple[list, list, list]]:
@@ -162,6 +176,7 @@ class RequestBatcher:
             del self._values[:size]
             del self._lens[:size]
             del self._ticks[:size]
+            self.released += size
         return batches
 
     def __repr__(self) -> str:

@@ -37,6 +37,11 @@ metric                                kind       labels
 ``serve_shed_total``                  counter    shard
 ``serve_queue_depth``                 gauge      shard
 ``serve_batch_size``                  histogram  shard
+``serve_retries_total``               counter    shard
+``serve_hedges_total``                counter    shard
+``serve_failovers_total``             counter    shard
+``serve_deadline_expired_total``      counter    (none)
+``shard_health_state``                gauge      shard
 ``control_lsas_flooded_total``        counter    router
 ``control_spf_runs_total``            counter    router
 ``control_adjacency_transitions_total``  counter  router, state
@@ -257,6 +262,28 @@ class ShardInstruments:
         return "ShardInstruments(%r)" % self.owner
 
 
+class ResilienceInstruments:
+    """Per-replica-worker bound view of the resilience series.
+
+    One per ``slice.replica`` worker of the chaos engine's replicated
+    plane, pre-bound at binding time so the retry/hedge/failover
+    accounting in the tick loop never calls ``labels(...)`` — the same
+    zero-allocation discipline as :class:`ShardInstruments`.
+    """
+
+    __slots__ = ("owner", "retries", "hedges", "failovers", "health_state")
+
+    def __init__(self, instruments: "LookupInstruments", owner: str):
+        self.owner = owner
+        self.retries = instruments.serve_retries.labels(owner)
+        self.hedges = instruments.serve_hedges.labels(owner)
+        self.failovers = instruments.serve_failovers.labels(owner)
+        self.health_state = instruments.shard_health_state.labels(owner)
+
+    def __repr__(self) -> str:
+        return "ResilienceInstruments(%r)" % self.owner
+
+
 class ControlInstruments:
     """Per-router bound view of the control-plane series (repro.control).
 
@@ -439,6 +466,31 @@ class LookupInstruments:
             labels=("shard",),
             buckets=BATCH_SIZE_BUCKETS,
         )
+        # -- resilience series (repro.resilience) --------------------------
+        self.serve_retries = reg.counter(
+            "serve_retries_total",
+            "Requests re-dispatched after a crash or a dropped batch",
+            labels=("shard",),
+        )
+        self.serve_hedges = reg.counter(
+            "serve_hedges_total",
+            "Requests duplicated to another replica after hedge_ticks",
+            labels=("shard",),
+        )
+        self.serve_failovers = reg.counter(
+            "serve_failovers_total",
+            "Requests placed on a replica other than their preferred one",
+            labels=("shard",),
+        )
+        self.serve_deadline_expired = reg.counter(
+            "serve_deadline_expired_total",
+            "Requests whose deadline budget ran out before completion",
+        )
+        self.shard_health_state = reg.gauge(
+            "shard_health_state",
+            "Health FSM state code per replica worker (end of tick)",
+            labels=("shard",),
+        )
         # -- control-plane series (repro.control) --------------------------
         self.control_lsas_flooded = reg.counter(
             "control_lsas_flooded_total",
@@ -504,6 +556,10 @@ class LookupInstruments:
     def bind_shard(self, shard: str) -> ShardInstruments:
         """A per-shard serving-plane view with every label pre-bound."""
         return ShardInstruments(self, shard)
+
+    def bind_resilience(self, shard: str) -> ResilienceInstruments:
+        """A per-replica-worker resilience view with every label pre-bound."""
+        return ResilienceInstruments(self, shard)
 
     # -- control-plane recording ------------------------------------------
     def bind_control(self, router: str) -> ControlInstruments:

@@ -1,0 +1,43 @@
+"""RC112 fixture: retry loops with and without visible budgets."""
+
+
+def spin_forever(operation):
+    # BAD: retry-flavored while True — the budget (if any) is hidden.
+    retries = 0
+    while True:
+        if operation():
+            return retries
+        retries += 1
+
+
+def unbudgeted(operation, flaky):
+    # BAD: the condition never compares nor counts anything down.
+    while flaky:
+        flaky = operation()
+        retry_count = flaky  # noqa: F841 — marks the loop retry-flavored
+
+
+def compared_budget(operation, max_retries):
+    # GOOD: the budget is right there in the loop condition.
+    attempts = 0
+    while attempts < max_retries:
+        if operation():
+            return attempts
+        attempts += 1
+    return None
+
+
+def countdown_budget(operation, attempts_left):
+    # GOOD: truthiness countdown — the body visibly decrements the
+    # name the condition reads (the tablegen synthetic idiom).
+    while attempts_left:
+        if operation():
+            return attempts_left
+        attempts_left -= 1
+    return None
+
+
+def not_a_retry_loop(queue):
+    # GOOD (out of scope): no retry-flavored identifier anywhere.
+    while queue:
+        queue.pop()

@@ -30,6 +30,7 @@ class TestPackageSurface:
         import repro.experiments
         import repro.lookup
         import repro.netsim
+        import repro.resilience
         import repro.routing
         import repro.serve
         import repro.tablegen
@@ -38,7 +39,8 @@ class TestPackageSurface:
         for module in (
             repro.addressing, repro.analysis, repro.classify, repro.control,
             repro.core, repro.experiments, repro.lookup, repro.netsim,
-            repro.routing, repro.serve, repro.tablegen, repro.trie,
+            repro.resilience, repro.routing, repro.serve, repro.tablegen,
+            repro.trie,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)

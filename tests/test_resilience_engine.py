@@ -1,0 +1,305 @@
+"""The chaos engine: failover, retries, hedging, deadlines, the audit."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    ReplicaCrashEvent,
+    ShardFaultPlan,
+    SlowReplicaEvent,
+    shard_chaos_plan,
+)
+from repro.resilience import (
+    ChaosEngine,
+    MAX_REPLICATION,
+    ReplicaPlan,
+    ResilienceConfig,
+    replica_rotation,
+)
+from repro.serve import ShardPlan
+from repro.telemetry import LookupInstruments, MetricsRegistry
+
+
+def small_config(**overrides):
+    defaults = dict(
+        shards=2,
+        replication=2,
+        table_size=300,
+        requests=8000,
+        universe=256,
+        rate=128.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ResilienceConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ChaosEngine(small_config())
+
+
+class TestReplicaPlan:
+    def test_candidates_are_a_rotation(self):
+        rplan = ReplicaPlan(ShardPlan(4, "range"), 3)
+        for value in (0, 1, 12345, 2**31):
+            candidates = rplan.candidates(value)
+            assert sorted(candidates) == [0, 1, 2]
+            rotation = rplan.rotation_of(value)
+            assert candidates[0] == rotation
+            assert candidates == [
+                (rotation + k) % 3 for k in range(3)
+            ]
+
+    def test_replication_bounds(self):
+        plan = ShardPlan(2, "range")
+        with pytest.raises(ValueError):
+            ReplicaPlan(plan, 0)
+        with pytest.raises(ValueError):
+            ReplicaPlan(plan, MAX_REPLICATION + 1)
+        assert ReplicaPlan(plan, 1).workers == 2
+        assert ReplicaPlan(plan, 3).workers == 6
+
+    def test_batch_rotation_matches_scalar(self):
+        rplan = ReplicaPlan(ShardPlan(2, "range"), 3)
+        values = [0, 1, 7, 255, 9999, 2**30, 2**32 - 1]
+        expected = [rplan.rotation_of(value) for value in values]
+        python = replica_rotation(rplan, values, force_python=True)
+        assert list(python) == expected
+        fast = replica_rotation(
+            rplan,
+            __import__("repro.fastpath.kernels", fromlist=["x"])
+            .as_destination_array(values, 32),
+        )
+        assert [int(r) for r in fast] == expected
+
+
+class TestBaselineRun:
+    def test_fault_free_run_serves_everything(self, engine):
+        run = engine.run()
+        totals = run["totals"]
+        assert totals["served"] == totals["offered"]
+        assert totals["crashes"] == 0
+        assert totals["degraded"] == 0
+        assert totals["deadline_expired"] == 0
+        assert run["audit"]["checked"] == totals["offered"]
+        assert run["audit"]["wrong_answers"] == 0
+        assert run["conservation"]["ok"]
+
+    def test_every_worker_is_certified(self, engine):
+        assert len(engine.shards) == 2
+        assert all(len(row) == 2 for row in engine.shards)
+        assert engine.certified_lanes > 0
+        # Replicas of a slice hold identical slices of the table.
+        for row in engine.shards:
+            sizes = {len(shard.entries) for shard in row}
+            assert len(sizes) == 1
+
+
+class TestChaosRun:
+    def test_crash_restart_episode_survives_audited(self, engine):
+        plan = engine.default_plan(crashes=2, slowdowns=1, drops=1)
+        run = engine.run(plan)
+        totals = run["totals"]
+        assert totals["crashes"] >= 1
+        assert totals["restarts"] == totals["crashes"]
+        assert totals["rebuilt_lanes"] > 0
+        assert totals["retries"] > 0
+        assert run["audit"]["wrong_answers"] == 0
+        assert run["audit"]["checked"] == totals["served"]
+        assert run["conservation"]["ok"]
+        counts = run["faults"]["counts"]
+        assert counts.get("shard_crash", 0) >= 1
+        assert counts.get("shard_restart", 0) >= 1
+
+    def test_bench_report_passes_and_compares(self, engine):
+        report = engine.bench()
+        assert report.passed()
+        payload = report.as_dict()
+        assert payload["bench"] == "resilience"
+        comparison = payload["comparison"]
+        assert comparison["availability_without_faults"] == 1.0
+        assert payload["certification"]["rebuilt_lanes"] >= 0
+        assert "chaos" in report.summary()
+
+    def test_hedging_fires_under_slow_replicas(self):
+        config = small_config(hedge_ticks=2)
+        engine = ChaosEngine(config)
+        plan = ShardFaultPlan(
+            seed=1,
+            slowdowns=[
+                SlowReplicaEvent(2, s, 0, duration=30, extra_ticks=10)
+                for s in range(2)
+            ],
+        )
+        run = engine.run(plan)
+        totals = run["totals"]
+        assert totals["hedges"] > 0
+        # Hedge duplicates that lost the race are counted, not served.
+        assert totals["late_completions"] > 0
+        assert totals["served"] == totals["offered"]
+        assert run["audit"]["wrong_answers"] == 0
+        assert run["conservation"]["ok"]
+
+    def test_deadline_expiry_is_accounted(self):
+        config = small_config(deadline_ticks=3, hedge_ticks=1)
+        engine = ChaosEngine(config)
+        plan = ShardFaultPlan(
+            seed=1,
+            slowdowns=[
+                SlowReplicaEvent(1, s, r, duration=40, extra_ticks=30)
+                for s in range(2)
+                for r in range(2)
+            ],
+        )
+        run = engine.run(plan)
+        totals = run["totals"]
+        assert totals["deadline_expired"] > 0
+        assert run["conservation"]["ok"]
+        assert run["audit"]["wrong_answers"] == 0
+
+    def test_single_replica_crash_degrades_not_drops(self):
+        config = small_config(replication=1)
+        engine = ChaosEngine(config)
+        plan = ShardFaultPlan(
+            seed=1, crashes=[ReplicaCrashEvent(3, 0, 0, duration=10)]
+        )
+        run = engine.run(plan)
+        totals = run["totals"]
+        # With no second replica the scalar full-table path answers.
+        assert totals["degraded"] > 0
+        assert totals["served"] == totals["offered"]
+        assert run["audit"]["wrong_answers"] == 0
+        assert run["conservation"]["ok"]
+
+    def test_failover_prefers_live_replica(self, engine):
+        plan = ShardFaultPlan(
+            seed=1, crashes=[ReplicaCrashEvent(3, 0, 0, duration=15)]
+        )
+        run = engine.run(plan)
+        totals = run["totals"]
+        assert totals["failovers"] > 0
+        assert totals["served"] == totals["offered"]
+        assert run["conservation"]["ok"]
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical_bench(self):
+        a = ChaosEngine(small_config(requests=5000)).bench()
+        b = ChaosEngine(small_config(requests=5000)).bench()
+        assert a.to_json() == b.to_json()
+
+    def test_plan_factory_is_seeded(self):
+        one = shard_chaos_plan(2, 2, 100, crashes=2, seed=9)
+        two = shard_chaos_plan(2, 2, 100, crashes=2, seed=9)
+        assert repr(one.crashes) == repr(two.crashes)
+        other = shard_chaos_plan(2, 2, 100, crashes=2, seed=10)
+        assert repr(one.crashes) != repr(other.crashes)
+
+    def test_force_python_parity_on_answers(self):
+        fast = ChaosEngine(small_config(requests=4000)).run()
+        slow = ChaosEngine(
+            small_config(requests=4000, force_python=True)
+        ).run()
+        for run in (fast, slow):
+            assert run["audit"]["wrong_answers"] == 0
+        assert fast["totals"]["served"] == slow["totals"]["served"]
+
+
+class TestTelemetry:
+    def test_resilience_series_reconcile_with_report(self):
+        instruments = LookupInstruments(MetricsRegistry())
+        engine = ChaosEngine(small_config(requests=6000), instruments)
+        plan = engine.default_plan(crashes=2, slowdowns=1, drops=1)
+        run = engine.run(plan)
+        totals = run["totals"]
+        assert instruments.serve_retries.total() == totals["retries"]
+        assert instruments.serve_hedges.total() == totals["hedges"]
+        assert instruments.serve_failovers.total() == totals["failovers"]
+        assert (
+            instruments.serve_deadline_expired.total()
+            == totals["deadline_expired"]
+        )
+        assert (
+            instruments.faults_injected.total()
+            == sum(run["faults"]["counts"].values())
+        )
+
+    def test_health_gauge_tracks_worker_states(self):
+        instruments = LookupInstruments(MetricsRegistry())
+        engine = ChaosEngine(small_config(requests=6000), instruments)
+        engine.run(engine.default_plan(crashes=1))
+        samples = instruments.shard_health_state.samples()
+        assert len(samples) == 4  # 2 slices x 2 replicas
+        owners = {labels[0] for labels, _value in samples}
+        assert owners == {"0.0", "0.1", "1.0", "1.1"}
+
+    def test_catalogue_declares_every_resilience_series(self):
+        import repro.telemetry.instruments as catalogue
+
+        doc = catalogue.__doc__
+        for name in (
+            "serve_retries_total",
+            "serve_hedges_total",
+            "serve_failovers_total",
+            "serve_deadline_expired_total",
+            "shard_health_state",
+        ):
+            assert "``%s``" % name in doc
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"requests": 0},
+            {"table_size": 0},
+            {"deadline_ticks": 0},
+            {"hedge_ticks": 0},
+            {"max_retries": -1},
+            {"retry_backoff": 0},
+            {"service_ticks": 0},
+            {"rebuild_ticks": 0},
+            {"replication": 0},
+            {"replication": MAX_REPLICATION + 1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            small_config(**kwargs)
+
+    def test_as_dict_round_trips(self):
+        config = small_config()
+        snapshot = config.as_dict()
+        assert snapshot["replication"] == 2
+        assert snapshot["deadline_ticks"] == 32
+        rebuilt = ResilienceConfig(**snapshot)
+        assert rebuilt.as_dict() == snapshot
+
+
+class TestCli:
+    def test_chaos_subcommand_emits_payload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_resilience.json"
+        code = main(
+            [
+                "chaos",
+                "--table-size", "300",
+                "--requests", "6000",
+                "--universe", "256",
+                "--rate", "128",
+                "--seed", "7",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "resilience"
+        assert payload["chaos"]["audit"]["wrong_answers"] == 0
+        assert payload["chaos"]["conservation"]["ok"]
+        assert payload["chaos"]["totals"]["sustained_pps"] is not None
+        captured = capsys.readouterr()
+        assert "chaos:" in captured.err

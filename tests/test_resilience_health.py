@@ -1,0 +1,162 @@
+"""The per-shard health FSM: transitions, cooldowns, dispatch ranks."""
+
+import pytest
+
+from repro.resilience import (
+    HEALTH_STATE_CODES,
+    SHARD_HEALTHY,
+    SHARD_PROBATION,
+    SHARD_QUARANTINED,
+    SHARD_SUSPECT,
+    ShardHealth,
+    ShardHealthPolicy,
+)
+
+
+def make(**overrides):
+    defaults = dict(
+        window=8,
+        suspect_threshold=0.25,
+        quarantine_threshold=0.5,
+        min_samples=2,
+        cooldown_base=4,
+        cooldown_factor=2.0,
+        cooldown_max=32,
+        probation_batches=2,
+    )
+    defaults.update(overrides)
+    return ShardHealth(ShardHealthPolicy(**defaults))
+
+
+class TestTransitions:
+    def test_starts_healthy_and_preferred(self):
+        health = make()
+        assert health.state == SHARD_HEALTHY
+        assert health.dispatch_rank(0) == 0
+
+    def test_single_fault_in_full_window_only_suspects(self):
+        health = make()
+        for _ in range(6):
+            health.record_ok(0)
+        health.record_fault(1)
+        health.record_fault(2)
+        # 2/8 = 0.25 of the window: suspect, not quarantined.
+        assert health.state == SHARD_SUSPECT
+        assert health.dispatch_rank(2) == 2
+
+    def test_suspect_recovers_when_rate_drops(self):
+        health = make()
+        for _ in range(6):
+            health.record_ok(0)
+        health.record_fault(1)
+        health.record_fault(2)
+        assert health.state == SHARD_SUSPECT
+        # Clean batches push the faults out of the window.
+        for tick in range(3, 12):
+            health.record_ok(tick)
+        assert health.state == SHARD_HEALTHY
+
+    def test_quarantine_needs_min_samples(self):
+        health = make(min_samples=3)
+        # One fault is 100% of a 1-sample window but below min_samples.
+        assert health.record_fault(0) is False
+        assert health.state != SHARD_QUARANTINED
+
+    def test_fault_burst_quarantines(self):
+        health = make()
+        health.record_fault(0)
+        fired = health.record_fault(1)
+        assert fired is True
+        assert health.state == SHARD_QUARANTINED
+        assert health.quarantines == 1
+        assert health.dispatch_rank(1) is None
+
+    def test_cooldown_releases_to_probation(self):
+        health = make(cooldown_base=4)
+        health.record_fault(0)
+        health.record_fault(1)
+        assert health.dispatch_rank(4) is None  # until = 1 + 4
+        assert health.dispatch_rank(5) == 1
+        assert health.state == SHARD_PROBATION
+
+    def test_probation_survival_heals_and_halves_cooldown(self):
+        health = make(cooldown_base=4, probation_batches=2)
+        health.record_fault(0)
+        health.record_fault(1)
+        health.dispatch_rank(5)  # release
+        doubled = health.next_cooldown
+        assert doubled == 8
+        health.record_ok(6)
+        assert health.state == SHARD_PROBATION
+        health.record_ok(7)
+        assert health.state == SHARD_HEALTHY
+        assert health.next_cooldown == 4  # halved, floored at base
+
+    def test_probation_fault_requarantines_and_doubles(self):
+        health = make(cooldown_base=4, cooldown_max=32)
+        health.record_fault(0)
+        health.record_fault(1)
+        health.dispatch_rank(5)
+        assert health.record_fault(6) is True
+        assert health.state == SHARD_QUARANTINED
+        assert health.until == 6 + 8
+        assert health.next_cooldown == 16
+
+    def test_cooldown_caps_at_max(self):
+        health = make(cooldown_base=4, cooldown_max=16)
+        for round_index in range(5):
+            tick = round_index * 100
+            health.record_fault(tick)
+            health.record_fault(tick + 1)
+            health.dispatch_rank(tick + 99)  # release before next round
+        assert health.next_cooldown == 16
+
+    def test_crash_and_rebuild_cycle(self):
+        health = make()
+        health.mark_down(10)
+        assert health.state == SHARD_QUARANTINED
+        assert health.quarantines == 1
+        health.rebuilt(20)
+        assert health.state == SHARD_PROBATION
+        assert health.dispatch_rank(20) == 1
+        health.record_ok(21)
+        health.record_ok(22)
+        assert health.state == SHARD_HEALTHY
+
+
+class TestCodesAndPolicy:
+    def test_state_codes_are_stable(self):
+        assert HEALTH_STATE_CODES[SHARD_HEALTHY] == 0
+        assert HEALTH_STATE_CODES[SHARD_SUSPECT] == 1
+        assert HEALTH_STATE_CODES[SHARD_QUARANTINED] == 2
+        assert HEALTH_STATE_CODES[SHARD_PROBATION] == 3
+        health = make()
+        assert health.state_code() == 0
+        health.record_fault(0)
+        health.record_fault(1)
+        assert health.state_code() == 2
+
+    def test_mismatch_rate_empty_window(self):
+        assert make().mismatch_rate() == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"suspect_threshold": 0.0},
+            {"suspect_threshold": 0.6, "quarantine_threshold": 0.5},
+            {"min_samples": 0},
+            {"cooldown_base": 0},
+            {"cooldown_base": 8, "cooldown_max": 4},
+            {"cooldown_factor": 0.5},
+            {"probation_batches": 0},
+        ],
+    )
+    def test_policy_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make(**kwargs)
+
+    def test_repr_mentions_state(self):
+        health = make()
+        assert "healthy" in repr(health)
+        assert "ShardHealthPolicy" in repr(health.policy)
