@@ -61,3 +61,48 @@ def test_full_tree_analysis_throughput():
         raise AssertionError("analyzer saw only %d files" % len(files))
     if total > 30.0:
         raise AssertionError("full-tree lint took %.1f s" % total)
+
+
+def test_incremental_warm_run_beats_cold(tmp_path, monkeypatch):
+    """The cache earns its keep: a warm full-tree run re-parses
+    nothing, skips the graph rules, and is measurably faster."""
+    from repro.analyzer import analyze_paths_incremental
+
+    monkeypatch.chdir(os.path.dirname(os.path.dirname(__file__)))
+    cache = str(tmp_path / "lint-cache.json")
+    rules = default_rules()
+
+    start = time.perf_counter()
+    cold = analyze_paths_incremental(["src/repro"], rules, cache_path=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = analyze_paths_incremental(["src/repro"], rules, cache_path=cache)
+    warm_s = time.perf_counter() - start
+
+    print()
+    print(
+        "incremental: cold %.1f ms (%d parsed), warm %.1f ms "
+        "(%d parsed, %d graph-dirty)"
+        % (
+            1e3 * cold_s,
+            len(cold.reparsed),
+            1e3 * warm_s,
+            len(warm.reparsed),
+            len(warm.graph_dirty),
+        )
+    )
+
+    assert cold.cold and not warm.cold
+    assert warm.reparsed == [] and warm.graph_dirty == []
+    if sorted(
+        (f.code, f.path, f.line) for f in warm.result.findings
+    ) != sorted((f.code, f.path, f.line) for f in cold.result.findings):
+        raise AssertionError("warm findings diverged from cold")
+    # Measurably faster, with slack for noisy CI runners (locally the
+    # warm run is ~5x faster: no parsing, no graph rules).
+    if warm_s > 0.8 * cold_s:
+        raise AssertionError(
+            "warm run %.1f ms not faster than cold %.1f ms"
+            % (1e3 * warm_s, 1e3 * cold_s)
+        )

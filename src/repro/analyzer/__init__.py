@@ -1,12 +1,21 @@
 """repro.analyzer — AST static analysis enforcing the repo's invariants.
 
-``repro-clue lint`` runs this engine over ``src/repro``.  The rules
-(codes ``RC101``–``RC110``, engine codes ``RC100``/``RC198``/``RC199``)
-encode the invariants PRs 1–3 maintained by hand: hot-path purity for
-the one-memory-reference claim, seeded-RNG discipline, wall-clock-free
-engines, the canonical telemetry catalogue, package ``__all__``
-consistency, bounded loops, and library hygiene (no bare except, no
-mutable defaults, no asserts, no stray TO-DO markers).
+``repro-clue lint`` runs this engine over ``src/repro``.  The per-file
+rules (codes ``RC101``–``RC112``, engine codes ``RC100``/``RC198``/
+``RC199``) encode the invariants PRs 1–3 maintained by hand: hot-path
+purity for the one-memory-reference claim, seeded-RNG discipline,
+wall-clock-free engines, the canonical telemetry catalogue, package
+``__all__`` consistency, bounded loops and retries, and library
+hygiene (no bare except, no mutable defaults, no asserts, no stray
+TO-DO markers).  The interprocedural rules (``RC113``–``RC116``) lift
+the hot-path, RNG, frozen-array, and bounded-loop contracts to the
+whole-program call graph (:mod:`repro.analyzer.graph`): violations are
+flagged wherever a privileged entry point can *reach* them, with the
+concrete entry→sink witness path in the message.
+
+``analyze_paths_incremental`` is the warm-cache driver behind
+``repro-clue lint --incremental``; ``render_sarif`` the SARIF 2.1.0
+reporter behind ``--format sarif``.
 
 Typical use::
 
@@ -40,8 +49,14 @@ from repro.analyzer.engine import (
     render_text,
     write_baseline,
 )
+from repro.analyzer.incremental import (
+    IncrementalResult,
+    analyze_paths_incremental,
+)
+from repro.analyzer.sarif import render_sarif
 
 __all__ = [
+    "IncrementalResult",
     "AnalysisResult",
     "Finding",
     "PARSE_ERROR_CODE",
@@ -51,6 +66,7 @@ __all__ = [
     "Suppression",
     "analyze",
     "analyze_paths",
+    "analyze_paths_incremental",
     "default_rules",
     "diff_baseline",
     "gating_findings",
@@ -59,6 +75,7 @@ __all__ = [
     "load_files",
     "register",
     "render_json_report",
+    "render_sarif",
     "render_text",
     "write_baseline",
 ]

@@ -101,6 +101,18 @@ class Finding:
             "rule": self.rule_name,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the incremental store)."""
+        return cls(
+            str(payload["code"]),
+            str(payload["path"]),
+            int(payload["line"]),  # type: ignore[arg-type]
+            int(payload["col"]),  # type: ignore[arg-type]
+            str(payload["message"]),
+            str(payload.get("rule", "")),
+        )
+
     def __repr__(self) -> str:
         return "Finding(%s %s:%d:%d %s)" % (
             self.code, self.path, self.line, self.col, self.message,
@@ -207,10 +219,46 @@ class SourceFile:
 
 
 class Project:
-    """Every file of one analysis run (the cross-file rules' view)."""
+    """Every file of one analysis run (the cross-file rules' view).
 
-    def __init__(self, files: Sequence[SourceFile]):
+    Cross-file rules see two representations: the parsed
+    :class:`SourceFile` objects, and — for the whole-program layer —
+    per-file :class:`~repro.analyzer.graph.summary.ModuleSummary`
+    digests plus the call graph resolved over them.  The incremental
+    driver constructs a Project holding only the *re-parsed* files and
+    attaches cached summaries for the rest, so summary-based rules run
+    identically on cold and warm paths.
+    """
+
+    def __init__(
+        self,
+        files: Sequence[SourceFile],
+        summaries: Optional[Dict[str, object]] = None,
+    ):
         self.files = list(files)
+        self._attached_summaries = dict(summaries) if summaries else {}
+        self._summaries: Optional[Dict[str, object]] = None
+        self._graph = None
+
+    def summaries(self) -> Dict[str, object]:
+        """``path → ModuleSummary`` over every file of the run."""
+        if self._summaries is None:
+            from repro.analyzer.graph.summary import summarize_source
+
+            merged = dict(self._attached_summaries)
+            for source in self.files:
+                if source.path not in merged and source.tree is not None:
+                    merged[source.path] = summarize_source(source)
+            self._summaries = merged
+        return self._summaries
+
+    def graph(self):
+        """The whole-program call graph (built once per run)."""
+        if self._graph is None:
+            from repro.analyzer.graph.callgraph import build_call_graph
+
+            self._graph = build_call_graph(self.summaries())
+        return self._graph
 
     def find(self, suffix: str) -> Optional[SourceFile]:
         """The file whose (posix) path ends with ``suffix``, if any."""
@@ -240,6 +288,11 @@ class Rule:
     name: str = "abstract"
     rationale: str = ""
     informational: bool = False
+    #: True for rules whose findings derive from the call graph
+    #: (RC113–RC116): their per-file findings are cached by the
+    #: incremental store under a *neighborhood* signature, and their
+    #: ``finish`` pass is skipped entirely on fully-warm runs.
+    graph_scoped: bool = False
 
     def check_file(self, source: SourceFile) -> Iterable[Finding]:
         """Per-file findings; ``source.tree`` is never None here."""
@@ -374,27 +427,43 @@ def analyze(
     for rule in active:
         raw.extend(rule.finish(project))
 
-    by_path = {source.path: source for source in files}
+    suppressions_by_path = {
+        source.path: source.suppressions for source in files
+    }
+    return reconcile(raw, suppressions_by_path, len(files))
+
+
+def reconcile(
+    raw: Sequence[Finding],
+    suppressions_by_path: Dict[str, List[Suppression]],
+    file_count: int,
+) -> AnalysisResult:
+    """Match findings against suppressions and report the leftovers.
+
+    Shared by :func:`analyze` (fresh suppression tables) and the
+    incremental driver (suppression tables rebuilt from the cache).
+    """
+    for suppressions in suppressions_by_path.values():
+        for suppression in suppressions:
+            suppression.used = False
     surviving: List[Finding] = []
     for finding in raw:
-        source = by_path.get(finding.path)
         suppressed = False
-        if source is not None:
-            for suppression in source.suppressions:
-                if suppression.matches(finding):
-                    suppression.used = True
-                    suppressed = True
+        for suppression in suppressions_by_path.get(finding.path, ()):
+            if suppression.matches(finding):
+                suppression.used = True
+                suppressed = True
         if not suppressed:
             surviving.append(finding)
 
     unused: List[Finding] = []
-    for source in files:
-        for suppression in source.suppressions:
+    for path in suppressions_by_path:
+        for suppression in suppressions_by_path[path]:
             if not suppression.used:
                 unused.append(
                     Finding(
                         "RC199",
-                        source.path,
+                        path,
                         suppression.line,
                         1,
                         "unused suppression for %s"
@@ -406,7 +475,7 @@ def analyze(
                 surviving.append(
                     Finding(
                         "RC198",
-                        source.path,
+                        path,
                         suppression.line,
                         1,
                         "suppression of %s gives no reason "
@@ -417,7 +486,7 @@ def analyze(
                 )
     surviving.sort(key=Finding.sort_key)
     unused.sort(key=Finding.sort_key)
-    return AnalysisResult(surviving, len(files), unused)
+    return AnalysisResult(surviving, file_count, unused)
 
 
 def analyze_paths(

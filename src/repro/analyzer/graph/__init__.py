@@ -1,0 +1,50 @@
+"""repro.analyzer.graph — whole-program call-graph construction.
+
+The per-file rules (RC101–RC112) see one AST at a time; the invariants
+they protect — hot-path purity, seeded-RNG discipline, frozen compiled
+arrays, bounded loops — are *whole-program* properties.  This
+subpackage supplies the missing layer:
+
+* :mod:`summary` — a JSON-serializable per-file digest (functions,
+  classes, imports, call sites, rule-local facts) built from one AST
+  walk; the incremental cache persists these so warm runs never
+  re-parse unchanged files;
+* :mod:`facts` — the rule-local fact extractors (purity violations,
+  RNG events, frozen-array stores, unbudgeted loops) embedded into
+  summaries at parse time;
+* :mod:`callgraph` — name resolution over a set of summaries into a
+  module-qualified call graph with reachability, call-path
+  reconstruction, and file-level dependency neighborhoods.
+
+See DESIGN.md §9 for the resolution rules and known imprecisions.
+"""
+
+from repro.analyzer.graph.callgraph import (
+    CallEdge,
+    CallGraph,
+    FunctionNode,
+    build_call_graph,
+)
+from repro.analyzer.graph.summary import (
+    CallRef,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+    SUMMARY_VERSION,
+    module_name_for_path,
+    summarize_source,
+)
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "CallRef",
+    "ClassSummary",
+    "FunctionNode",
+    "FunctionSummary",
+    "ModuleSummary",
+    "SUMMARY_VERSION",
+    "build_call_graph",
+    "module_name_for_path",
+    "summarize_source",
+]

@@ -1,0 +1,551 @@
+"""Per-file structural summaries: the call graph's unit of caching.
+
+A :class:`ModuleSummary` is everything the whole-program layer needs
+to know about one file, extracted in a single AST walk and fully
+JSON-round-trippable: the module's dotted name, its import table, its
+functions and classes with raw call-site references, lightweight type
+hints (``x = CompiledTrie(...)``, ``self.trie = trie`` where ``trie``
+is an annotated parameter), rule-local facts (:mod:`facts`), and the
+telemetry registrations RC104 reconciles.
+
+Because a summary never holds an AST node, the incremental cache can
+persist it next to the file's content hash: a warm lint run loads
+summaries for unchanged files and only re-parses the files whose bytes
+actually changed, then rebuilds the (cheap) call graph from summaries
+alone.  That is the property the analyzer bench measures.
+
+Name references are stored *raw* as attribute chains (``("self",
+"_probe")``, ``("random", "random")``) — resolution to qualified names
+happens later in :mod:`callgraph`, where the full project is visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyzer.graph import facts as _facts
+from repro.analyzer.purity import is_cold_path_function, is_hot_path_function
+
+#: Bump when the summary shape or any fact extractor changes — the
+#: incremental store discards entries written by another version.
+SUMMARY_VERSION = 1
+
+#: Metric-registration method names RC104 reconciles.
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+#: One docstring table row: ``clue_hits_total``  counter  router
+_TABLE_ROW = re.compile(
+    r"^``(?P<name>[a-z_][a-z0-9_]*)``\s+(?P<kind>counter|gauge|histogram)\b"
+)
+
+FunctionDefs = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/serve/engine.py`` → ``repro.serve.engine`` (the ``src``
+    layout prefix is dropped so absolute imports resolve);
+    ``pkg/__init__.py`` → ``pkg``.
+    """
+    name = path.replace("\\", "/")
+    if name.endswith(".py"):
+        name = name[: -len(".py")]
+    parts = [part for part in name.split("/") if part not in ("", ".")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class CallRef:
+    """One raw call site: the callee's attribute chain plus context."""
+
+    __slots__ = ("chain", "line", "col", "in_loop")
+
+    def __init__(
+        self, chain: Tuple[str, ...], line: int, col: int, in_loop: bool
+    ):
+        self.chain = chain
+        self.line = line
+        self.col = col
+        self.in_loop = in_loop
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "chain": list(self.chain),
+            "line": self.line,
+            "col": self.col,
+            "in_loop": self.in_loop,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CallRef":
+        return cls(
+            tuple(payload["chain"]),
+            int(payload["line"]),
+            int(payload["col"]),
+            bool(payload["in_loop"]),
+        )
+
+    def __repr__(self) -> str:
+        return "CallRef(%s:%d)" % (".".join(self.chain), self.line)
+
+
+class FunctionSummary:
+    """One function or method: identity, call sites, types, facts."""
+
+    __slots__ = (
+        "name",
+        "cls",
+        "line",
+        "col",
+        "is_hot_path",
+        "is_cold_path",
+        "calls",
+        "local_types",
+        "facts",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        cls: Optional[str],
+        line: int,
+        col: int,
+        is_hot_path: bool,
+        is_cold_path: bool,
+        calls: List[CallRef],
+        local_types: Dict[str, Tuple[str, ...]],
+        facts: Dict[str, Any],
+    ):
+        self.name = name
+        self.cls = cls
+        self.line = line
+        self.col = col
+        self.is_hot_path = is_hot_path
+        self.is_cold_path = is_cold_path
+        self.calls = calls
+        self.local_types = local_types
+        self.facts = facts
+
+    def qname(self, module: str) -> str:
+        if self.cls:
+            return "%s.%s.%s" % (module, self.cls, self.name)
+        return "%s.%s" % (module, self.name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "col": self.col,
+            "is_hot_path": self.is_hot_path,
+            "is_cold_path": self.is_cold_path,
+            "calls": [ref.to_dict() for ref in self.calls],
+            "local_types": {
+                key: list(value) for key, value in self.local_types.items()
+            },
+            "facts": self.facts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            payload["name"],
+            payload.get("cls"),
+            int(payload["line"]),
+            int(payload["col"]),
+            bool(payload["is_hot_path"]),
+            bool(payload.get("is_cold_path", False)),
+            [CallRef.from_dict(ref) for ref in payload["calls"]],
+            {
+                key: tuple(value)
+                for key, value in payload["local_types"].items()
+            },
+            payload["facts"],
+        )
+
+    def __repr__(self) -> str:
+        return "FunctionSummary(%s)" % (
+            "%s.%s" % (self.cls, self.name) if self.cls else self.name
+        )
+
+
+class ClassSummary:
+    """One class: bases (raw chains), methods, attribute type hints."""
+
+    __slots__ = ("name", "line", "bases", "methods", "attr_types")
+
+    def __init__(
+        self,
+        name: str,
+        line: int,
+        bases: List[Tuple[str, ...]],
+        methods: List[str],
+        attr_types: Dict[str, Tuple[str, ...]],
+    ):
+        self.name = name
+        self.line = line
+        self.bases = bases
+        self.methods = methods
+        self.attr_types = attr_types
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": [list(base) for base in self.bases],
+            "methods": self.methods,
+            "attr_types": {
+                key: list(value) for key, value in self.attr_types.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClassSummary":
+        return cls(
+            payload["name"],
+            int(payload["line"]),
+            [tuple(base) for base in payload["bases"]],
+            list(payload["methods"]),
+            {
+                key: tuple(value)
+                for key, value in payload["attr_types"].items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        return "ClassSummary(%s)" % self.name
+
+
+class ModuleSummary:
+    """Everything the graph layer knows about one file."""
+
+    __slots__ = (
+        "path",
+        "module",
+        "package",
+        "imports",
+        "functions",
+        "classes",
+        "metric_calls",
+        "metric_table",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        package: str,
+        imports: Dict[str, str],
+        functions: List[FunctionSummary],
+        classes: List[ClassSummary],
+        metric_calls: List[List[Any]],
+        metric_table: List[List[Any]],
+    ):
+        self.path = path
+        self.module = module
+        self.package = package
+        self.imports = imports
+        self.functions = functions
+        self.classes = classes
+        #: ``[name, kind, line, col]`` of every literal metric
+        #: registration (``reg.counter("x", ...)``) in the file.
+        self.metric_calls = metric_calls
+        #: ``[name, kind, line]`` docstring-table rows (catalogue only).
+        self.metric_table = metric_table
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SUMMARY_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "package": self.package,
+            "imports": self.imports,
+            "functions": [func.to_dict() for func in self.functions],
+            "classes": [klass.to_dict() for klass in self.classes],
+            "metric_calls": self.metric_calls,
+            "metric_table": self.metric_table,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            payload["path"],
+            payload["module"],
+            payload["package"],
+            dict(payload["imports"]),
+            [FunctionSummary.from_dict(f) for f in payload["functions"]],
+            [ClassSummary.from_dict(c) for c in payload["classes"]],
+            [list(row) for row in payload["metric_calls"]],
+            [list(row) for row in payload["metric_table"]],
+        )
+
+    def __repr__(self) -> str:
+        return "ModuleSummary(%s, %d functions)" % (
+            self.module, len(self.functions),
+        )
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def summarize_source(source) -> ModuleSummary:
+    """Summarize one parsed :class:`~repro.analyzer.engine.SourceFile`."""
+    module = module_name_for_path(source.path)
+    is_package = source.path.replace("\\", "/").endswith("__init__.py")
+    package = module if is_package else module.rpartition(".")[0]
+    tree = source.tree
+    imports: Dict[str, str] = {}
+    functions: List[FunctionSummary] = []
+    classes: List[ClassSummary] = []
+    documented = _suppression_lines(source)
+    if tree is not None:
+        _collect_imports(tree, package, imports)
+        for node in tree.body:
+            if isinstance(node, FunctionDefs):
+                functions.append(_summarize_function(node, None, documented))
+            elif isinstance(node, ast.ClassDef):
+                klass, methods = _summarize_class(node, documented)
+                classes.append(klass)
+                functions.extend(methods)
+    metric_calls = _metric_calls(tree) if tree is not None else []
+    metric_table = _metric_table(source)
+    return ModuleSummary(
+        source.path,
+        module,
+        package,
+        imports,
+        functions,
+        classes,
+        metric_calls,
+        metric_table,
+    )
+
+
+def _suppression_lines(source) -> Dict[int, Set[str]]:
+    """Line → codes an existing suppression covers (RC116's
+    ``documented`` bit: a loop whose RC106 bound is already stated in
+    a noqa reason needs no second flag from the closure rule)."""
+    covered: Dict[int, Set[str]] = {}
+    for suppression in getattr(source, "suppressions", ()):
+        lines = [suppression.line]
+        if suppression.standalone:
+            lines.append(suppression.line + 1)
+        for line in lines:
+            covered.setdefault(line, set()).update(suppression.codes)
+    return covered
+
+
+def _collect_imports(
+    tree: ast.AST, package: str, imports: Dict[str, str]
+) -> None:
+    """Alias → dotted target for every import anywhere in the file."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            base = node.module or ""
+            if node.level:
+                anchor = package
+                for _ in range(node.level - 1):
+                    anchor = anchor.rpartition(".")[0]
+                base = (
+                    "%s.%s" % (anchor, node.module)
+                    if node.module
+                    else anchor
+                )
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = "%s.%s" % (base, alias.name) if base else alias.name
+                imports[alias.asname or alias.name] = target
+
+
+def _summarize_class(
+    node: ast.ClassDef, documented: Dict[int, Set[str]]
+) -> Tuple[ClassSummary, List[FunctionSummary]]:
+    methods: List[FunctionSummary] = []
+    attr_types: Dict[str, Tuple[str, ...]] = {}
+    for child in node.body:
+        if isinstance(child, FunctionDefs):
+            summary = _summarize_function(child, node.name, documented)
+            methods.append(summary)
+            _collect_attr_types(child, summary.local_types, attr_types)
+    bases = []
+    for base in node.bases:
+        chain = _facts.attribute_chain(base)
+        if chain is not None:
+            bases.append(chain)
+    klass = ClassSummary(
+        node.name,
+        node.lineno,
+        bases,
+        [method.name for method in methods],
+        attr_types,
+    )
+    return klass, methods
+
+
+def _collect_attr_types(
+    func: ast.AST,
+    local_types: Dict[str, Tuple[str, ...]],
+    attr_types: Dict[str, Tuple[str, ...]],
+) -> None:
+    """``self.x = <ctor or typed local>`` → attribute type hints."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        chain = _value_type_chain(node.value, local_types)
+        if chain is not None:
+            attr_types.setdefault(target.attr, chain)
+
+
+def _value_type_chain(
+    value: ast.expr, local_types: Dict[str, Tuple[str, ...]]
+) -> Optional[Tuple[str, ...]]:
+    """The type chain a value expression implies, if any."""
+    if isinstance(value, ast.Call):
+        chain = _facts.attribute_chain(value.func)
+        if chain is not None and chain[-1][:1].isupper():
+            return chain
+        return None
+    if isinstance(value, ast.Name):
+        return local_types.get(value.id)
+    return None
+
+
+def _annotation_chain(node: Optional[ast.expr]) -> Optional[Tuple[str, ...]]:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):  # Optional[X] → X
+        inner = node.slice
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            inner = inner.elts[0]
+        return _annotation_chain(inner)
+    return _facts.attribute_chain(node)
+
+
+def _summarize_function(
+    node, cls: Optional[str], documented: Dict[int, Set[str]]
+) -> FunctionSummary:
+    local_types: Dict[str, Tuple[str, ...]] = {}
+    args = node.args
+    all_args = list(
+        getattr(args, "posonlyargs", [])
+    ) + list(args.args) + list(args.kwonlyargs)
+    for arg in all_args:
+        chain = _annotation_chain(arg.annotation)
+        if chain is not None:
+            local_types[arg.arg] = chain
+    calls: List[CallRef] = []
+    _collect_calls(node, 0, calls, local_types)
+    facts = {
+        "purity": _facts.purity_facts(node),
+        "rng": _facts.rng_facts(node, documented),
+        "stores": _facts.store_facts(node),
+        "loops": _facts.loop_facts(node, documented),
+    }
+    return FunctionSummary(
+        node.name,
+        cls,
+        node.lineno,
+        node.col_offset + 1,
+        is_hot_path_function(node),
+        is_cold_path_function(node),
+        calls,
+        local_types,
+        facts,
+    )
+
+
+def _collect_calls(
+    node: ast.AST,
+    loop_depth: int,
+    calls: List[CallRef],
+    local_types: Dict[str, Tuple[str, ...]],
+) -> None:
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            chain = _value_type_chain(node.value, local_types)
+            if chain is not None:
+                local_types.setdefault(target.id, chain)
+    elif isinstance(node, ast.AnnAssign) and isinstance(
+        node.target, ast.Name
+    ):
+        chain = _annotation_chain(node.annotation)
+        if chain is not None:
+            local_types.setdefault(node.target.id, chain)
+    if isinstance(node, ast.Call):
+        chain = _facts.attribute_chain(node.func)
+        if chain is not None:
+            calls.append(
+                CallRef(
+                    chain,
+                    node.lineno,
+                    node.col_offset + 1,
+                    loop_depth > 0,
+                )
+            )
+    depth = loop_depth + (1 if isinstance(node, _facts.LOOP_NODES) else 0)
+    for child in ast.iter_child_nodes(node):
+        _collect_calls(child, depth, calls, local_types)
+
+
+def _metric_calls(tree: ast.AST) -> List[List[Any]]:
+    calls: List[List[Any]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if (
+            not isinstance(callee, ast.Attribute)
+            or callee.attr not in _METRIC_KINDS
+        ):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            calls.append(
+                [first.value, callee.attr, node.lineno, node.col_offset + 1]
+            )
+    return calls
+
+
+def _metric_table(source) -> List[List[Any]]:
+    rows: List[List[Any]] = []
+    for number, line in enumerate(getattr(source, "lines", ()), start=1):
+        match = _TABLE_ROW.match(line.strip())
+        if match is not None:
+            rows.append([match.group("name"), match.group("kind"), number])
+    return rows
+
+
+def summarize_sources(sources: Sequence[Any]) -> Dict[str, ModuleSummary]:
+    """``path → summary`` for a batch of parsed files."""
+    return {source.path: summarize_source(source) for source in sources}

@@ -1,0 +1,305 @@
+"""The incremental analysis driver: warm lint runs re-analyze only
+what a change can actually affect.
+
+The cache (``lint-cache.json``, alongside ``lint-baseline.json`` but
+*not* committed) stores, per file:
+
+* the content digest (sha256) and the JSON module summary — a warm run
+  reuses both for unchanged files and never re-parses them;
+* the per-file findings from the ``check_file`` rules, valid as long
+  as the digest matches (those rules see one file at a time);
+* the findings of the ``graph_scoped`` rules (RC113–RC116) under a
+  *neighborhood signature*: the digests of the file's caller-closure —
+  itself plus every file that can transitively call into it.  Those
+  are exactly the files whose edits can change which entries reach
+  this file's functions (and through which witness paths), so the
+  signature over-approximates nothing and misses nothing the graph
+  can see.
+
+Invalidation therefore has the shape the cache test asserts: touching
+file ``T`` changes the neighborhood signature of ``T`` and of every
+file in ``T``'s *forward* closure (files ``T`` calls into — their
+caller-closures contain ``T``), and of nothing else.  When no
+signature changed, the graph rules are skipped outright; when some
+did, they re-run as a pure graph computation over cached summaries —
+still with zero re-parsing.
+
+Whole-project ``finish`` rules that are not graph-scoped (RC104)
+re-run every time, also from summaries alone; their cost is a few
+dictionary reconciliations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analyzer.engine import (
+    PARSE_ERROR_CODE,
+    AnalysisResult,
+    Finding,
+    Rule,
+    SourceFile,
+    Suppression,
+    default_rules,
+    iter_python_files,
+    reconcile,
+)
+from repro.analyzer.graph.summary import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    summarize_source,
+)
+
+#: Bump when the cache layout (not the summary shape) changes.
+CACHE_VERSION = 1
+
+#: Default cache filename (repo root, next to lint-baseline.json).
+DEFAULT_CACHE_PATH = "lint-cache.json"
+
+
+class IncrementalResult:
+    """An :class:`AnalysisResult` plus what the warm path actually did."""
+
+    def __init__(
+        self,
+        result: AnalysisResult,
+        reparsed: List[str],
+        graph_dirty: List[str],
+        removed: List[str],
+        cold: bool,
+    ):
+        self.result = result
+        #: Files whose content changed (or were new) — re-parsed.
+        self.reparsed = reparsed
+        #: Files whose call-graph neighborhood signature changed —
+        #: their graph-rule findings were recomputed, not reused.
+        self.graph_dirty = graph_dirty
+        #: Cache entries dropped because the file no longer exists.
+        self.removed = removed
+        #: True when no usable cache existed (version/ruleset mismatch).
+        self.cold = cold
+
+    def __repr__(self) -> str:
+        return (
+            "IncrementalResult(%d findings, %d reparsed, %d graph-dirty)"
+            % (
+                len(self.result.findings),
+                len(self.reparsed),
+                len(self.graph_dirty),
+            )
+        )
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _suppressions_to_json(
+    suppressions: Sequence[Suppression],
+) -> List[List[Any]]:
+    return [
+        [s.line, sorted(s.codes), s.reason, s.standalone]
+        for s in suppressions
+    ]
+
+
+def _suppressions_from_json(rows: Sequence[Sequence[Any]]) -> List[Suppression]:
+    return [
+        Suppression(int(line), set(codes), reason, bool(standalone))
+        for line, codes, reason, standalone in rows
+    ]
+
+
+def _load_cache(
+    path: str, rule_codes: List[str]
+) -> Optional[Dict[str, Any]]:
+    """The cached file table, or None when the cache is unusable."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("cache_version") != CACHE_VERSION:
+        return None
+    if payload.get("summary_version") != SUMMARY_VERSION:
+        return None
+    if payload.get("rules") != rule_codes:
+        # A --select run must not poison (or trust) a full run's cache.
+        return None
+    files = payload.get("files")
+    return files if isinstance(files, dict) else None
+
+
+def _write_cache(
+    path: str, rule_codes: List[str], files: Dict[str, Any]
+) -> None:
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "comment": (
+            "repro-clue lint incremental cache — machine-generated, "
+            "do not commit; delete freely to force a cold run."
+        ),
+        "rules": rule_codes,
+        "files": files,
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def analyze_paths_incremental(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    cache_path: str = DEFAULT_CACHE_PATH,
+) -> IncrementalResult:
+    """Analyze ``paths`` reusing (and refreshing) ``cache_path``."""
+    from repro.analyzer.engine import Project, _normalize
+    from repro.analyzer.graph.callgraph import build_call_graph
+
+    active = list(rules) if rules is not None else default_rules()
+    rule_codes = sorted(rule.code for rule in active)
+    graph_rules = [rule for rule in active if rule.graph_scoped]
+    finish_rules = [
+        rule
+        for rule in active
+        if not rule.graph_scoped
+        and type(rule).finish is not Rule.finish
+    ]
+    cached = _load_cache(cache_path, rule_codes)
+    cold = cached is None
+    old_files: Dict[str, Any] = cached if cached is not None else {}
+
+    new_files: Dict[str, Any] = {}
+    summaries: Dict[str, ModuleSummary] = {}
+    suppressions_by_path: Dict[str, List[Suppression]] = {}
+    local_findings: List[Finding] = []
+    parsed_sources: List[SourceFile] = []
+    reparsed: List[str] = []
+
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        path = _normalize(filename)
+        digest = _digest(text)
+        entry = old_files.get(path)
+        if entry is not None and entry.get("digest") == digest:
+            # Warm: summary, suppressions, and per-file findings are
+            # all content-keyed — no parse needed.
+            if entry.get("summary") is not None:
+                summaries[path] = ModuleSummary.from_dict(entry["summary"])
+            suppressions_by_path[path] = _suppressions_from_json(
+                entry.get("suppressions", [])
+            )
+            local_findings.extend(
+                Finding.from_dict(f) for f in entry.get("local", [])
+            )
+            new_files[path] = dict(entry)
+            continue
+        reparsed.append(path)
+        source = SourceFile(path, text)
+        suppressions_by_path[path] = source.suppressions
+        entry = {"digest": digest, "summary": None, "local": []}
+        if source.parse_error is not None:
+            error = source.parse_error
+            finding = Finding(
+                PARSE_ERROR_CODE,
+                path,
+                error.lineno or 1,
+                (error.offset or 0) + 1,
+                "syntax error: %s" % error.msg,
+                "parse-error",
+            )
+            local_findings.append(finding)
+            entry["local"] = [finding.as_dict()]
+        else:
+            parsed_sources.append(source)
+            file_findings: List[Finding] = []
+            for rule in active:
+                file_findings.extend(rule.check_file(source))
+            local_findings.extend(file_findings)
+            summary = summarize_source(source)
+            summaries[path] = summary
+            entry["summary"] = summary.to_dict()
+            entry["local"] = [f.as_dict() for f in file_findings]
+        entry["suppressions"] = _suppressions_to_json(
+            suppressions_by_path[path]
+        )
+        new_files[path] = entry
+
+    removed = sorted(set(old_files) - set(new_files))
+
+    # ------------------------------------------------------------------
+    # graph-scoped rules under neighborhood signatures
+    # ------------------------------------------------------------------
+    graph = build_call_graph(summaries)
+    signatures: Dict[str, str] = {}
+    for path in new_files:
+        closure = (
+            graph.caller_closure_files(path)
+            if path in summaries
+            else {path}
+        )
+        hasher = hashlib.sha256()
+        for member in sorted(closure):
+            member_entry = new_files.get(member)
+            member_digest = (
+                member_entry["digest"] if member_entry else "missing"
+            )
+            hasher.update(
+                ("%s=%s\n" % (member, member_digest)).encode("utf-8")
+            )
+        signatures[path] = hasher.hexdigest()
+
+    graph_dirty = sorted(
+        path
+        for path in new_files
+        if old_files.get(path, {}).get("graph_sig") != signatures[path]
+    )
+    graph_findings: List[Finding] = []
+    if graph_rules and graph_dirty:
+        project = Project(parsed_sources, summaries=summaries)
+        fresh: List[Finding] = []
+        for rule in graph_rules:
+            fresh.extend(rule.finish(project))
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in fresh:
+            by_path.setdefault(finding.path, []).append(finding)
+        for path, entry in new_files.items():
+            entry["graph_sig"] = signatures[path]
+            entry["graph"] = [
+                f.as_dict() for f in by_path.get(path, [])
+            ]
+        graph_findings = fresh
+    else:
+        for path, entry in new_files.items():
+            entry["graph_sig"] = signatures[path]
+            entry.setdefault("graph", [])
+            graph_findings.extend(
+                Finding.from_dict(f) for f in entry["graph"]
+            )
+
+    # ------------------------------------------------------------------
+    # whole-project (non-graph) finish rules: always run, from summaries
+    # ------------------------------------------------------------------
+    finish_findings: List[Finding] = []
+    if finish_rules:
+        project = Project(parsed_sources, summaries=summaries)
+        for rule in finish_rules:
+            finish_findings.extend(rule.finish(project))
+
+    raw = local_findings + graph_findings + finish_findings
+    result = reconcile(raw, suppressions_by_path, len(new_files))
+    _write_cache(cache_path, rule_codes, new_files)
+    return IncrementalResult(
+        result, reparsed, graph_dirty, removed, cold
+    )

@@ -10,6 +10,8 @@ its rule protects and the paper claim or past regression motivating it
 from repro.analyzer.rules.api import PublicApiRule
 from repro.analyzer.rules.batchkernel import BatchKernelLoopRule
 from repro.analyzer.rules.determinism import WallClockRule
+from repro.analyzer.rules.frozenarray import FrozenArrayRule
+from repro.analyzer.rules.hotclosure import HotPathClosureRule
 from repro.analyzer.rules.hotpath import HotPathPurityRule
 from repro.analyzer.rules.hygiene import (
     AssertInLibraryRule,
@@ -17,8 +19,10 @@ from repro.analyzer.rules.hygiene import (
     MutableDefaultRule,
 )
 from repro.analyzer.rules.loops import UnboundedLoopRule
+from repro.analyzer.rules.reachloop import ReachableLoopRule
 from repro.analyzer.rules.retry import BoundedRetryRule
 from repro.analyzer.rules.rng import SeededRngRule
+from repro.analyzer.rules.rngtaint import RngTaintRule
 from repro.analyzer.rules.telemetry_catalogue import TelemetryCatalogueRule
 from repro.analyzer.rules.todo import StrayTodoRule
 
@@ -27,9 +31,13 @@ __all__ = [
     "BareExceptRule",
     "BatchKernelLoopRule",
     "BoundedRetryRule",
+    "FrozenArrayRule",
+    "HotPathClosureRule",
     "HotPathPurityRule",
     "MutableDefaultRule",
     "PublicApiRule",
+    "ReachableLoopRule",
+    "RngTaintRule",
     "SeededRngRule",
     "StrayTodoRule",
     "TelemetryCatalogueRule",

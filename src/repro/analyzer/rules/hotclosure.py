@@ -1,0 +1,80 @@
+"""RC113 — hot-path-closure purity.
+
+RC101 checks the functions the author *declared* hot; this rule checks
+the functions the call graph *proves* hot: everything transitively
+reachable from a ``@hot_path`` entry.  The PR 9 audit motivating it
+found per-packet allocations RC101 could never see — an undecorated
+helper three calls below ``ClueRouter.process`` allocating a list per
+lookup — because per-file analysis stops at the function boundary.
+
+Every reachable, undecorated function must satisfy the same purity
+contract (:mod:`repro.analyzer.purity`), or carry one of the two
+explicit escapes:
+
+* ``@hot_path`` — the author promotes it into RC101's jurisdiction
+  (and the closure rule steps aside to avoid double-flagging);
+* ``@cold_path`` — the author declares a sanctioned hot→cold boundary
+  (build-on-miss construction, per-batch buffers); the BFS records the
+  boundary but never descends past it, so the slow-path subtree below
+  stays out of the closure;
+* a ``# repro: noqa[RC113] -- reason`` at the sink, for the rare site
+  that is neither.
+
+Findings report the concrete witness *path* — ``entry -> mid
+[file:line] -> sink [file:line]`` — because "this helper is hot" is
+only actionable when you can see which entry makes it so.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Project, Rule, register
+
+
+@register
+class HotPathClosureRule(Rule):
+    code = "RC113"
+    name = "hot-path-closure"
+    graph_scoped = True
+    rationale = (
+        "the one-memory-reference claim covers the whole dynamic "
+        "extent of a lookup, not just the decorated entry — impure "
+        "helpers reachable from @hot_path dilute the measurement "
+        "exactly like impure entries do"
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        entries = sorted(
+            qname
+            for qname, node in graph.functions.items()
+            if node.is_hot_path
+        )
+        parents = graph.reachable_from(
+            entries, barrier=lambda node: node.is_cold_path
+        )
+        findings: List[Finding] = []
+        for qname in sorted(parents):
+            node = graph.functions[qname]
+            if node.is_hot_path or node.is_cold_path:
+                continue  # RC101's jurisdiction / sanctioned boundary
+            for line, col, description in node.facts("purity"):
+                findings.append(
+                    Finding(
+                        self.code,
+                        node.path,
+                        line,
+                        col,
+                        "%r is reachable from the hot path and %s; "
+                        "path: %s — decorate @hot_path, mark the "
+                        "boundary @cold_path, or make it pure"
+                        % (
+                            qname,
+                            description,
+                            graph.format_path(parents, qname),
+                        ),
+                        self.name,
+                    )
+                )
+        return findings

@@ -9,56 +9,22 @@ reuse, see ``benchmarks/test_bench_telemetry.py``), and lazily binding
 metric labels per packet is the same bug wearing telemetry clothes —
 ``RouterInstruments`` exists precisely to pre-bind them.
 
-Inside a ``@hot_path`` function the rule forbids:
-
-* container literals and comprehensions, and calls to ``list`` /
-  ``dict`` / ``set`` / ``tuple`` / ``sorted`` / ``frozenset``;
-* string formatting — f-strings, ``literal % args``, ``str.format`` —
-  except inside ``raise`` statements (error paths may format);
-* per-packet telemetry setup — any ``.labels(...)`` call — and tracer
-  recording (``....record(...)`` on a tracer) outside an ``if`` guard
-  that consults the sampler's ``.active`` flag;
-* ``print`` calls.
+The actual purity definition — forbidden allocations (container
+literals, comprehensions, and the allocating builtins up to and
+including ``str()``/``bytes()``/``map()``), string formatting outside
+``raise``, unsampled telemetry, ``print``, nested ``def`` — lives in
+:mod:`repro.analyzer.purity`, shared with RC113 (the interprocedural
+closure rule): this rule checks the functions *declared* hot, RC113
+checks everything the call graph proves they reach.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator, List
+from typing import Iterable, List
 
 from repro.analyzer.engine import Finding, Rule, SourceFile, register
-
-_CONTAINER_BUILTINS = ("list", "dict", "set", "tuple", "sorted", "frozenset")
-
-_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
-
-
-def _is_hot_path_decorator(node: ast.expr) -> bool:
-    if isinstance(node, ast.Name):
-        return node.id == "hot_path"
-    if isinstance(node, ast.Attribute):
-        return node.attr == "hot_path"
-    return False
-
-
-def _is_str_constant(node: ast.expr) -> bool:
-    return isinstance(node, ast.Constant) and isinstance(node.value, str)
-
-
-def _mentions_active(node: ast.expr) -> bool:
-    return any(
-        isinstance(child, ast.Attribute) and child.attr == "active"
-        for child in ast.walk(node)
-    )
-
-
-def _call_root_name(node: ast.expr) -> str:
-    """The leftmost name of an attribute chain (``a.b.c`` → ``a``)."""
-    while isinstance(node, ast.Attribute):
-        node = node.value
-    if isinstance(node, ast.Name):
-        return node.id
-    return ""
+from repro.analyzer.purity import function_violations, is_hot_path_function
 
 
 @register
@@ -75,141 +41,14 @@ class HotPathPurityRule(Rule):
         if source.tree is None:  # engine reports parse errors itself
             return findings
         for node in ast.walk(source.tree):
-            if not isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
+            if not is_hot_path_function(node):
                 continue
-            if not any(
-                _is_hot_path_decorator(dec) for dec in node.decorator_list
-            ):
-                continue
-            for statement in node.body:
-                findings.extend(
-                    self._check(source, node.name, statement, guarded=False)
+            for site, description in function_violations(node):
+                findings.append(
+                    source.finding(
+                        self,
+                        site,
+                        "hot path %r %s" % (node.name, description),
+                    )
                 )
         return findings
-
-    def _check(
-        self,
-        source: SourceFile,
-        func: str,
-        node: ast.AST,
-        guarded: bool,
-    ) -> Iterator[Finding]:
-        """Walk one statement, tracking ``raise`` and sampling guards."""
-        if isinstance(node, ast.Raise):
-            # Error construction is off the happy path by definition.
-            return
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            # A nested def is built once per outer call — that is
-            # already a hot-path allocation; flag the def itself.
-            yield source.finding(
-                self,
-                node,
-                "hot path %r defines nested function %r per call"
-                % (func, node.name),
-            )
-            return
-        if isinstance(node, ast.If):
-            branch_guarded = guarded or _mentions_active(node.test)
-            for child in node.body:
-                yield from self._check(source, func, child, branch_guarded)
-            for child in node.orelse:
-                yield from self._check(source, func, child, guarded)
-            yield from self._check_expr(source, func, node.test, guarded)
-            return
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.expr):
-                yield from self._check_expr(source, func, child, guarded)
-            else:
-                yield from self._check(source, func, child, guarded)
-
-    def _check_expr(
-        self,
-        source: SourceFile,
-        func: str,
-        node: ast.expr,
-        guarded: bool,
-    ) -> Iterator[Finding]:
-        if isinstance(node, _COMPREHENSIONS):
-            yield source.finding(
-                self,
-                node,
-                "hot path %r allocates a comprehension" % func,
-            )
-        elif isinstance(node, (ast.List, ast.Set, ast.Dict)):
-            yield source.finding(
-                self,
-                node,
-                "hot path %r allocates a %s literal"
-                % (func, type(node).__name__.lower()),
-            )
-        elif isinstance(node, ast.JoinedStr):
-            yield source.finding(
-                self,
-                node,
-                "hot path %r formats an f-string" % func,
-            )
-        elif (
-            isinstance(node, ast.BinOp)
-            and isinstance(node.op, ast.Mod)
-            and _is_str_constant(node.left)
-        ):
-            yield source.finding(
-                self,
-                node,
-                "hot path %r %%-formats a string" % func,
-            )
-        elif isinstance(node, ast.Call):
-            yield from self._check_call(source, func, node, guarded)
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.expr):
-                yield from self._check_expr(source, func, child, guarded)
-
-    def _check_call(
-        self,
-        source: SourceFile,
-        func: str,
-        node: ast.Call,
-        guarded: bool,
-    ) -> Iterator[Finding]:
-        callee = node.func
-        if isinstance(callee, ast.Name):
-            if callee.id in _CONTAINER_BUILTINS:
-                yield source.finding(
-                    self,
-                    node,
-                    "hot path %r calls %s() (container allocation)"
-                    % (func, callee.id),
-                )
-            elif callee.id == "print":
-                yield source.finding(
-                    self,
-                    node,
-                    "hot path %r calls print()" % func,
-                )
-        elif isinstance(callee, ast.Attribute):
-            if callee.attr == "labels":
-                yield source.finding(
-                    self,
-                    node,
-                    "hot path %r binds metric labels per packet — "
-                    "pre-bind at setup (RouterInstruments)" % func,
-                )
-            elif callee.attr == "format" and _is_str_constant(callee.value):
-                yield source.finding(
-                    self,
-                    node,
-                    "hot path %r calls str.format()" % func,
-                )
-            elif (
-                callee.attr == "record"
-                and "tracer" in _call_root_name(callee).lower()
-                and not guarded
-            ):
-                yield source.finding(
-                    self,
-                    node,
-                    "hot path %r records a trace span without a "
-                    "tracer.active sampling guard" % func,
-                )

@@ -1,0 +1,96 @@
+"""RC116 — unbudgeted loops reachable from serving tick paths.
+
+RC106 (bounded loops) and RC112 (budgeted retries) are per-file rules:
+they flag the ``while True:`` or the budget-less retry where it is
+written.  But the liveness property they protect — a serve/chaos tick
+returns in bounded time — is a property of the *closure* of the tick,
+and the failure mode that motivated this rule sat three calls away: a
+tick path calling a helper calling a drain loop nobody ever bounded.
+
+This rule lifts both checks to the call graph.  Entry points are the
+serving-plane heartbeat functions — ``tick`` / ``run`` /
+``run_round`` in ``repro.serve.*`` and ``repro.resilience.*`` — and
+every unbounded ``while True:`` or budget-less retry loop reachable
+from one is a finding, reported with the entry→loop witness path.
+
+A loop whose bound is already documented by an RC106/RC112
+suppression (``# repro: noqa[RC106] -- drains a bounded queue``) is
+*not* re-flagged: the per-file rule owns that conversation, and the
+stated reason covers the reachability question too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Project, Rule, register
+
+#: Heartbeat entry names on the serving/chaos planes.
+_ENTRY_NAMES = ("tick", "run", "run_round")
+
+#: Module prefixes whose heartbeat functions are entry points.
+_ENTRY_MODULES = ("repro.serve.", "repro.resilience.")
+
+
+def _is_entry(node) -> bool:
+    if node.name not in _ENTRY_NAMES:
+        return False
+    return any(
+        node.module.startswith(prefix) or node.module == prefix[:-1]
+        for prefix in _ENTRY_MODULES
+    )
+
+
+@register
+class ReachableLoopRule(Rule):
+    code = "RC116"
+    name = "unbudgeted-reachable-loop"
+    graph_scoped = True
+    rationale = (
+        "a tick's bounded-time promise covers everything it calls; "
+        "an unbounded drain loop three frames below tick() stalls the "
+        "shard exactly like one written inline would"
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        entries = sorted(
+            qname
+            for qname, node in graph.functions.items()
+            if _is_entry(node)
+        )
+        parents = graph.reachable_from(entries)
+        findings: List[Finding] = []
+        for qname in sorted(parents):
+            node = graph.functions[qname]
+            for event in node.facts("loops"):
+                if event["documented"]:
+                    continue
+                if event["kind"] == "while_true":
+                    detail = (
+                        "spins an unbounded 'while True:' with no "
+                        "documented bound"
+                    )
+                else:
+                    detail = (
+                        "runs a %s with no budget that provably "
+                        "decreases" % event["label"]
+                    )
+                findings.append(
+                    Finding(
+                        self.code,
+                        node.path,
+                        event["line"],
+                        event["col"],
+                        "%r is reachable from a serving tick path and "
+                        "%s; path: %s — bound the loop or document the "
+                        "bound where it is written"
+                        % (
+                            qname,
+                            detail,
+                            graph.format_path(parents, qname),
+                        ),
+                        self.name,
+                    )
+                )
+        return findings

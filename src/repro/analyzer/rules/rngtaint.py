@@ -1,0 +1,115 @@
+"""RC114 — RNG taint reachable from engine entry points.
+
+Every engine in this repo (``ServeEngine``, ``ChurnEngine``,
+``FaultEngine``, ``ControlEngine``, ``ChaosEngine``) promises
+bit-identical reruns from a ``--seed``: one ``random.Random(seed)`` is
+built at construction and *threaded* through everything the run
+touches.  RC102 polices the obvious per-file violations; what it
+cannot see is a helper that an engine calls — possibly three frames
+down — touching module-level ``random.*`` state, re-seeding, or
+re-deriving ``Random(seed + k)`` inside a loop the helper itself does
+not contain (the PR 2 ``seed + 1`` regression, which only correlated
+draws because the *call site* sat in the sweep loop).
+
+This rule lifts the check to the call-graph closure of the engine
+entry points — every method of a ``*Engine`` class plus module-level
+``run_*`` drivers:
+
+* module-level ``random.*`` calls, ``.seed(...)`` re-seeding,
+  unseeded ``Random()``, and ``SystemRandom()`` reached from an entry
+  are findings outright;
+* ``Random(<seed arithmetic>)`` is a finding when the construction
+  sits in a loop *or* the witness path reaches it through a looping
+  call site — the cross-function form of the PR 2 bug.
+
+Events whose line already carries an RC102/RC114 suppression stating
+why the draw is safe are not re-flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analyzer.engine import Finding, Project, Rule, register
+
+#: RNG event kinds that are findings wherever an entry reaches them.
+_ALWAYS_TAINTED = {
+    "module_random": (
+        "calls module-level %s — shared global RNG state breaks "
+        "seeded reruns"
+    ),
+    "reseed": (
+        "re-seeds %s — resets the seeded stream mid-run"
+    ),
+    "unseeded": (
+        "constructs %s without a seed — OS-seeded, never reproducible"
+    ),
+    "system_random": (
+        "constructs %s — OS-entropy seeded, never reproducible"
+    ),
+}
+
+
+def _is_entry(node) -> bool:
+    if node.cls is not None and node.cls.endswith("Engine"):
+        return True
+    return node.cls is None and node.name.startswith("run_")
+
+
+@register
+class RngTaintRule(Rule):
+    code = "RC114"
+    name = "rng-taint"
+    graph_scoped = True
+    rationale = (
+        "seeded determinism must hold over the whole dynamic extent "
+        "of an engine run; the PR 2 'seed + 1' bug crossed a function "
+        "boundary and per-file analysis missed it"
+    )
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        entries = sorted(
+            qname
+            for qname, node in graph.functions.items()
+            if _is_entry(node)
+        )
+        parents = graph.reachable_from(entries)
+        findings: List[Finding] = []
+        for qname in sorted(parents):
+            node = graph.functions[qname]
+            for event in node.facts("rng"):
+                if event.get("documented"):
+                    continue
+                kind = event["kind"]
+                if kind in _ALWAYS_TAINTED:
+                    detail = _ALWAYS_TAINTED[kind] % event["detail"]
+                elif kind == "seed_arith" and (
+                    event["in_loop"]
+                    or graph.path_in_loop(parents, qname)
+                ):
+                    detail = (
+                        "re-derives Random(<seed arithmetic>) under a "
+                        "loop — correlates draws across iterations "
+                        "(the PR 2 'seed + 1' class)"
+                    )
+                else:
+                    continue
+                findings.append(
+                    Finding(
+                        self.code,
+                        node.path,
+                        event["line"],
+                        event["col"],
+                        "%r is reachable from an engine entry point "
+                        "and %s; path: %s — thread the engine's seeded "
+                        "Random through instead"
+                        % (
+                            qname,
+                            detail,
+                            graph.format_path(parents, qname),
+                        ),
+                        self.name,
+                    )
+                )
+        return findings

@@ -16,22 +16,18 @@ The rule cross-references three sources over the whole project: the
 docstring table rows (`` ``name``  kind ``), the ``reg.counter(...)`` /
 ``histogram(...)`` / ``gauge(...)`` registrations inside the catalogue
 module, and every string-literal metric registration anywhere else in
-``src/repro``.
+``src/repro``.  All three are read from the per-file
+:class:`~repro.analyzer.graph.summary.ModuleSummary` digests
+(``metric_calls`` / ``metric_table``), not from ASTs — on a warm
+incremental run the rule reconciles entirely from cached summaries
+without re-parsing a single unchanged file.
 """
 
 from __future__ import annotations
 
-import ast
-import re
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
-from repro.analyzer.engine import (
-    Finding,
-    Project,
-    Rule,
-    SourceFile,
-    register,
-)
+from repro.analyzer.engine import Finding, Project, Rule, register
 
 #: The file that *is* the catalogue (matched by path suffix).
 CATALOGUE_SUFFIX = "telemetry/instruments.py"
@@ -39,46 +35,6 @@ CATALOGUE_SUFFIX = "telemetry/instruments.py"
 #: Files whose counter()/gauge()/histogram() mentions are definitions,
 #: not catalogue uses: the registry primitives themselves.
 EXEMPT_SUFFIXES = ("telemetry/registry.py",)
-
-_KINDS = ("counter", "gauge", "histogram")
-
-#: One docstring table row: ``clue_hits_total``  counter  router
-_TABLE_ROW = re.compile(
-    r"^``(?P<name>[a-z_][a-z0-9_]*)``\s+(?P<kind>counter|gauge|histogram)\b"
-)
-
-
-def _registrations(
-    source: SourceFile,
-) -> List[Tuple[str, str, ast.Call]]:
-    """Every ``<recv>.counter("name", ...)``-style call with a literal name."""
-    calls: List[Tuple[str, str, ast.Call]] = []
-    if source.tree is None:
-        return calls
-    for node in ast.walk(source.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        callee = node.func
-        if not isinstance(callee, ast.Attribute) or callee.attr not in _KINDS:
-            continue
-        if not node.args:
-            continue
-        first = node.args[0]
-        if isinstance(first, ast.Constant) and isinstance(first.value, str):
-            calls.append((first.value, callee.attr, node))
-    return calls
-
-
-def _docstring_table(
-    source: SourceFile,
-) -> Dict[str, Tuple[str, int]]:
-    """``name -> (kind, line)`` rows of the catalogue docstring table."""
-    rows: Dict[str, Tuple[str, int]] = {}
-    for number, line in enumerate(source.lines, start=1):
-        match = _TABLE_ROW.match(line.strip())
-        if match is not None:
-            rows[match.group("name")] = (match.group("kind"), number)
-    return rows
 
 
 def _suffix_match(path: str, suffix: str) -> bool:
@@ -97,29 +53,39 @@ class TelemetryCatalogueRule(Rule):
 
     def finish(self, project: Project) -> Iterable[Finding]:
         findings: List[Finding] = []
-        catalogue: Optional[SourceFile] = project.find(CATALOGUE_SUFFIX)
+        summaries = project.summaries()
+        catalogue = None
+        for path in sorted(summaries):
+            if _suffix_match(path, CATALOGUE_SUFFIX):
+                catalogue = summaries[path]
+                break
         if catalogue is None:
             # Nothing to reconcile against (e.g. linting a subtree).
             return findings
-        declared = _docstring_table(catalogue)
-        registered: Dict[str, Tuple[str, ast.Call]] = {}
-        for name, kind, node in _registrations(catalogue):
-            registered[name] = (kind, node)
+        declared: Dict[str, Tuple[str, int]] = {
+            name: (kind, line)
+            for name, kind, line in catalogue.metric_table
+        }
+        registered: Dict[str, str] = {}
+        for name, kind, line, col in catalogue.metric_calls:
+            registered[name] = kind
             row = declared.get(name)
             if row is None:
                 findings.append(
-                    catalogue.finding(
-                        self,
-                        node,
+                    self._finding(
+                        catalogue.path,
+                        line,
+                        col,
                         "phantom instrument %r: registered but missing "
                         "from the catalogue docstring table" % name,
                     )
                 )
             elif row[0] != kind:
                 findings.append(
-                    catalogue.finding(
-                        self,
-                        node,
+                    self._finding(
+                        catalogue.path,
+                        line,
+                        col,
                         "instrument %r registered as %s but catalogued "
                         "as %s" % (name, kind, row[0]),
                     )
@@ -127,30 +93,37 @@ class TelemetryCatalogueRule(Rule):
         for name, (kind, line) in sorted(declared.items()):
             if name not in registered:
                 findings.append(
-                    catalogue.line_finding(
-                        self,
+                    self._finding(
+                        catalogue.path,
                         line,
+                        1,
                         "orphan instrument %r: catalogued as %s but "
                         "never registered" % (name, kind),
                     )
                 )
-        for source in project:
-            if source is catalogue:
+        for path in sorted(summaries):
+            summary = summaries[path]
+            if summary is catalogue:
                 continue
             if any(
-                _suffix_match(source.path, suffix)
-                for suffix in EXEMPT_SUFFIXES
+                _suffix_match(path, suffix) for suffix in EXEMPT_SUFFIXES
             ):
                 continue
-            for name, kind, node in _registrations(source):
+            for name, kind, line, col in summary.metric_calls:
                 if name not in registered:
                     findings.append(
-                        source.finding(
-                            self,
-                            node,
+                        self._finding(
+                            path,
+                            line,
+                            col,
                             "metric %r (%s) is not in the canonical "
                             "catalogue (telemetry/instruments.py) — "
                             "declare it there" % (name, kind),
                         )
                     )
         return findings
+
+    def _finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(self.code, path, line, col, message, self.name)

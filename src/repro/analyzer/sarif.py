@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 output for ``repro-clue lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning UIs ingest: one ``run`` with the tool's rule
+catalogue in ``tool.driver.rules`` and one ``result`` per finding,
+each carrying a ``physicalLocation`` and a stable
+``partialFingerprints`` entry (the same line-independent fingerprint
+the baseline uses, so a SARIF consumer's dedup matches ours).
+
+Only *new* findings — those above the committed baseline — become
+results, mirroring the text/json reporters: SARIF is the CI surface,
+and CI gates on new findings.  Informational rules and unused
+suppressions map to ``note`` level, gating rules to ``error``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analyzer.engine import AnalysisResult, Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: partialFingerprints key (versioned per SARIF convention).
+FINGERPRINT_KEY = "reproFingerprint/v1"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.rationale or rule.name},
+        "defaultConfiguration": {
+            "level": "note" if rule.informational else "error"
+        },
+    }
+
+
+def _result(
+    finding: Finding, level: str, rule_index: Dict[str, int]
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint()},
+    }
+    index = rule_index.get(finding.code)
+    if index is not None:
+        payload["ruleIndex"] = index
+    return payload
+
+
+def render_sarif(
+    result: AnalysisResult,
+    new_findings: Sequence[Finding],
+    stale: Sequence[str],
+    rules: Sequence[Rule],
+) -> str:
+    """One SARIF 2.1.0 log: same signature as the sibling reporters."""
+    informational = {
+        rule.code for rule in rules if rule.informational
+    }
+    descriptors: List[Dict[str, Any]] = [
+        _rule_descriptor(rule)
+        for rule in sorted(rules, key=lambda rule: rule.code)
+    ]
+    rule_index = {
+        descriptor["id"]: position
+        for position, descriptor in enumerate(descriptors)
+    }
+    results: List[Dict[str, Any]] = []
+    for finding in new_findings:
+        level = "note" if finding.code in informational else "error"
+        results.append(_result(finding, level, rule_index))
+    for finding in result.unused_suppressions:
+        results.append(_result(finding, "note", rule_index))
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-clue-lint",
+                        "version": "1.0.0",
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {
+                    "%SRCROOT%": {"uri": "file:///"}
+                },
+                "properties": {
+                    "files": result.files,
+                    "baselined": len(result.findings)
+                    - len(list(new_findings)),
+                    "staleBaselineEntries": len(list(stale)),
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

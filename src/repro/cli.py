@@ -442,9 +442,11 @@ def _cmd_lint(args) -> int:
         gating_findings,
         load_baseline,
         render_json_report,
+        render_sarif,
         render_text,
         write_baseline,
     )
+    from repro.analyzer.incremental import analyze_paths_incremental
 
     rules = default_rules()
     if args.list_rules:
@@ -462,20 +464,47 @@ def _cmd_lint(args) -> int:
             )
         rules = [rule for rule in rules if rule.code in wanted]
     try:
-        result = analyze_paths(args.paths, rules)
+        if args.incremental:
+            run = analyze_paths_incremental(
+                args.paths, rules, cache_path=args.cache
+            )
+            result = run.result
+            print(
+                "incremental: %s run, %d/%d files re-parsed, "
+                "%d graph-dirty, %d removed"
+                % (
+                    "cold" if run.cold else "warm",
+                    len(run.reparsed),
+                    result.files,
+                    len(run.graph_dirty),
+                    len(run.removed),
+                ),
+                file=sys.stderr,
+            )
+        else:
+            result = analyze_paths(args.paths, rules)
     except FileNotFoundError as error:
         raise SystemExit(str(error))
     if args.write_baseline:
-        write_baseline(result.findings, args.baseline)
+        previous = load_baseline(args.baseline)
+        current = write_baseline(result.findings, args.baseline)
+        pruned = sum(
+            max(0, count - current.get(key, 0))
+            for key, count in previous.items()
+        )
         print(
-            "baseline written to %s (%d findings)"
-            % (args.baseline, len(result.findings)),
+            "baseline written to %s (%d findings, %d stale "
+            "fingerprints pruned)"
+            % (args.baseline, len(result.findings), pruned),
             file=sys.stderr,
         )
         return 0
     baseline = {} if args.no_baseline else load_baseline(args.baseline)
     new, stale = diff_baseline(result.findings, baseline)
-    renderer = render_json_report if args.format == "json" else render_text
+    renderer = {
+        "json": render_json_report,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     print(renderer(result, new, stale, rules))
     return 1 if gating_findings(new, rules) else 0
 
@@ -854,12 +883,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to analyze (default src/repro)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default text; sarif is SARIF 2.1.0)",
     )
     lint.add_argument(
         "--baseline", default="lint-baseline.json",
         help="committed baseline file (default lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--incremental", action="store_true",
+        help="reuse the analysis cache: only changed files are "
+        "re-parsed and only changed call-graph neighborhoods re-run "
+        "the interprocedural rules",
+    )
+    lint.add_argument(
+        "--cache", default="lint-cache.json",
+        help="incremental cache file (default lint-cache.json; "
+        "not committed)",
     )
     lint.add_argument(
         "--no-baseline", action="store_true",

@@ -25,6 +25,7 @@ from repro.addressing import Prefix
 from repro.core.entry import ClueEntry
 from repro.core.receiver import TECHNIQUES, ReceiverState
 from repro.core.table import ClueTable
+from repro.lookup.hotpath import cold_path
 from repro.lookup.restricted import (
     Continuation,
     LengthContinuation,
@@ -42,6 +43,9 @@ class AdvanceMethod:
 
     method_name = "advance"
 
+    # Construction inspects whole tries and allocates freely; a router
+    # only reaches it on the amortized build-on-miss path.
+    @cold_path
     def __init__(
         self,
         sender_trie: BinaryTrie,
@@ -75,8 +79,14 @@ class AdvanceMethod:
         #: (:class:`repro.telemetry.RouterInstruments`).
         self.telemetry = telemetry
 
+    @cold_path
     def build_entry(self, clue: Prefix) -> ClueEntry:
-        """Pre-compute the clue's FD and (usually empty) Ptr."""
+        """Pre-compute the clue's FD and (usually empty) Ptr.
+
+        ``@cold_path``: built once per (sender, clue), cached in the
+        clue table — a clue miss pays for it exactly once (§3.1.2's
+        pre-processing, merely deferred to first use).
+        """
         fd_prefix, fd_next_hop = self.receiver.fd_for_clue(clue)
         continuation = None
         problematic = self.overlay.is_problematic(clue)

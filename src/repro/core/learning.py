@@ -25,7 +25,7 @@ from repro.core.advance import AdvanceMethod
 from repro.core.simple import SimpleMethod
 from repro.core.table import ClueTable, IndexedClueTable
 from repro.lookup.base import LookupAlgorithm
-from repro.lookup.hotpath import hot_path
+from repro.lookup.hotpath import cold_path, hot_path
 from repro.lookup.counters import (
     METHOD_CLUE_MISS,
     METHOD_FD_IMMEDIATE,
@@ -43,6 +43,9 @@ class LearningClueLookup:
 
     __slots__ = ("base", "builder", "table", "hits", "misses", "_scratch")
 
+    # Built once per upstream; the empty-table start is the whole point
+    # of learning (§3.3.1) and never recurs per packet.
+    @cold_path
     def __init__(self, base: LookupAlgorithm, builder: Builder):
         self.base = base
         self.builder = builder

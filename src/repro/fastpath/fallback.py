@@ -4,8 +4,11 @@ These run whenever numpy is absent, when the caller forces them (the
 differential tests do), and always for width-128 tables whose addresses
 do not fit an int64 lane.  They iterate per packet — the point is
 portability and a second implementation to certify against, not speed —
-so they are deliberately *not* marked ``@hot_path``: the per-element
-loops that RC111 bans from vectorized kernels are the whole method here.
+so they are deliberately *not* marked ``@hot_path`` — the per-element
+loops that RC111 bans from vectorized kernels are the whole method here
+— and *are* marked ``@cold_path``, so the closure rule (RC113) treats
+the kernel dispatch into them as a sanctioned boundary: their per-batch
+result lists are amortized across every lane of the batch.
 
 Cost-model parity with the object graph (and with the numpy kernels):
 
@@ -28,6 +31,7 @@ from repro.fastpath.backend import (
     CODE_RESUMED,
 )
 from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+from repro.lookup.hotpath import cold_path
 
 
 def _descend(ctrie, dst, node, depth, row, masks):
@@ -58,6 +62,7 @@ def _descend(ctrie, dst, node, depth, row, masks):
     return best, refs
 
 
+@cold_path
 def full_lookup_batch(
     ctrie: CompiledTrie, dsts: Sequence[int]
 ) -> Tuple[List[int], List[int]]:
@@ -74,6 +79,7 @@ def full_lookup_batch(
     return codes, memrefs
 
 
+@cold_path
 def clue_lookup_batch(
     ctable: CompiledClueTable, dsts: Sequence[int], clue_lens: Sequence[int]
 ) -> Tuple[List[int], List[int], List[int], List[int]]:

@@ -46,7 +46,7 @@ from repro.addressing import Address, Prefix
 from repro.core.entry import ClueEntry
 from repro.core.table import ClueTable
 from repro.lookup.base import LookupAlgorithm
-from repro.lookup.hotpath import hot_path
+from repro.lookup.hotpath import cold_path, hot_path
 from repro.lookup.counters import (
     METHOD_CLUE_MISS,
     METHOD_FD_IMMEDIATE,
@@ -288,6 +288,9 @@ class GuardedLookup:
     accounted against the upstream's :class:`NeighborHealth`.
     """
 
+    # Built once per upstream when a router first sees it — the
+    # construction cost never recurs on the per-packet path.
+    @cold_path
     def __init__(
         self,
         base: LookupAlgorithm,

@@ -11,7 +11,12 @@ from repro.lookup.counters import (
     LookupResult,
     MemoryCounter,
 )
-from repro.lookup.hotpath import hot_path, is_hot_path
+from repro.lookup.hotpath import (
+    cold_path,
+    hot_path,
+    is_cold_path,
+    is_hot_path,
+)
 from repro.lookup.logw import LengthTables, LogWLookup
 from repro.lookup.multibit import (
     MultibitContinuation,
@@ -72,7 +77,9 @@ __all__ = [
     "CompressedChunk",
     "SetContinuation",
     "TrieContinuation",
+    "cold_path",
     "hot_path",
+    "is_cold_path",
     "is_hot_path",
     "locate_patricia_entry",
     "reference_lookup",

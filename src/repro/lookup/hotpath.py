@@ -17,9 +17,19 @@ lookup, the router ``process`` methods — and the static analyzer
   .RouterInstruments`), and tracer calls must sit behind a
   ``tracer.active`` sampling guard.
 
-The decorator itself is a zero-cost marker: it stamps an attribute and
-returns the function unchanged, so there is no wrapper frame on the very
-path it protects.
+Its counterpart :func:`cold_path` marks the *sanctioned exits*: a
+function a hot path may call whose cost is amortized off the per-packet
+budget — lazy lookup-structure construction on a clue miss (the Advance
+method allocates an entry precisely once per destination), or the
+pure-Python batch twins whose per-batch result buffers are the whole
+point of batching.  The interprocedural closure rule (RC113) stops
+descending at a ``@cold_path`` boundary, so the decoration is the
+reviewable, greppable record of every place the per-packet path is
+allowed to step off the fast path.
+
+Both decorators are zero-cost markers: they stamp an attribute and
+return the function unchanged, so there is no wrapper frame on the very
+path they protect.
 """
 
 from __future__ import annotations
@@ -31,6 +41,9 @@ F = TypeVar("F", bound=Callable[..., Any])
 #: Attribute stamped on hot-path functions (used by tooling, not runtime).
 HOT_PATH_ATTR = "__repro_hot_path__"
 
+#: Attribute stamped on sanctioned hot→cold boundary functions.
+COLD_PATH_ATTR = "__repro_cold_path__"
+
 
 def hot_path(func: F) -> F:
     """Mark ``func`` as per-packet hot path (see module docstring)."""
@@ -41,3 +54,17 @@ def hot_path(func: F) -> F:
 def is_hot_path(func: object) -> bool:
     """True if ``func`` was decorated with :func:`hot_path`."""
     return bool(getattr(func, HOT_PATH_ATTR, False))
+
+
+def cold_path(func: F) -> F:
+    """Mark ``func`` as a sanctioned exit from the hot path: callable
+    from ``@hot_path`` code, but amortized off the per-packet budget
+    (build-on-miss construction, per-batch buffers).  RC113 treats it
+    as a closure barrier instead of flagging its allocations."""
+    setattr(func, COLD_PATH_ATTR, True)
+    return func
+
+
+def is_cold_path(func: object) -> bool:
+    """True if ``func`` was decorated with :func:`cold_path`."""
+    return bool(getattr(func, COLD_PATH_ATTR, False))

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.fastpath.backend import get_numpy, numpy_eligible
-from repro.lookup.hotpath import hot_path
+from repro.lookup.hotpath import cold_path, hot_path
 from repro.serve.dispatch import (
     _GOLDEN,
     _MASK64,
@@ -96,8 +96,10 @@ def _rotation_numpy(np, rplan, dsts):
     )
 
 
+@cold_path
 def _rotation_python(rplan, dsts):
-    """Per-element twin of :func:`_rotation_numpy`."""
+    """Per-element twin of :func:`_rotation_numpy` — per-batch result
+    list amortized across lanes, so off the per-packet budget."""
     return [rplan.rotation_of(int(value)) for value in dsts]
 
 

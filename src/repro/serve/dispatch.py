@@ -26,7 +26,7 @@ from typing import List, Tuple
 
 from repro.addressing import Prefix
 from repro.fastpath.backend import get_numpy, numpy_eligible
-from repro.lookup.hotpath import hot_path
+from repro.lookup.hotpath import cold_path, hot_path
 
 PARTITION_MODES = ("range", "hash")
 
@@ -141,8 +141,10 @@ def _route_numpy(np, plan, dsts):
     return (buckets * plan.shards) >> plan.shard_bits
 
 
+@cold_path
 def _route_python(plan, dsts):
-    """Per-element twin of :func:`_route_numpy` (numpy-free deployments)."""
+    """Per-element twin of :func:`_route_numpy` (numpy-free
+    deployments) — per-batch result list amortized across lanes."""
     return [plan.shard_of(int(value)) for value in dsts]
 
 

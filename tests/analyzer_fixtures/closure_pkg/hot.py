@@ -1,0 +1,13 @@
+"""The declared hot entry: pure itself, impure two calls down."""
+
+from repro.lookup.hotpath import hot_path
+
+from closure_pkg.mid import helper, rebuild
+
+
+@hot_path
+def probe(table, key):
+    """Pure body — the violation hides below ``helper``."""
+    if key not in table:
+        rebuild(table)
+    return helper(table, key)

@@ -1,0 +1,12 @@
+"""The pass-through frame between the entry and the sinks."""
+
+from closure_pkg.impure import build_entry, sink, waived_sink
+
+
+def helper(table, key):
+    waived_sink(key)
+    return sink(table, key)
+
+
+def rebuild(table):
+    return build_entry(table)

@@ -1,0 +1,3 @@
+"""RC115 fixture package: stores into compiled-array fields outside
+the sanctioned compiler module (the stub is loaded under the real
+``src/repro/fastpath/compile.py`` path by the tests)."""

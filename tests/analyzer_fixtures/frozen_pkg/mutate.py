@@ -1,0 +1,35 @@
+"""Stores into compiled arrays outside the compiler: flagged,
+suppressed, and legal variants."""
+
+from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+
+
+def corrupt_child(trie: CompiledTrie, node, value):
+    trie.child[node] = value
+
+
+def bump_fd(table: CompiledClueTable, row):
+    table.rec_fd[row] += 1
+
+
+def waived_patch(trie: CompiledTrie, node):
+    # repro: noqa[RC115] -- test-only fault injection hook
+    trie.node_result[node] = -1
+
+
+def legal_rebind(trie: CompiledTrie, fresh):
+    # Rebinding the whole field is the rebuild idiom, not mutation.
+    trie.child = fresh
+
+
+def legal_scalar(trie: CompiledTrie, width):
+    # Not a frozen array field.
+    trie.width = width
+
+
+class ShardHolder:
+    def __init__(self, table: CompiledClueTable):
+        self.table = table
+
+    def corrupt_through_attr(self, row, value):
+        self.table.rec_fd[row] = value

@@ -1,0 +1,3 @@
+"""RC116 fixture package: unbudgeted loops reachable from a serving
+tick (the files are loaded under ``src/repro/serve/...`` paths by the
+tests so ``tick`` qualifies as an entry point)."""

@@ -1,0 +1,33 @@
+"""Drain helpers: unbounded, budget-less, bounded, and documented.
+
+Loaded by the tests with the path ``src/repro/serve/drain.py``.
+"""
+
+
+def drain_forever(queue):
+    while True:
+        if not queue:
+            break
+        queue.pop()
+
+
+def retry_send(wire):
+    retries = True
+    while retries:
+        if wire.send():
+            retries = False
+
+
+def bounded_drain(queue):
+    budget = 64
+    while queue and budget > 0:
+        queue.pop()
+        budget -= 1
+
+
+def documented_drain(queue):
+    # repro: noqa[RC106] -- drains a queue that tick() caps at one batch
+    while True:
+        if not queue:
+            return
+        queue.pop()

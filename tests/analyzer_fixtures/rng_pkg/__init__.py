@@ -1,0 +1,2 @@
+"""RC114 fixture package: RNG taint reached from an engine entry
+across function boundaries (the cross-file PR 2 'seed + 1' shape)."""

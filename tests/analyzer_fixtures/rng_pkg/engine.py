@@ -1,0 +1,18 @@
+"""A seeded engine whose round loop calls tainted helpers."""
+
+from random import Random
+
+from rng_pkg.helpers import step, waived_draw
+
+
+class SweepEngine:
+    def __init__(self, seed):
+        self.seed = seed
+        self.rng = Random(seed)
+
+    def run(self, rounds):
+        total = 0
+        for _ in range(rounds):
+            total += step(self.seed)
+        total += waived_draw()
+        return total

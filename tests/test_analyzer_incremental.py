@@ -1,0 +1,138 @@
+"""The incremental driver: digest reuse, neighborhood invalidation,
+and cache hygiene on a synthetic a → b → c call chain."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import cli
+from repro.analyzer import analyze_paths_incremental
+from repro.analyzer.incremental import CACHE_VERSION
+from repro.analyzer.graph.summary import SUMMARY_VERSION
+from repro.analyzer.rules import HotPathClosureRule, RngTaintRule
+
+A_PY = """\
+from repro.lookup.hotpath import hot_path
+
+from pkg.b import helper
+
+
+@hot_path
+def probe(table, key):
+    return helper(table, key)
+"""
+
+B_PY = """\
+from pkg.c import sink
+
+
+def helper(table, key):
+    return sink(table, key)
+"""
+
+C_PY = """\
+def sink(table, key):
+    return [value for value in table if value == key]
+"""
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A three-file call chain, analyzed from its own root so paths
+    stay repo-relative (``pkg/a.py`` → module ``pkg.a``)."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""Chain fixture."""\n')
+    (pkg / "a.py").write_text(A_PY)
+    (pkg / "b.py").write_text(B_PY)
+    (pkg / "c.py").write_text(C_PY)
+    monkeypatch.chdir(tmp_path)
+    return pkg
+
+
+def run_tree(**kwargs):
+    kwargs.setdefault("rules", [HotPathClosureRule()])
+    kwargs.setdefault("cache_path", "cache.json")
+    return analyze_paths_incremental(["pkg"], **kwargs)
+
+
+def keyed(findings):
+    return sorted((f.code, f.path, f.line, f.message) for f in findings)
+
+
+def test_cold_run_parses_everything_and_finds_the_chain(tree):
+    run = run_tree()
+    assert run.cold
+    assert sorted(run.reparsed) == [
+        "pkg/__init__.py", "pkg/a.py", "pkg/b.py", "pkg/c.py",
+    ]
+    assert [f.code for f in run.result.findings] == ["RC113"]
+    finding = run.result.findings[0]
+    assert finding.path == "pkg/c.py"
+    assert "pkg.a.probe -> pkg.b.helper [" in finding.message
+
+
+def test_warm_run_reparses_nothing_and_reports_identically(tree):
+    cold = run_tree()
+    warm = run_tree()
+    assert not warm.cold
+    assert warm.reparsed == []
+    assert warm.graph_dirty == []
+    assert keyed(warm.result.findings) == keyed(cold.result.findings)
+
+
+def test_touching_b_invalidates_exactly_its_forward_closure(tree):
+    cold = run_tree()
+    # A comment-only edit: new digest, same call graph.
+    (tree / "b.py").write_text(B_PY + "\n# churn\n")
+    warm = run_tree()
+    assert warm.reparsed == ["pkg/b.py"]
+    # b's caller-closure contains b; c's contains b; a's does not.
+    assert warm.graph_dirty == ["pkg/b.py", "pkg/c.py"]
+    assert "pkg/a.py" not in warm.graph_dirty
+    assert keyed(warm.result.findings) == keyed(cold.result.findings)
+
+
+def test_deleted_files_leave_the_cache(tree):
+    (tree / "d.py").write_text("def lonely():\n    return 0\n")
+    run_tree()
+    (tree / "d.py").unlink()
+    warm = run_tree()
+    assert warm.removed == ["pkg/d.py"]
+    cached = json.loads(pathlib.Path("cache.json").read_text())
+    assert "pkg/d.py" not in cached["files"]
+
+
+def test_a_different_rule_selection_forces_a_cold_run(tree):
+    run_tree()
+    other = run_tree(rules=[RngTaintRule()])
+    assert other.cold
+
+
+def test_cache_file_is_versioned_and_self_describing(tree):
+    run_tree()
+    payload = json.loads(pathlib.Path("cache.json").read_text())
+    assert payload["cache_version"] == CACHE_VERSION
+    assert payload["summary_version"] == SUMMARY_VERSION
+    assert payload["rules"] == ["RC113"]
+    entry = payload["files"]["pkg/b.py"]
+    assert set(entry) >= {"digest", "summary", "local", "graph",
+                          "graph_sig", "suppressions"}
+
+
+def test_cli_incremental_reports_the_warm_path(tree, capsys):
+    first = cli.main(
+        ["lint", "pkg", "--incremental", "--cache", "cache.json",
+         "--no-baseline"]
+    )
+    capsys.readouterr()
+    second = cli.main(
+        ["lint", "pkg", "--incremental", "--cache", "cache.json",
+         "--no-baseline"]
+    )
+    captured = capsys.readouterr()
+    # The chain finding gates both runs; the second one is warm.
+    assert first == 1 and second == 1
+    assert "incremental: warm run, 0/4 files re-parsed" in captured.err
+    assert "RC113" in captured.out

@@ -36,6 +36,40 @@ def test_live_tree_has_no_gating_findings_above_baseline():
     assert stale == [], "stale baseline entries: %s" % (stale,)
 
 
+def test_live_tree_is_clean_under_the_interprocedural_rules():
+    # The closure rules run with no baseline help at all: every hot
+    # entry's reachable set is pure or explicitly @cold_path-bounded,
+    # no engine reaches global RNG state, nothing stores into compiled
+    # arrays, and every loop under a serving tick has a bound.
+    rules = [
+        rule
+        for rule in default_rules()
+        if rule.code in ("RC113", "RC114", "RC115", "RC116")
+    ]
+    assert len(rules) == 4
+    result = analyze_paths([str(SRC)], rules)
+    assert result.findings == [], "\n".join(
+        "%s:%d: %s %s" % (f.path, f.line, f.code, f.message)
+        for f in result.findings
+    )
+
+
+def test_incremental_live_run_matches_the_direct_run(tmp_path):
+    from repro.analyzer import analyze_paths_incremental
+
+    cache = str(tmp_path / "cache.json")
+    rules = default_rules()
+    direct = analyze_paths([str(SRC)], rules)
+    cold = analyze_paths_incremental(["src/repro"], rules, cache_path=cache)
+    warm = analyze_paths_incremental(["src/repro"], rules, cache_path=cache)
+    keyed = lambda r: sorted(
+        (f.code, f.path, f.line, f.message) for f in r.findings
+    )
+    assert keyed(cold.result) == keyed(direct)
+    assert keyed(warm.result) == keyed(direct)
+    assert warm.reparsed == [] and warm.graph_dirty == []
+
+
 def test_live_tree_has_no_dead_suppressions():
     result = analyze_paths([str(SRC)], default_rules())
     assert result.unused_suppressions == [], [
