@@ -52,3 +52,49 @@ def test_fastpath_batching_beats_scalar(scale):
             )
         )
     assert payload["algorithms"]["regular"]["speedup"] > 1.5
+
+
+def test_multibit_layouts_cut_memrefs(scale):
+    """The layout matrix: stride descent must beat dense on memrefs.
+
+    Certification already pins the answers bit-identical; what the bench
+    adds is the cost claim — a stride-8 full lookup resolves in at most
+    ceil(32/8) = 4 probes, so its memrefs/packet must land well under the
+    dense per-bit walk — plus the space story against the entropy bound.
+    """
+    table_size = scaled(20000, minimum=500, scale=scale)
+    packets = scaled(50000, minimum=2000, scale=scale)
+    payload = run_fastpath_bench(
+        table_size=table_size,
+        packets=packets,
+        seed=SEED,
+        clock=time.perf_counter,
+        layouts=("dense", "multibit4", "multibit8"),
+    )
+    assert payload["certification"]["disagreements"] == 0
+    layouts = payload["layouts"]
+    print()
+    print("layout matrix: %d prefixes, %d packets" % (table_size, packets))
+    for name in ("dense", "multibit4", "multibit8"):
+        section = layouts[name]
+        print(
+            "  %-9s %7.1f B/prefix (bound %.2f) | full %6.3f memrefs/packet "
+            "(%4.2fx dense) | %9.0f pps"
+            % (
+                name,
+                section["bytes_per_prefix"],
+                section["entropy_bound_bytes_per_prefix"],
+                section["full"]["memrefs_per_packet"],
+                section["memrefs_vs_dense"],
+                section["full"]["packets_per_sec"] or 0.0,
+            )
+        )
+    dense = layouts["dense"]["full"]["memrefs_per_packet"]
+    for name in ("multibit4", "multibit8"):
+        assert layouts[name]["full"]["memrefs_per_packet"] < dense
+        assert layouts[name]["probe_bound"] <= 32 // layouts[name]["stride"]
+    # Stride 8 halves stride 4's probe count; both stay under the bound.
+    assert (
+        layouts["multibit8"]["full"]["memrefs_per_packet"]
+        < layouts["multibit4"]["full"]["memrefs_per_packet"]
+    )

@@ -47,3 +47,35 @@ def test_space_requirements(router_tables, benchmark):
         <= paper["kilobytes"]
         <= SPACE_CLAIMS["total_kilobytes_high"]
     )
+
+
+def test_compiled_layout_footprints(router_tables):
+    """Bytes-per-prefix of every compiled layout vs the entropy bound.
+
+    The stride-4 layout must undercut the dense flat arrays (that is the
+    compression story), and no layout may claim to beat the empirical
+    next-hop entropy floor — ``nbytes`` includes structure, not just
+    labels, so the bound is a sanity check on the accounting.
+    """
+    from repro.experiments.fastbench import next_hop_entropy_bits
+    from repro.fastpath import LAYOUTS, compile_layout, compile_trie
+
+    entries = router_tables["ISP-B-2"]
+    receiver = ReceiverState(entries)
+    ctrie = compile_trie(receiver.trie)
+    prefixes = max(1, len(entries))
+    bound = next_hop_entropy_bits(entries) / 8.0
+    print()
+    print("compiled layout footprints (%d prefixes):" % prefixes)
+    footprints = {}
+    for layout in LAYOUTS:
+        lay = compile_layout(ctrie, layout)
+        nbytes = lay.nbytes()
+        footprints[layout] = nbytes
+        print(
+            "  %-9s %9d B  %7.1f B/prefix  (entropy bound %.2f B/prefix)"
+            % (layout, nbytes, nbytes / prefixes, bound)
+        )
+        assert nbytes / prefixes >= bound
+    # Stride-4 leaf pushing with narrow slots undercuts dense int64 pairs.
+    assert footprints["multibit4"] < footprints["dense"]

@@ -1,8 +1,9 @@
 """RC115 — frozen compiled-array immutability.
 
-``CompiledTrie`` and ``CompiledClueTable`` are the regular technique's
-frozen artifacts: ``fastpath/compile.py`` lays their arrays out once,
-and every batch kernel then reads them lock-free and bounds-check-min.
+``CompiledTrie``, ``CompiledClueTable`` and ``CompiledMultibitTrie``
+are the regular technique's frozen artifacts: ``fastpath/compile.py``
+and ``fastpath/layouts.py`` lay their arrays out once, and every batch
+kernel then reads them lock-free and bounds-check-min.
 A store into one of those arrays after compilation is never a local
 bug — aliased ndarray views mean a single ``table.rec_fd[i] = x``
 silently corrupts every router sharing the pool, and nothing crashes
@@ -28,8 +29,8 @@ from typing import Dict, FrozenSet, Iterable, List
 
 from repro.analyzer.engine import Finding, Project, Rule, register
 
-#: Files allowed to write compiled array elements: the compiler.
-SANCTIONED_SUFFIXES = ("fastpath/compile.py",)
+#: Files allowed to write compiled array elements: the compilers.
+SANCTIONED_SUFFIXES = ("fastpath/compile.py", "fastpath/layouts.py")
 
 #: Frozen array fields per compiled class (qname → fields).
 FROZEN_FIELDS: Dict[str, FrozenSet[str]] = {
@@ -46,6 +47,9 @@ FROZEN_FIELDS: Dict[str, FrozenSet[str]] = {
             "rec_stop_row",
             "stop_masks",
         }
+    ),
+    "repro.fastpath.layouts.CompiledMultibitTrie": frozenset(
+        {"slots", "leaf_codes", "level_shifts"}
     ),
 }
 

@@ -519,6 +519,7 @@ def _cmd_bench_fastpath(args) -> int:
     if args.quick:
         args.table_size = min(args.table_size, 2000)
         args.packets = min(args.packets, 5000)
+    layouts = args.layouts if args.layouts else ["dense"]
     try:
         payload = run_fastpath_bench(
             table_size=args.table_size,
@@ -529,6 +530,7 @@ def _cmd_bench_fastpath(args) -> int:
             # the callable is not a timing call on a library path.
             clock=time.perf_counter,
             force_python=args.force_python,
+            layouts=layouts,
         )
     except CertificationError as error:
         print("CERTIFICATION FAILED: %s" % error, file=sys.stderr)
@@ -548,6 +550,20 @@ def _cmd_bench_fastpath(args) -> int:
                 speedup if speedup else 0.0,
                 summary["batched"]["memrefs_per_packet"],
                 payload["backend"],
+            ),
+            file=sys.stderr,
+        )
+    for name, section in payload["layouts"].items():
+        bound = section["entropy_bound_bytes_per_prefix"]
+        print(
+            "layout %s: %.1f B/prefix (entropy bound %.2f), "
+            "%.2f full memrefs/packet (%.2fx dense)"
+            % (
+                name,
+                section["bytes_per_prefix"],
+                bound,
+                section["full"]["memrefs_per_packet"],
+                section["memrefs_vs_dense"] or 0.0,
             ),
             file=sys.stderr,
         )
@@ -590,6 +606,7 @@ def _cmd_serve(args) -> int:
         audit_samples=args.audit,
         seed=args.seed,
         force_python=args.force_python,
+        layout=args.layout,
     )
     try:
         engine = ServeEngine(config)
@@ -934,6 +951,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON payload here (default stdout)")
     bench.add_argument("--force-python", action="store_true",
                        help="time the pure-Python fallback kernels")
+    bench.add_argument("--layout", action="append", dest="layouts",
+                       choices=("dense", "multibit4", "multibit8"),
+                       default=None,
+                       help="compiled layout to certify and measure; repeat "
+                            "for a matrix (default: dense)")
     bench.set_defaults(func=_cmd_bench_fastpath)
 
     serve = sub.add_parser(
@@ -976,6 +998,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write BENCH_serve.json here (default stdout)")
     serve.add_argument("--force-python", action="store_true",
                        help="serve on the pure-Python fallback kernels")
+    serve.add_argument("--layout", choices=("dense", "multibit4", "multibit8"),
+                       default="dense",
+                       help="compiled trie layout the shards serve through "
+                            "(default dense)")
     serve.set_defaults(func=_cmd_serve)
 
     chaos = sub.add_parser(

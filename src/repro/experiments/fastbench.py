@@ -5,7 +5,10 @@ compiled structure against the object-graph lookups (the bench refuses
 to time an uncertified table), then measures packets/sec and
 memrefs/packet for the clueless Regular baseline, Simple, and Advance —
 scalar loop vs one batched kernel call — and returns the
-``BENCH_fastpath.json`` payload.
+``BENCH_fastpath.json`` payload.  A ``layouts`` matrix additionally
+certifies and measures each requested compiled layout (dense,
+multibit4, multibit8): bytes-per-prefix against the empirical next-hop
+entropy bound, memrefs/packet against the dense layout, and pps.
 
 Timing uses an *injected* clock (``repro-clue bench-fastpath`` passes
 ``time.perf_counter``); the engine itself stays wall-clock-free so
@@ -15,8 +18,9 @@ deterministic columns (memrefs/packet, certification) are filled in.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.addressing import Address, Prefix
 from repro.core.advance import AdvanceMethod
@@ -37,6 +41,7 @@ from repro.fastpath.kernels import (
     full_lookup_batch,
     lookup_batch,
 )
+from repro.fastpath.layouts import LAYOUTS, compile_layout, layout_stride
 from repro.lookup.counters import MemoryCounter
 from repro.lookup.regular import RegularTrieLookup
 from repro.tablegen import NeighborProfile, derive_neighbor, generate_table
@@ -128,6 +133,29 @@ def _rates(
     }
 
 
+def next_hop_entropy_bits(entries) -> float:
+    """Empirical next-hop entropy (bits/prefix) of a table's entries.
+
+    The information-theoretic floor for the result side of any compiled
+    layout: storing one next-hop label per prefix cannot take fewer than
+    H bits/prefix on average (Rétvári et al., arXiv:1402.1194 §III), so
+    the bench reports ``H / 8`` as ``entropy_bound_bytes_per_prefix``
+    next to each layout's actual bytes-per-prefix.
+    """
+    counts: Dict[object, int] = {}
+    for _prefix, next_hop in entries:
+        key = repr(next_hop)
+        counts[key] = counts.get(key, 0) + 1
+    total = sum(counts.values())
+    if total <= 1:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        share = count / total
+        entropy -= share * math.log2(share)
+    return entropy
+
+
 def run_fastpath_bench(
     table_size: int = 20000,
     packets: int = 50000,
@@ -136,8 +164,21 @@ def run_fastpath_bench(
     clock: Clock = None,
     force_python: bool = False,
     repeats: int = 3,
+    layouts: Sequence[str] = ("dense",),
 ) -> Dict[str, object]:
-    """Run the full scalar-vs-batched comparison; returns the JSON payload."""
+    """Run the full scalar-vs-batched comparison; returns the JSON payload.
+
+    ``layouts`` selects which compiled layouts get their own certified
+    space/throughput section (the ``"layouts"`` key of the payload); the
+    scalar-vs-batched ``"algorithms"`` section always runs on the dense
+    layout, whose memref accounting is bit-identical to the scalar path.
+    """
+    for layout in layouts:
+        if layout not in LAYOUTS:
+            raise ValueError(
+                "unknown layout %r; expected one of %s"
+                % (layout, ", ".join(LAYOUTS))
+            )
     (
         sender_entries,
         receiver_entries,
@@ -242,6 +283,75 @@ def run_fastpath_bench(
             packets, scalar_refs, scalar_elapsed, batched_refs, batched_elapsed
         )
 
+    # ------------------------------------------------------------------
+    # Layout matrix: per-layout certified space and throughput numbers.
+    # The dense full-lookup memref total anchors the memrefs_vs_dense
+    # ratio whether or not "dense" was requested.
+    dense_full, _ = _timed(
+        clock,
+        lambda: full_lookup_batch(ctrie, dsts, force_python=force_python),
+        1,
+    )
+    dense_full_refs = int(sum(dense_full[1]))
+    prefix_count = max(1, len(receiver_entries))
+    entropy_bits = next_hop_entropy_bits(receiver_entries)
+    layout_sections: Dict[str, Dict[str, object]] = {}
+    for layout in layouts:
+        lay = compile_layout(ctrie, layout)
+        ltable = (
+            compiled["advance"] if lay is ctrie
+            else compile_clue_table(tables["advance"], lay)
+        )
+        lanes = certify_full(lay, base, cert_dsts, force_python=force_python)
+        lanes += certify_clue(
+            ltable,
+            scalars["advance"],
+            cert_dsts,
+            cert_lens,
+            force_python=force_python,
+        )
+        checked += lanes
+        full_result, full_elapsed = _timed(
+            clock,
+            lambda lay=lay: full_lookup_batch(
+                lay, dsts, force_python=force_python
+            ),
+            repeats,
+        )
+        full_refs = int(sum(full_result[1]))
+        clue_result, clue_elapsed = _timed(
+            clock,
+            lambda ltable=ltable: lookup_batch(
+                ltable, dsts, clue_lens, force_python=force_python
+            ),
+            repeats,
+        )
+        clue_refs = int(sum(clue_result[3]))
+        stride = layout_stride(lay)
+        trie_nbytes = lay.nbytes()
+        section: Dict[str, object] = {
+            "stride": stride,
+            "certified_lanes": lanes,
+            "trie_nbytes": trie_nbytes,
+            "table_nbytes": ltable.nbytes(),
+            "pool_nbytes": lay.pool.nbytes(),
+            "bytes_per_prefix": trie_nbytes / prefix_count,
+            "entropy_bound_bytes_per_prefix": entropy_bits / 8.0,
+            "full": _rates(packets, full_elapsed, full_refs),
+            "clue": _rates(packets, clue_elapsed, clue_refs),
+            "memrefs_vs_dense": (
+                full_refs / dense_full_refs if dense_full_refs else None
+            ),
+        }
+        if stride:
+            # Stride layouts carry their dense base for resume walks.
+            section["base_nbytes"] = lay.base.nbytes()
+            section["leaf_entropy_bits"] = lay.leaf_entropy_bits()
+            section["leaf_bits"] = lay.leaf_bits
+            section["slot_bytes"] = lay.slot_bytes
+            section["probe_bound"] = len(lay.level_shifts)
+        layout_sections[layout] = section
+
     return {
         "bench": "fastpath",
         "table_size": table_size,
@@ -254,6 +364,7 @@ def run_fastpath_bench(
         ),
         "certification": {"checked": checked, "disagreements": 0},
         "algorithms": algorithms,
+        "layouts": layout_sections,
     }
 
 

@@ -37,6 +37,13 @@ from repro.fastpath.kernels import (
     full_lookup_batch,
     lookup_batch,
 )
+from repro.fastpath.layouts import (
+    LAYOUTS,
+    STRIDES,
+    CompiledMultibitTrie,
+    compile_layout,
+    layout_stride,
+)
 
 __all__ = [
     "CODE_CLUE_MISS",
@@ -46,19 +53,24 @@ __all__ = [
     "CODE_TO_METHOD",
     "CertificationError",
     "CompiledClueTable",
+    "CompiledMultibitTrie",
     "CompiledTrie",
     "FastpathUnsupported",
     "HAVE_NUMPY",
+    "LAYOUTS",
     "ResultPool",
+    "STRIDES",
     "as_destination_array",
     "as_length_array",
     "certification_batch",
     "certify_clue",
     "certify_full",
     "compile_clue_table",
+    "compile_layout",
     "compile_trie",
     "full_lookup_batch",
     "get_numpy",
+    "layout_stride",
     "lookup_batch",
     "numpy_eligible",
 ]

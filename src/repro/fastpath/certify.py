@@ -8,6 +8,14 @@ raises :class:`CertificationError` on the first disagreement — the
 bench refuses to report numbers for an uncertified table, and the
 differential test suite drives the same functions with hypothesis.
 
+Any layout implementing the compiled-trie protocol certifies here, not
+just the dense :class:`CompiledTrie`.  For stride layouts
+(`repro.fastpath.layouts.CompiledMultibitTrie`) the memory-reference
+comparison is skipped by default — stride descent legitimately changes
+the count; that is the optimisation — while prefix, next hop, method
+and new clue stay bit-identical requirements.  Pass ``check_memrefs``
+explicitly to override the auto-detection either way.
+
 The sweep covers, for every prefix of the deployed tables (senders and
 receivers alike, capped for very large tables): the network address,
 the broadcast address, and seeded random hosts — each visited clueless,
@@ -22,7 +30,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.addressing import Address
 from repro.fastpath.backend import CODE_TO_METHOD
-from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+from repro.fastpath.compile import CompiledClueTable
 from repro.fastpath.kernels import (
     as_destination_array,
     as_length_array,
@@ -79,12 +87,20 @@ def certification_batch(
 
 
 def certify_full(
-    ctrie: CompiledTrie,
+    ctrie,
     base,
     destinations: Sequence[int],
     force_python: bool = False,
+    check_memrefs: Optional[bool] = None,
 ) -> int:
-    """Certify the clueless kernel against ``base.lookup``; count checked."""
+    """Certify the clueless kernel against ``base.lookup``; count checked.
+
+    ``ctrie`` is any compiled layout; ``check_memrefs=None`` compares
+    reference counts only for the dense layout, whose cost model matches
+    the object graph step for step.
+    """
+    if check_memrefs is None:
+        check_memrefs = getattr(ctrie, "stride", 0) == 0
     width = ctrie.width
     dsts = as_destination_array(destinations, width)
     codes, memrefs = full_lookup_batch(ctrie, dsts, force_python=force_python)
@@ -95,12 +111,14 @@ def certify_full(
         code = int(codes[lane])
         got_prefix = pool.prefixes[code] if code >= 0 else None
         got_hop = pool.next_hops[code] if code >= 0 else None
+        got_refs = int(memrefs[lane]) if check_memrefs else None
+        want_refs = expected.accesses if check_memrefs else None
         _require(
             lane,
             int(value),
             None,
-            (got_prefix, got_hop, METHOD_FULL, int(memrefs[lane])),
-            (expected.prefix, expected.next_hop, METHOD_FULL, expected.accesses),
+            (got_prefix, got_hop, METHOD_FULL, got_refs),
+            (expected.prefix, expected.next_hop, METHOD_FULL, want_refs),
         )
     return len(destinations)
 
@@ -111,13 +129,18 @@ def certify_clue(
     destinations: Sequence[int],
     clue_lens: Sequence[int],
     force_python: bool = False,
+    check_memrefs: Optional[bool] = None,
 ) -> int:
     """Certify the clue kernel against a scalar ``ClueAssistedLookup``.
 
     ``scalar`` must wrap the *same* table and a regular base over the
     same receiver entries, and must not learn (pass a preprocessed
     table; learning would mutate the table mid-sweep).
+    ``check_memrefs=None`` compares reference counts only when the
+    table's full-lookup layout is the dense trie itself.
     """
+    if check_memrefs is None:
+        check_memrefs = ctable.layout is ctable.trie
     width = ctable.width
     dsts = as_destination_array(destinations, width)
     lens = as_length_array(clue_lens, width)
@@ -136,16 +159,18 @@ def certify_clue(
         got_prefix = pool.prefixes[code] if code >= 0 else None
         got_hop = pool.next_hops[code] if code >= 0 else None
         got_method = CODE_TO_METHOD[int(methods[lane])]
+        got_refs = int(memrefs[lane]) if check_memrefs else None
+        want_refs = expected.accesses if check_memrefs else None
         _require(
             lane,
             value,
             length,
-            (got_prefix, got_hop, got_method, int(memrefs[lane])),
+            (got_prefix, got_hop, got_method, got_refs),
             (
                 expected.prefix,
                 expected.next_hop,
                 expected.method,
-                expected.accesses,
+                want_refs,
             ),
         )
         expected_clue = (

@@ -92,6 +92,15 @@ class ResultPool:
             self._frozen = np.asarray(self.lengths, dtype=np.int64)
         return self._frozen
 
+    def nbytes(self) -> int:
+        """Data-plane footprint: one int64 length per interned code.
+
+        The prefix/next-hop decode side is control-plane bookkeeping
+        (Python objects a hardware table would not hold); the kernels
+        only ever gather the lengths array, so that is what counts.
+        """
+        return len(self.lengths) * 8
+
     def __len__(self) -> int:
         return len(self.prefixes)
 
@@ -147,12 +156,31 @@ class CompiledTrie:
             self.child = child
             self.node_result = result
 
+    def nbytes(self) -> int:
+        """Data-plane footprint of the flat arrays, in bytes.
+
+        ``child`` plus ``node_result``, both int64 lanes (the python
+        backend is accounted at the same 8 bytes per element so the two
+        backends report comparable numbers); the ``node_index`` decode
+        dict is compile-time-only and excluded.
+        """
+        return (len(self.child) + len(self.node_result)) * 8
+
 
 class CompiledClueTable:
-    """A ``ClueTable`` frozen for the regular-technique batch kernels."""
+    """A ``ClueTable`` frozen for the regular-technique batch kernels.
+
+    ``trie`` may be the dense :class:`CompiledTrie` or any layout
+    wrapping one (a ``CompiledMultibitTrie`` exposes it as ``.base``).
+    The clue-probe arrays and the continuation/stop machinery always
+    address the dense binary arrays — Claim-1 stop bits are a
+    per-binary-vertex notion — while :attr:`layout` records which
+    layout the *full-lookup* side of the kernels should descend.
+    """
 
     __slots__ = (
         "trie",
+        "layout",
         "width",
         "backend",
         "records",
@@ -166,7 +194,9 @@ class CompiledClueTable:
         "has_stops",
     )
 
-    def __init__(self, table, trie: CompiledTrie):
+    def __init__(self, table, trie):
+        self.layout = trie
+        trie = getattr(trie, "base", trie)
         self.trie = trie
         self.width = trie.width
         self.backend = trie.backend
@@ -270,6 +300,24 @@ class CompiledClueTable:
             self.rec_stop_row = rec_stop_row
             self.stop_masks = mask_rows
 
+    def nbytes(self) -> int:
+        """Data-plane footprint of the probe and record arrays, in bytes.
+
+        Per-length sorted keys and record ids, the four parallel record
+        columns (int64 lanes; the python backend is accounted the same
+        way for comparability) plus the packed stop bitmask rows.  The
+        ``probe_index`` dict is the python backend's probe structure but
+        mirrors the levels arrays entry for entry, so the flat-array
+        accounting covers it.  Excludes the trie layout — report that
+        separately via the layout's own ``nbytes()``.
+        """
+        total = 4 * self.records * 8
+        for _length, keys, recs in self.levels:
+            total += (len(keys) + len(recs)) * 8
+        for row in self.stop_masks:
+            total += len(row)
+        return total
+
 
 def compile_trie(trie: BinaryTrie, pool: Optional[ResultPool] = None) -> CompiledTrie:
     """Freeze a built ``BinaryTrie`` into a :class:`CompiledTrie`."""
@@ -279,9 +327,12 @@ def compile_trie(trie: BinaryTrie, pool: Optional[ResultPool] = None) -> Compile
 def compile_clue_table(table, trie) -> CompiledClueTable:
     """Freeze a built ``ClueTable`` against its receiver trie.
 
-    ``trie`` may be the receiver's ``BinaryTrie`` or an already-compiled
+    ``trie`` may be the receiver's ``BinaryTrie``, an already-compiled
     :class:`CompiledTrie` (sharing one across tables shares the result
-    pool and the flat trie arrays).
+    pool and the flat trie arrays), or any compiled layout wrapping one
+    (e.g. :class:`repro.fastpath.layouts.CompiledMultibitTrie`), in
+    which case the batch kernels run their full-lookup descents through
+    that layout.
     """
     if isinstance(trie, BinaryTrie):
         trie = CompiledTrie(trie)

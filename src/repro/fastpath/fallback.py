@@ -18,6 +18,11 @@ Cost-model parity with the object graph (and with the numpy kernels):
 * a hit with empty Ptr is final at 1 reference (FD immediate);
 * a hit with a Ptr resumes below the clue vertex, 1 reference per
   vertex actually visited, honouring the record's Claim-1 stop bits.
+
+Under a multibit layout (`repro.fastpath.layouts`) the full-lookup side
+costs one reference per *stride node* probed instead — bounded by
+``ceil(width / stride)`` — while the probe and resume accounting above
+is unchanged; answers stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -31,7 +36,42 @@ from repro.fastpath.backend import (
     CODE_RESUMED,
 )
 from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+from repro.fastpath.layouts import CompiledMultibitTrie
 from repro.lookup.hotpath import cold_path
+
+
+def _descend_multibit(mtrie, dst):
+    """Stride walk for one packet: (code, refs).
+
+    Mirrors the numpy stride kernel: one reference per stride-node
+    probe, terminal slots carry the leaf-pushed answer, the packed
+    ``leaf_codes`` pool decodes for free (cache-resident by design).
+    """
+    slots = mtrie.slots
+    fanout = mtrie.fanout
+    leaf_codes = mtrie.leaf_codes
+    node = 0
+    refs = 0
+    for shift, mask in mtrie.level_shifts:
+        chunk = (dst >> shift) & mask
+        value = int(slots[node * fanout + chunk])
+        refs += 1
+        if value < 0:
+            return int(leaf_codes[-(value + 1)]), refs
+        node = value
+    # Unreachable by construction (the final level is all-terminal),
+    # but stay total: report no match at the full probe budget.
+    return -1, refs
+
+
+def _full_one(layout, dst):
+    """One clueless lookup through whichever layout compiled: (code, refs)."""
+    if type(layout) is CompiledMultibitTrie:
+        return _descend_multibit(layout, dst)
+    best, refs = _descend(layout, dst, 0, 0, 0, None)
+    if best < 0:
+        best = layout.root_result
+    return best, refs + 1  # the root itself is always touched
 
 
 def _descend(ctrie, dst, node, depth, row, masks):
@@ -64,18 +104,15 @@ def _descend(ctrie, dst, node, depth, row, masks):
 
 @cold_path
 def full_lookup_batch(
-    ctrie: CompiledTrie, dsts: Sequence[int]
+    ctrie, dsts: Sequence[int]
 ) -> Tuple[List[int], List[int]]:
-    """Clueless Regular baseline over a batch: (codes, memrefs)."""
+    """Clueless lookups over a batch, any layout: (codes, memrefs)."""
     codes: List[int] = []
     memrefs: List[int] = []
-    root_result = ctrie.root_result
     for dst in dsts:
-        best, refs = _descend(ctrie, int(dst), 0, 0, 0, None)
-        if best < 0:
-            best = root_result
+        best, refs = _full_one(ctrie, int(dst))
         codes.append(best)
-        memrefs.append(refs + 1)  # the root itself is always touched
+        memrefs.append(refs)
     return codes, memrefs
 
 
@@ -91,6 +128,7 @@ def clue_lookup_batch(
     length (what a well-formed upstream stamps).
     """
     ctrie = ctable.trie
+    layout = ctable.layout
     width = ctable.width
     probe = ctable.probe_index
     pool_lengths = ctable.trie.pool.lengths
@@ -103,19 +141,14 @@ def clue_lookup_batch(
         dst = int(dst)
         length = int(length)
         if length < 0 or length > width:
-            best, refs = _descend(ctrie, dst, 0, 0, 0, None)
-            if best < 0:
-                best = ctrie.root_result
+            best, refs = _full_one(layout, dst)
             method = CODE_FULL
-            refs += 1
         else:
             record = probe.get((length, dst >> (width - length) if length else 0), -1)
             if record < 0:
-                best, refs = _descend(ctrie, dst, 0, 0, 0, None)
-                if best < 0:
-                    best = ctrie.root_result
+                best, refs = _full_one(layout, dst)
                 method = CODE_CLUE_MISS
-                refs += 2  # the failed probe plus the root touch
+                refs += 1  # the failed probe on top of the full walk
             else:
                 start = int(ctable.rec_cont_node[record])
                 fd = int(ctable.rec_fd[record])

@@ -3,9 +3,17 @@
 One numpy gather per trie level replaces two dict probes per packet:
 all lanes of a batch descend in lockstep, with boolean masks retiring
 lanes whose walk ended (no child, or an Advance Claim-1 stop bit).  The
-kernels reproduce the object-graph memory-reference accounting *bit for
-bit* — `repro.fastpath.certify` enforces that — so the paper's counters
-stay exact while the wall-clock cost collapses.
+dense kernels reproduce the object-graph memory-reference accounting
+*bit for bit* — `repro.fastpath.certify` enforces that — so the paper's
+counters stay exact while the wall-clock cost collapses.
+
+The stride kernels (`repro.fastpath.layouts.CompiledMultibitTrie`)
+consume *k* address bits per gather instead of one: answers stay
+bit-identical (prefix, next hop, method, new clue — certified the same
+way) while memrefs/packet drop to at most ``ceil(width / stride)`` on
+the full-lookup side; the certifier compares those counts per layout
+instead of requiring equality.  Clue-table resume walks always descend
+the dense binary arrays — Claim-1 stop bits are per binary vertex.
 
 The public entry points (`full_lookup_batch`, `lookup_batch`) dispatch
 on the compiled structure's backend: numpy arrays when available and the
@@ -26,6 +34,7 @@ from repro.fastpath.backend import (
     get_numpy,
 )
 from repro.fastpath.compile import CompiledClueTable, CompiledTrie
+from repro.fastpath.layouts import CompiledMultibitTrie
 from repro.lookup.hotpath import hot_path
 
 
@@ -33,22 +42,38 @@ def as_destination_array(values, width: int = 32):
     """Pack destination address values for the kernels.
 
     numpy int64 when the backend allows it for ``width``; otherwise the
-    values are returned as a plain list for the fallback kernels.
+    values are returned as a plain list for the fallback kernels.  An
+    already-packed int64 ndarray passes through untouched — the serve
+    loadgen materializes flat arrays up front, and re-boxing every
+    element through a Python list each batch was pure hot-path overhead.
     """
     np = get_numpy()
-    plain = [int(getattr(value, "value", value)) for value in values]
     if np is not None and width <= 32:
-        return np.asarray(plain, dtype=np.int64)
-    return plain
+        if isinstance(values, np.ndarray):
+            if values.dtype == np.int64:
+                return values
+            return values.astype(np.int64)
+        return np.asarray(
+            [int(getattr(value, "value", value)) for value in values],
+            dtype=np.int64,
+        )
+    return [int(getattr(value, "value", value)) for value in values]
 
 
 def as_length_array(lengths, width: int = 32):
-    """Pack clue lengths (−1 = clueless) to match the destination array."""
+    """Pack clue lengths (−1 = clueless) to match the destination array.
+
+    Like :func:`as_destination_array`, an int64 ndarray is returned
+    as-is instead of being re-boxed element by element.
+    """
     np = get_numpy()
-    plain = [int(length) for length in lengths]
     if np is not None and width <= 32:
-        return np.asarray(plain, dtype=np.int64)
-    return plain
+        if isinstance(lengths, np.ndarray):
+            if lengths.dtype == np.int64:
+                return lengths
+            return lengths.astype(np.int64)
+        return np.asarray([int(length) for length in lengths], dtype=np.int64)
+    return [int(length) for length in lengths]
 
 
 @hot_path
@@ -103,6 +128,50 @@ def _full_lookup_numpy(np, ctrie, dsts):
 
 
 @hot_path
+def _full_lookup_multibit_numpy(np, mtrie, dsts):
+    """Leaf-pushed stride descent for every lane: (codes, memrefs).
+
+    One gather per stride level, all lanes in lockstep; a lane retires
+    the moment it hits a terminal slot — the leaf-pushed answer is *in*
+    the slot, so there is no best-so-far bookkeeping and the walk is
+    bounded by ``ceil(width / stride)`` probes.  Each stride-node probe
+    costs one memory reference; the packed ``leaf_codes`` pool is
+    modelled as cache-resident (that is the point of packing it) and
+    decodes for free.
+    """
+    lanes = dsts.shape[0]
+    fanout = mtrie.fanout
+    slots = mtrie.slots
+    cur = np.zeros(lanes, dtype=np.int64)
+    out = np.zeros(lanes, dtype=np.int64)
+    refs = np.zeros(lanes, dtype=np.int64)
+    alive = np.ones(lanes, dtype=bool)
+    for shift, mask in mtrie.level_shifts:
+        if not alive.any():
+            break
+        chunk = (dsts >> shift) & mask
+        value = slots[cur * fanout + chunk].astype(np.int64)
+        refs = refs + alive
+        terminal = alive & (value < 0)
+        out = np.where(terminal, -(value + 1), out)
+        alive = alive & ~terminal
+        cur = np.where(alive, value, cur)
+    if lanes:
+        codes = mtrie.leaf_codes[out]
+    else:
+        codes = np.zeros(0, dtype=np.int64)
+    return codes, refs
+
+
+@hot_path
+def _full_dispatch_numpy(np, layout, dsts):
+    """Full-lookup codes and memrefs through whichever layout compiled."""
+    if type(layout) is CompiledMultibitTrie:
+        return _full_lookup_multibit_numpy(np, layout, dsts)
+    return _full_lookup_numpy(np, layout, dsts)
+
+
+@hot_path
 def _clue_lookup_numpy(np, ctable, dsts, clue_lens):
     """Clue-assisted lookup, batched: (methods, codes, new_clues, memrefs)."""
     ctrie = ctable.trie
@@ -134,7 +203,9 @@ def _clue_lookup_numpy(np, ctable, dsts, clue_lens):
     methods = np.where(miss, np.int64(CODE_CLUE_MISS), methods)
     full_path = ~hit
     if full_path.any():
-        full_codes, full_refs = _full_lookup_numpy(np, ctrie, dsts[full_path])
+        full_codes, full_refs = _full_dispatch_numpy(
+            np, ctable.layout, dsts[full_path]
+        )
         codes[full_path] = full_codes
         memrefs[full_path] += full_refs
     if ctable.records:
@@ -175,14 +246,15 @@ def _clue_lookup_numpy(np, ctable, dsts, clue_lens):
 
 
 @hot_path
-def full_lookup_batch(ctrie: CompiledTrie, dsts, force_python: bool = False):
+def full_lookup_batch(ctrie, dsts, force_python: bool = False):
     """Batched clueless lookups: ``(codes, memrefs)``.
 
-    ``dsts`` comes from :func:`as_destination_array`; codes decode
-    through ``ctrie.pool``.
+    ``ctrie`` is any compiled layout — the dense :class:`CompiledTrie`
+    or a :class:`CompiledMultibitTrie`; ``dsts`` comes from
+    :func:`as_destination_array`; codes decode through ``ctrie.pool``.
     """
     if ctrie.backend == "numpy" and not force_python:
-        return _full_lookup_numpy(get_numpy(), ctrie, dsts)
+        return _full_dispatch_numpy(get_numpy(), ctrie, dsts)
     return fallback.full_lookup_batch(ctrie, dsts)
 
 

@@ -29,11 +29,10 @@ from repro.fastpath.backend import (
     CODE_TO_METHOD,
 )
 from repro.fastpath.compile import (
-    CompiledTrie,
     FastpathUnsupported,
     compile_clue_table,
-    compile_trie,
 )
+from repro.fastpath.layouts import LAYOUTS, compile_layout
 from repro.fastpath.kernels import (
     as_destination_array,
     as_length_array,
@@ -119,10 +118,18 @@ class ClueRouter(Router):
         truncate_clues_to: Optional[int] = None,
         preprocess: bool = False,
         instruments: Optional[LookupInstruments] = None,
+        layout: str = "dense",
     ):
         super().__init__(name, instruments)
         if method not in ("simple", "advance"):
             raise ValueError("method must be 'simple' or 'advance'")
+        if layout not in LAYOUTS:
+            raise ValueError(
+                "layout must be one of %s, got %r" % (", ".join(LAYOUTS), layout)
+            )
+        #: Compiled fastpath layout for full lookups (see
+        #: `repro.fastpath.layouts`); scalar/object-graph paths ignore it.
+        self.layout = layout
         self.receiver = ReceiverState(entries, width)
         self.technique = technique
         self.method = method
@@ -152,9 +159,10 @@ class ClueRouter(Router):
         #: lazily by :meth:`_compiled_for`; any event that can change a
         #: table's contents clears the affected entries.
         self._compiled: Dict[Optional[str], tuple] = {}
-        #: The receiver trie compiled once and shared by every upstream's
-        #: compiled table (shared result pool and flat arrays).
-        self._compiled_trie: Optional[CompiledTrie] = None
+        #: The receiver trie compiled once into :attr:`layout` and shared
+        #: by every upstream's compiled table (shared result pool; a
+        #: multibit layout also shares its dense base arrays).
+        self._compiled_trie = None
 
     def set_instruments(self, instruments: LookupInstruments) -> None:
         """Rebind this router (and its entry builders) to a metric set."""
@@ -363,7 +371,7 @@ class ClueRouter(Router):
         if cached is not None and cached[1] is table and cached[2] == len(table):
             return cached[0]
         if self._compiled_trie is None:
-            self._compiled_trie = compile_trie(self.receiver.trie)
+            self._compiled_trie = compile_layout(self.receiver.trie, self.layout)
         try:
             compiled = compile_clue_table(table, self._compiled_trie)
         except FastpathUnsupported:
@@ -524,17 +532,23 @@ class LegacyRouter(Router):
         width: int = 32,
         relay_clues: bool = True,
         instruments: Optional[LookupInstruments] = None,
+        layout: str = "dense",
     ):
         super().__init__(name, instruments)
+        if layout not in LAYOUTS:
+            raise ValueError(
+                "layout must be one of %s, got %r" % (", ".join(LAYOUTS), layout)
+            )
         self.receiver = ReceiverState(entries, width)
         self.technique = technique
+        self.layout = layout
         self.base = BASELINES[technique](self.receiver.entries, width)
         #: §5.3: a legacy router that leaves the options field alone still
         #: lets downstream clue routers benefit; one that rewrites the
         #: header strips the clue.
         self.relay_clues = relay_clues
         #: Receiver trie compiled lazily for :meth:`process_batch`.
-        self._compiled_trie: Optional[CompiledTrie] = None
+        self._compiled_trie = None
 
     def apply_update(
         self,
@@ -565,7 +579,7 @@ class LegacyRouter(Router):
         if self.technique != "regular":
             return [self.process(packet, from_router) for packet in packets]
         if self._compiled_trie is None:
-            self._compiled_trie = compile_trie(self.receiver.trie)
+            self._compiled_trie = compile_layout(self.receiver.trie, self.layout)
         ctrie = self._compiled_trie
         width = self.receiver.width
         dsts = as_destination_array(

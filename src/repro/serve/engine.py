@@ -44,6 +44,7 @@ from repro.fastpath.kernels import (
     as_length_array,
     lookup_batch,
 )
+from repro.fastpath.layouts import LAYOUTS
 from repro.lookup.regular import RegularTrieLookup
 from repro.serve.batcher import BatchPolicy, RequestBatcher
 from repro.serve.dispatch import ShardPlan, route_batch
@@ -76,6 +77,7 @@ class ServeConfig:
         "seed",
         "width",
         "force_python",
+        "layout",
     )
 
     def __init__(
@@ -96,6 +98,7 @@ class ServeConfig:
         seed: int = 42,
         width: int = 32,
         force_python: bool = False,
+        layout: str = "dense",
     ):
         if shards < 1:
             raise ValueError("need at least one shard, got %d" % shards)
@@ -105,6 +108,10 @@ class ServeConfig:
             raise ValueError("table_size must be >= 1, got %d" % table_size)
         if audit_samples < 0:
             raise ValueError("audit_samples must be >= 0")
+        if layout not in LAYOUTS:
+            raise ValueError(
+                "layout must be one of %s, got %r" % (", ".join(LAYOUTS), layout)
+            )
         self.shards = shards
         self.partition = partition
         self.method = method
@@ -121,6 +128,7 @@ class ServeConfig:
         self.seed = seed
         self.width = width
         self.force_python = force_python
+        self.layout = layout
 
     def batch_policy(self) -> BatchPolicy:
         return BatchPolicy(
@@ -155,6 +163,7 @@ class ServeConfig:
             "seed": self.seed,
             "width": self.width,
             "force_python": self.force_python,
+            "layout": self.layout,
         }
 
 
@@ -187,6 +196,7 @@ class ServeEngine:
             seed=cfg.seed,
             force_python=cfg.force_python,
             instruments=instruments,
+            layout=cfg.layout,
         )
         self.certified_lanes = sum(
             shard.certified_lanes for shard in self.shards

@@ -31,8 +31,9 @@ from repro.fastpath.certify import (
     certify_clue,
     certify_full,
 )
-from repro.fastpath.compile import compile_clue_table, compile_trie
+from repro.fastpath.compile import compile_clue_table
 from repro.fastpath.kernels import lookup_batch
+from repro.fastpath.layouts import LAYOUTS, compile_layout
 from repro.lookup.hotpath import hot_path
 from repro.lookup.regular import RegularTrieLookup
 from repro.serve.dispatch import ShardPlan
@@ -54,6 +55,7 @@ class Shard:
         "scalar",
         "certified_lanes",
         "force_python",
+        "layout",
         "requests",
         "batches",
         "metrics",
@@ -70,14 +72,20 @@ class Shard:
         seed: int = 0,
         force_python: bool = False,
         metrics=None,
+        layout: str = "dense",
     ):
         if method not in METHODS:
             raise ValueError("method must be one of %s" % (METHODS,))
+        if layout not in LAYOUTS:
+            raise ValueError(
+                "layout must be one of %s, got %r" % (", ".join(LAYOUTS), layout)
+            )
         self.shard_id = shard_id
         self.width = width
         self.entries = list(entries)
         self.clue_universe = list(clue_universe)
         self.force_python = force_python
+        self.layout = layout
         self.requests = 0
         self.batches = 0
         #: Pre-bound per-shard instrument view (``ShardInstruments``);
@@ -89,7 +97,8 @@ class Shard:
         else:
             builder = SimpleMethod(self.state, "regular")
         table = builder.build_table(self.clue_universe)
-        self.ctrie = compile_trie(self.state.trie)
+        #: The compiled full-lookup layout this shard serves through.
+        self.ctrie = compile_layout(self.state.trie, layout)
         self.ctable = compile_clue_table(table, self.ctrie)
         #: The shard-local scalar twin — certification target and the
         #: per-request reference the engine's audit decodes against.
@@ -112,12 +121,19 @@ class Shard:
         dsts, lens = certification_batch(
             sender_trie, sweep, width=self.width, seed=seed
         )
+        base_lookup = RegularTrieLookup(self.entries, self.width)
         checked = certify_full(
-            self.ctrie,
-            RegularTrieLookup(self.entries, self.width),
-            dsts,
-            force_python=self.force_python,
+            self.ctrie, base_lookup, dsts, force_python=self.force_python
         )
+        if self.ctrie is not self.ctable.trie:
+            # Serving a stride layout: the resume walks still descend the
+            # dense base, so certify it (memrefs included) as well.
+            checked += certify_full(
+                self.ctable.trie,
+                base_lookup,
+                dsts,
+                force_python=self.force_python,
+            )
         checked += certify_clue(
             self.ctable, self.scalar, dsts, lens, force_python=self.force_python
         )
@@ -169,6 +185,7 @@ def build_shards(
     seed: int = 0,
     force_python: bool = False,
     instruments=None,
+    layout: str = "dense",
 ) -> List[Shard]:
     """Partition the tables along ``plan`` and build every shard.
 
@@ -205,6 +222,7 @@ def build_shards(
                 seed=seed,
                 force_python=force_python,
                 metrics=metrics,
+                layout=layout,
             )
         )
     return shards

@@ -1,0 +1,16 @@
+"""Stub of the layouts module, loaded under the real path
+(``src/repro/fastpath/layouts.py``) so fixture stores resolve to the
+frozen multibit class — and so stores *here* count as sanctioned."""
+
+
+class CompiledMultibitTrie:
+    def __init__(self, stride):
+        self.stride = stride
+        self.fanout = 1 << stride
+        self.slots = [-1] * self.fanout
+        self.leaf_codes = [-1]
+        self.leaf_bits = 1
+
+    def repack(self):
+        # Sanctioned: the layout compiler may write its own arrays.
+        self.slots[0] = 0

@@ -1,0 +1,30 @@
+"""Stores into multibit layout arrays outside the compilers: flagged
+and legal variants."""
+
+from repro.fastpath.layouts import CompiledMultibitTrie
+
+
+def corrupt_slot(mtrie: CompiledMultibitTrie, node, value):
+    mtrie.slots[node] = value
+
+
+def bump_leaf(mtrie: CompiledMultibitTrie, packed):
+    mtrie.leaf_codes[packed] += 1
+
+
+def legal_rebind_slots(mtrie: CompiledMultibitTrie, fresh):
+    # Rebinding the whole field is the recompile idiom, not mutation.
+    mtrie.slots = fresh
+
+
+def legal_scalar_field(mtrie: CompiledMultibitTrie, bits):
+    # Not a frozen array field.
+    mtrie.leaf_bits = bits
+
+
+class LayoutHolder:
+    def __init__(self, mtrie: CompiledMultibitTrie):
+        self.mtrie = mtrie
+
+    def corrupt_through_attr(self, node, value):
+        self.mtrie.slots[node] = value

@@ -161,6 +161,41 @@ def test_frozen_rule_permits_rebind_scalar_compiler_and_waived_stores():
     assert result.unused_suppressions == []
 
 
+def layout_sources():
+    return (
+        load("frozen_pkg/layouts_stub.py", path="src/repro/fastpath/layouts.py"),
+        load("frozen_pkg/mutate_layout.py"),
+    )
+
+
+def test_frozen_rule_flags_multibit_layout_stores():
+    result = run(FrozenArrayRule(), *layout_sources())
+    messages = [f.message for f in result.findings]
+    assert all(f.code == "RC115" for f in result.findings)
+    assert any(
+        "corrupt_slot" in m and "subscript store" in m
+        and "CompiledMultibitTrie.slots" in m
+        for m in messages
+    )
+    assert any(
+        "bump_leaf" in m and "in-place store" in m
+        and "CompiledMultibitTrie.leaf_codes" in m
+        for m in messages
+    )
+    attr = [f for f in result.findings if "corrupt_through_attr" in f.message]
+    assert len(attr) == 1
+    assert "CompiledMultibitTrie.slots" in attr[0].message
+
+
+def test_frozen_rule_sanctions_the_layout_compiler_itself():
+    result = run(FrozenArrayRule(), *layout_sources())
+    assert len(result.findings) == 3
+    for finding in result.findings:
+        assert finding.path == "frozen_pkg/mutate_layout.py"
+        for legal in ("legal_rebind_slots", "legal_scalar_field", "repack"):
+            assert legal not in finding.message
+
+
 # ----------------------------------------------------------------------
 # RC116 reachable unbudgeted loops
 # ----------------------------------------------------------------------

@@ -99,6 +99,62 @@ def test_cli_writes_payload_and_summarises(tmp_path, capsys):
     assert "simple:" in err
 
 
+def test_bench_layouts_section_shape():
+    payload = run_fastpath_bench(
+        table_size=150,
+        packets=200,
+        seed=1,
+        clock=FakeClock(),
+        layouts=("dense", "multibit4", "multibit8"),
+    )
+    layouts = payload["layouts"]
+    assert set(layouts) == {"dense", "multibit4", "multibit8"}
+    assert layouts["dense"]["stride"] == 0
+    assert layouts["dense"]["memrefs_vs_dense"] == 1.0
+    for name in ("multibit4", "multibit8"):
+        section = layouts[name]
+        assert section["stride"] == int(name[-1])
+        assert section["certified_lanes"] > 0
+        assert section["trie_nbytes"] > 0
+        assert section["table_nbytes"] > 0
+        assert section["base_nbytes"] > 0
+        assert section["probe_bound"] == -(-32 // section["stride"])
+        assert section["bytes_per_prefix"] >= (
+            section["entropy_bound_bytes_per_prefix"]
+        )
+        assert section["memrefs_vs_dense"] < 1.0
+        assert (
+            section["full"]["memrefs_per_packet"]
+            < layouts["dense"]["full"]["memrefs_per_packet"]
+        )
+
+
+def test_bench_rejects_unknown_layout():
+    with pytest.raises(ValueError):
+        run_fastpath_bench(table_size=80, packets=50, layouts=("multibit16",))
+
+
+def test_cli_layout_matrix(tmp_path, capsys):
+    output = tmp_path / "layouts.json"
+    code = main(
+        [
+            "bench-fastpath",
+            "--quick",
+            "--table-size", "150",
+            "--packets", "200",
+            "--layout", "dense",
+            "--layout", "multibit8",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert set(payload["layouts"]) == {"dense", "multibit8"}
+    err = capsys.readouterr().err
+    assert "layout multibit8:" in err
+    assert "entropy bound" in err
+
+
 def test_cli_quick_clamps_scale(tmp_path):
     output = tmp_path / "quick.json"
     code = main(

@@ -157,6 +157,61 @@ def trace_tuples_of(packet):
     ]
 
 
+@pytest.mark.parametrize("layout", ["multibit4", "multibit8"])
+def test_routers_forward_identically_on_multibit_layouts(layout):
+    entries = [
+        (Prefix(0b10, 2, 32), "east"),
+        (Prefix(0b1011, 4, 32), "north"),
+        (Prefix(0, 0, 32), "west"),
+    ]
+    from repro.netsim import Packet
+
+    rng = random.Random(11)
+    values = [rng.getrandbits(32) for _ in range(48)]
+
+    # Legacy: next hops must match the dense layout; memref traces may
+    # legitimately differ (stride descent is the optimisation).
+    stride_legacy = LegacyRouter("l", entries, technique="regular", layout=layout)
+    dense_legacy = LegacyRouter("l2", entries, technique="regular")
+    stride_hops = stride_legacy.process_batch(
+        [Packet(Address(v, 32)) for v in values], None
+    )
+    dense_hops = dense_legacy.process_batch(
+        [Packet(Address(v, 32)) for v in values], None
+    )
+    assert stride_hops == dense_hops
+
+    # Clue router: full/miss lanes descend the stride layout; hits and
+    # resumed walks use the dense base.  Forwarding must be identical.
+    stride_clue = ClueRouter(
+        "c", entries, technique="regular", method="simple", layout=layout
+    )
+    dense_clue = ClueRouter("c2", entries, technique="regular", method="simple")
+
+    def packets():
+        batch = [Packet(Address(v, 32)) for v in values]
+        for i, packet in enumerate(batch):
+            if i % 3 == 0:
+                packet.clue.length = 2
+        return batch
+
+    assert stride_clue.process_batch(packets(), None) == (
+        dense_clue.process_batch(packets(), None)
+    )
+    # Second pass: learned clues now hit the compiled tables.
+    assert stride_clue.process_batch(packets(), None) == (
+        dense_clue.process_batch(packets(), None)
+    )
+
+
+def test_router_rejects_unknown_layout():
+    entries = [(Prefix(0, 0, 32), "west")]
+    with pytest.raises(ValueError):
+        ClueRouter("r", entries, layout="multibit16")
+    with pytest.raises(ValueError):
+        LegacyRouter("l", entries, layout="sparse")
+
+
 def test_batch_telemetry_equals_per_packet_telemetry():
     graph, batched_net = build_network(preprocess=True)
     _graph, scalar_net = build_network(preprocess=True)

@@ -104,3 +104,26 @@ def test_generate_table_small_streams_unchanged():
     assert generate_table(300, seed=1) == generate_table(300, seed=1)
     lengths = {prefix.length for prefix, _hop in generate_table(300, seed=1)}
     assert len(lengths) > 3
+
+
+# ----------------------------------------------------------------------
+# kernels: packing an already-packed batch must be the identity
+# ----------------------------------------------------------------------
+def test_packed_arrays_pass_through_untouched():
+    from repro.fastpath import HAVE_NUMPY, get_numpy
+    from repro.fastpath.kernels import as_destination_array, as_length_array
+
+    if not HAVE_NUMPY:
+        return  # the list path has no aliasing to pin
+    np = get_numpy()
+    dsts = np.asarray([1, 2, 3], dtype=np.int64)
+    lens = np.asarray([-1, 0, 24], dtype=np.int64)
+    # The serve batcher re-packs every coalesced batch; re-boxing an
+    # int64 array element by element was pure hot-path overhead, so the
+    # pass-through must be the *same object*, not an equal copy.
+    assert as_destination_array(dsts) is dsts
+    assert as_length_array(lens) is lens
+    # Other dtypes still convert (and plain sequences still box).
+    narrow = np.asarray([1, 2], dtype=np.int32)
+    assert as_destination_array(narrow).dtype == np.int64
+    assert list(as_destination_array([7, 8])) == [7, 8]

@@ -164,6 +164,26 @@ class TestPartitionModes:
         )
         assert python_run["backend"] == "python"
 
+    @pytest.mark.parametrize("layout", ["multibit4", "multibit8"])
+    def test_multibit_layouts_audit_clean(self, layout):
+        # Same workload, stride layout: every shard certifies both the
+        # served layout and its dense base, and the live audit agrees
+        # with the full-table oracle on every sampled request.
+        config = small_config(requests=2000, layout=layout)
+        report = ServeEngine(config).run()
+        assert report.passed()
+        payload = report.as_dict()
+        assert payload["config"]["layout"] == layout
+        assert payload["totals"]["completed"] == 2000
+        # The answers must match the dense run request for request.
+        dense = ServeEngine(small_config(requests=2000)).run().as_dict()
+        assert payload["audit"]["disagreements"] == 0
+        assert dense["totals"]["completed"] == payload["totals"]["completed"]
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ValueError):
+            small_config(layout="multibit16")
+
 
 class TestServeCli:
     def test_cli_writes_payload_and_exits_zero(self, tmp_path, capsys):
